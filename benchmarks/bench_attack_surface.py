@@ -1,0 +1,48 @@
+"""E9 (§VI.A) — the collusion matrix, measured.
+
+Evaluates all 15 coalitions of {physician, S-server, A-server,
+outsider-with-P-device} against a live system and reports the success
+count — the paper's claim is exactly one successful strategy (the
+compromised, not-yet-revoked P-device), closing after REVOKE.
+"""
+
+from repro.attacks.collusion import (Actor, AdversaryKnowledge,
+                                     coalition_matrix)
+from repro.core.protocols.privilege import revoke_privilege
+
+from conftest import build_privileged_system
+
+
+def test_coalition_matrix(benchmark):
+    system = build_privileged_system(10, seed=b"e9")
+    keyword = system.patient.collection.index.keywords()[0]
+    knowledge = AdversaryKnowledge(sserver=system.sserver,
+                                   compromised_pdevice=system.pdevice)
+
+    outcomes = benchmark.pedantic(
+        lambda: coalition_matrix(knowledge, system.sserver, system.network,
+                                 keyword),
+        rounds=3, iterations=1)
+    wins = [o for o in outcomes if o.recovered_phi]
+    benchmark.extra_info["coalitions"] = len(outcomes)
+    benchmark.extra_info["successful"] = len(wins)
+    # Exactly the 8 coalitions containing the P-device outsider win.
+    assert all(Actor.OUTSIDER_PDEVICE in o.coalition for o in wins)
+    assert len(wins) == 8
+
+
+def test_matrix_after_revocation(benchmark):
+    system = build_privileged_system(10, seed=b"e9-revoked")
+    keyword = system.patient.collection.index.keywords()[0]
+    revoke_privilege(system.patient, system.pdevice.name, system.sserver,
+                     system.network)
+    knowledge = AdversaryKnowledge(sserver=system.sserver,
+                                   compromised_pdevice=system.pdevice)
+
+    outcomes = benchmark.pedantic(
+        lambda: coalition_matrix(knowledge, system.sserver, system.network,
+                                 keyword),
+        rounds=3, iterations=1)
+    benchmark.extra_info["successful"] = sum(o.recovered_phi
+                                             for o in outcomes)
+    assert not any(o.recovered_phi for o in outcomes)

@@ -1,0 +1,117 @@
+"""E12 (§VI.D) — DoS resilience.
+
+Measured claims: distributed S-servers degrade as (n−k)/n; the A-server
+failover chain restores authentication as long as one state A-server is
+reachable; the token-bucket flood detector flags attackers within a
+bounded number of uploads while honest clients are never flagged.
+"""
+
+import pytest
+
+from repro.attacks.dos import (FloodDetector, authenticate_with_failover,
+                               storage_availability)
+from repro.core.aserver import FederalAServer
+from repro.crypto.rng import HmacDrbg
+from repro.net.link import LinkClass
+from repro.net.sim import Network
+
+
+def _server_mesh(n):
+    network = Network(HmacDrbg(b"e12"))
+    network.add_node("client")
+    servers = []
+    for i in range(n):
+        address = "sserver://h%d" % i
+        network.add_node(address)
+        network.connect("client", address, LinkClass.WIRELESS)
+        servers.append(address)
+    return network, servers
+
+
+@pytest.mark.parametrize("k_down", [0, 2, 5, 8])
+def test_storage_availability(benchmark, k_down):
+    network, servers = _server_mesh(10)
+    down = set(servers[:k_down])
+
+    report = benchmark(lambda: storage_availability(network, "client",
+                                                    servers, down))
+    benchmark.extra_info["servers_down"] = k_down
+    benchmark.extra_info["availability"] = report.availability
+    assert report.availability == pytest.approx((10 - k_down) / 10)
+
+
+@pytest.mark.parametrize("n_down", [0, 1, 2])
+def test_aserver_failover(benchmark, params, n_down):
+    rng = HmacDrbg(b"e12-fo%d" % n_down)
+    network = Network(rng)
+    network.add_node("physician://doc")
+    federal = FederalAServer(params, rng)
+    aservers = [federal.create_state_server(s)
+                for s in ("TN", "KY", "VA")]
+    for aserver in aservers:
+        network.add_node(aserver.address)
+        network.connect("physician://doc", aserver.address,
+                        LinkClass.INTERNET)
+    down = {a.address for a in aservers[:n_down]}
+
+    result = benchmark(lambda: authenticate_with_failover(
+        network, "physician://doc", aservers, down, lambda a: True))
+    success, name, attempts = result
+    benchmark.extra_info["aservers_down"] = n_down
+    benchmark.extra_info["attempts"] = attempts
+    assert success
+    assert attempts == n_down + 1
+
+
+def test_flood_detection_speed(benchmark):
+    """How many flood uploads land before the detector flags the source."""
+
+    def flood():
+        detector = FloodDetector(rate_per_s=1.0, burst=5)
+        accepted = 0
+        t = 0.0
+        while b"attacker" not in detector.flagged:
+            if detector.allow(b"attacker", t):
+                accepted += 1
+            t += 0.001
+        return accepted
+
+    accepted = benchmark(flood)
+    benchmark.extra_info["uploads_before_flag"] = accepted
+    assert accepted <= 6  # burst + at most one refill token
+
+
+@pytest.mark.parametrize("threshold,n_offices", [(2, 3), (3, 5)])
+def test_threshold_aserver_extraction(benchmark, params, threshold,
+                                      n_offices):
+    """§VI.D role-splitting, the cryptographic way: t-of-n threshold key
+    extraction — the A-server keeps working (and stays uncompromised)
+    with up to n−t offices down or corrupted."""
+    from repro.crypto.shamir import ThresholdPkg
+    pkg = ThresholdPkg.setup(params, threshold=threshold,
+                             n_offices=n_offices,
+                             rng=HmacDrbg(b"e12-t%d" % threshold))
+
+    def extract():
+        partials = [pkg.partial_extract(i, "role:2026-07-04|er|TN")
+                    for i in pkg.offices[:threshold]]
+        return pkg.combine("role:2026-07-04|er|TN", partials)
+
+    key = benchmark(extract)
+    assert pkg.verify_extraction(key)
+    benchmark.extra_info["threshold"] = threshold
+    benchmark.extra_info["offices"] = n_offices
+    benchmark.extra_info["survives_office_failures"] = n_offices - threshold
+
+
+def test_audit_log_commitment_cost(benchmark):
+    """Accountability hardening: per-trace audit-log commitment cost."""
+    from repro.core.auditlog import AuditLog
+    log = AuditLog()
+    for i in range(100):
+        log.append(b"trace-%d" % i)
+
+    benchmark(lambda: log.append(b"one-more-trace"))
+    checkpoint = log.checkpoint()
+    benchmark.extra_info["log_entries"] = len(log)
+    benchmark.extra_info["root"] = checkpoint.merkle_root.hex()[:16]

@@ -1,0 +1,102 @@
+"""E8 (Fig. 1 / §IV) — end-to-end simulated latency of all protocols.
+
+Runs every HCPP protocol over the Fig. 1 topology (wired LAN / wireless /
+Internet / physical-contact links) and reports the simulated wall-clock
+each takes.  Shape claims: the wireless hops dominate the crypto for the
+network-bound flows; the P-device emergency path is the slowest (extra
+A-server round plus two physical interactions); storage latency is
+dominated by the upload size.
+"""
+
+import pytest
+
+from conftest import build_privileged_system, build_stored_system
+
+
+def _sim_latency(result):
+    return result.stats.latency_s
+
+
+def test_latency_storage(benchmark):
+    from repro.core.protocols.storage import private_phi_storage
+    from repro.core.system import build_system
+    from repro.ehr.phi import generate_workload
+
+    def run():
+        system = build_system(seed=b"e8-store")
+        workload = generate_workload(system.rng.fork("w"), 20,
+                                     server_address=system.sserver.address)
+        system.patient.import_collection(workload)
+        return private_phi_storage(system.patient, system.sserver,
+                                   system.network)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_latency_s"] = round(_sim_latency(result),
+                                                        4)
+
+
+def test_latency_common_retrieval(benchmark):
+    from repro.core.protocols.retrieval import common_case_retrieval
+    system = build_stored_system(20, seed=b"e8-ret")
+    keyword = system.patient.collection.index.keywords()[0]
+
+    result = benchmark(lambda: common_case_retrieval(
+        system.patient, system.sserver, system.network, [keyword]))
+    benchmark.extra_info["simulated_latency_s"] = round(_sim_latency(result),
+                                                        4)
+
+
+def test_latency_family_emergency(benchmark):
+    from repro.core.protocols.emergency import family_based_retrieval
+    system = build_privileged_system(20, seed=b"e8-fam")
+    keyword = system.patient.collection.index.keywords()[0]
+
+    result = benchmark(lambda: family_based_retrieval(
+        system.family, system.sserver, system.network, [keyword]))
+    benchmark.extra_info["simulated_latency_s"] = round(_sim_latency(result),
+                                                        4)
+
+
+def test_latency_pdevice_emergency(benchmark):
+    from repro.core.protocols.emergency import pdevice_emergency_retrieval
+    system = build_privileged_system(20, seed=b"e8-pd")
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    keyword = system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+
+    result = benchmark.pedantic(
+        lambda: pdevice_emergency_retrieval(
+            physician, system.pdevice, system.state, system.sserver,
+            system.network, [keyword]),
+        rounds=3, iterations=1)
+    latency = _sim_latency(result)
+    benchmark.extra_info["simulated_latency_s"] = round(latency, 4)
+    # Shape: physical interactions (typing the passcode/keywords) dominate;
+    # the flow is the slowest of all protocols.
+    assert latency > 1.0
+
+
+def test_latency_mhi_roundtrip(benchmark):
+    from repro.core.protocols.emergency import pdevice_emergency_retrieval
+    from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                          role_identity_for)
+    system = build_privileged_system(10, seed=b"e8-mhi")
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    window = system.pdevice.vitals.generate_day("2026-07-01")
+    role = role_identity_for("2026-07-01")
+    mhi_store(system.pdevice, system.sserver, system.state.public_key,
+              system.network, window, role)
+    keyword = system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+    pdevice_emergency_retrieval(physician, system.pdevice, system.state,
+                                system.sserver, system.network, [keyword])
+
+    result = benchmark.pedantic(
+        lambda: mhi_retrieve(physician, system.state, system.sserver,
+                             system.network, role, "2026-07-02"),
+        rounds=3, iterations=1)
+    assert result.windows
+    benchmark.extra_info["simulated_latency_s"] = round(_sim_latency(result),
+                                                        4)

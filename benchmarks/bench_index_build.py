@@ -1,0 +1,43 @@
+"""E1 (Fig. 2) — secure-index construction cost and correctness.
+
+Paper artifact: Fig. 2's BuildIndex flowchart.  We regenerate it as code
+and measure construction time / index size across collection sizes; the
+shape claim is linear growth in the (keyword, file) pair count.
+"""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+
+from conftest import build_index_workload
+
+
+@pytest.mark.parametrize("n_files", [25, 100, 400])
+def test_build_index_scaling(benchmark, n_files):
+    scheme, keyword_map, _, collection = build_index_workload(n_files)
+    pairs = collection.index.pair_count()
+
+    def build():
+        return scheme.build_index(keyword_map, HmacDrbg(b"fresh"))
+
+    index = benchmark(build)
+    benchmark.extra_info["n_files"] = n_files
+    benchmark.extra_info["pairs"] = pairs
+    benchmark.extra_info["index_bytes"] = index.size_bytes()
+    benchmark.extra_info["bytes_per_pair"] = round(
+        index.size_bytes() / pairs, 1)
+    # Correctness of the artifact being timed:
+    some_keyword = next(iter(keyword_map))
+    assert scheme.search(index, some_keyword) == keyword_map[some_keyword]
+
+
+def test_build_index_adaptive_variant(benchmark):
+    """Ablation: the drop-in SSE-2 index build on the same workload."""
+    from repro.sse.adaptive import Sse2Scheme
+    _, keyword_map, _, collection = build_index_workload(100)
+    scheme = Sse2Scheme.keygen(HmacDrbg(b"sse2-bench"))
+
+    index = benchmark(lambda: scheme.build_index(keyword_map,
+                                                 HmacDrbg(b"fresh")))
+    benchmark.extra_info["pairs"] = collection.index.pair_count()
+    benchmark.extra_info["index_bytes"] = index.size_bytes()

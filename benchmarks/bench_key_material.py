@@ -1,0 +1,39 @@
+"""E6 (§V.B.1) — patient-side key material is "several hundred bytes".
+
+Paper claim: *"the patient needs to store the key pair TP_p/Γ_p (2 |G1|
+elements) and several shared keys (|G2| elements) … in total several
+hundred bytes and can be handled easily even by low-end mobile devices."*
+"""
+
+from repro.crypto.params import default_params
+from repro.crypto.pseudonym import issue_temporary_pair
+from repro.crypto.rng import HmacDrbg
+from repro.sse.scheme import keygen
+
+
+def test_key_material_inventory(benchmark):
+    """Measure generating + serializing the full patient key bundle at the
+    production (SS512) parameter size."""
+    params = default_params()
+    rng = HmacDrbg(b"e6")
+    # One master secret stands in for the A-server side of issuance.
+    master = params.random_scalar(rng)
+
+    def bundle():
+        pair = issue_temporary_pair(params, master, rng)
+        sse_keys = keygen(rng)
+        shared_keys = [rng.random_bytes(32) for _ in range(3)]
+        return (len(pair.public.to_bytes()) + len(pair.private.to_bytes())
+                + sse_keys.size_bytes() + sum(map(len, shared_keys)))
+
+    total = benchmark(bundle)
+    benchmark.extra_info["total_bytes"] = total
+    benchmark.extra_info["paper_claim"] = "several hundred bytes"
+    # 2 G1 points at SS512 = 2*129B, SSE keys 160B, 3 shared keys 96B.
+    assert total < 1024
+
+
+def test_g1_g2_element_sizes():
+    params = default_params()
+    assert params.g1_bytes == 1 + 2 * 64   # uncompressed SS512 point
+    assert params.g2_bytes == 2 * 64

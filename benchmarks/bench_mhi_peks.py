@@ -1,0 +1,98 @@
+"""E15 (§IV.E) — the MHI path: PEKS tagging, storage, retrieval.
+
+Measured claims: IBE/PEKS encryption is offline-precomputable by the
+P-device (tag-generation throughput reported); multi-keyword tags beat n
+single tags in size; server-side PEKS testing costs one pairing per
+stored tag for the queried role.
+"""
+
+import pytest
+
+from repro.crypto.peks import MultiKeywordPeks, RolePeks
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.ibe import PrivateKeyGenerator
+
+from conftest import build_privileged_system
+
+
+@pytest.fixture(scope="module")
+def role_setup(params):
+    rng = HmacDrbg(b"e15")
+    pkg = PrivateKeyGenerator(params, rng)
+    role = "role:2026-07-01|emergency|TN"
+    return params, pkg, role, rng
+
+
+def test_peks_tag_generation(benchmark, role_setup):
+    """The P-device's offline precomputation per MHI window."""
+    params, pkg, role, rng = role_setup
+    peks = MultiKeywordPeks(params, pkg.public_key)
+    days = ["2026-07-0%d" % d for d in range(1, 6)]
+
+    tag = benchmark(lambda: peks.tag(role, days, rng))
+    benchmark.extra_info["keywords"] = len(days)
+    benchmark.extra_info["tag_bytes"] = tag.size_bytes()
+    benchmark.extra_info["paper_note"] = "precomputable offline"
+
+
+def test_peks_trapdoor(benchmark, role_setup):
+    params, pkg, role, rng = role_setup
+    role_key = pkg.extract(role)
+    benchmark(lambda: RolePeks.trapdoor(role_key.private, params,
+                                        "2026-07-03"))
+
+
+def test_peks_server_test(benchmark, role_setup):
+    """One pairing per (tag, trapdoor) test at the S-server."""
+    params, pkg, role, rng = role_setup
+    peks = MultiKeywordPeks(params, pkg.public_key)
+    tag = peks.tag(role, ["2026-07-01", "2026-07-02"], rng)
+    role_key = pkg.extract(role)
+    trapdoor = RolePeks.trapdoor(role_key.private, params, "2026-07-02")
+
+    matched = benchmark(lambda: peks.test(tag, trapdoor))
+    assert matched
+
+
+@pytest.mark.parametrize("n_windows", [1, 5])
+def test_mhi_store_end_to_end(benchmark, n_windows):
+    from repro.core.protocols.mhi import mhi_store, role_identity_for
+    system = build_privileged_system(5, seed=b"e15-store%d" % n_windows)
+
+    def store_windows():
+        results = []
+        for d in range(1, n_windows + 1):
+            day = "2026-07-%02d" % d
+            window = system.pdevice.vitals.generate_day(day)
+            results.append(mhi_store(
+                system.pdevice, system.sserver, system.state.public_key,
+                system.network, window, role_identity_for(day)))
+        return results
+
+    results = benchmark.pedantic(store_windows, rounds=1, iterations=1)
+    benchmark.extra_info["n_windows"] = n_windows
+    benchmark.extra_info["bytes_per_window"] = results[0].ciphertext_bytes
+
+
+def test_mhi_retrieve_end_to_end(benchmark):
+    from repro.core.protocols.emergency import pdevice_emergency_retrieval
+    from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                          role_identity_for)
+    system = build_privileged_system(5, seed=b"e15-ret")
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    window = system.pdevice.vitals.generate_day("2026-07-01")
+    role = role_identity_for("2026-07-01")
+    mhi_store(system.pdevice, system.sserver, system.state.public_key,
+              system.network, window, role)
+    keyword = system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+    pdevice_emergency_retrieval(physician, system.pdevice, system.state,
+                                system.sserver, system.network, [keyword])
+
+    result = benchmark.pedantic(
+        lambda: mhi_retrieve(physician, system.state, system.sserver,
+                             system.network, role, "2026-07-03"),
+        rounds=3, iterations=1)
+    assert result.windows
+    benchmark.extra_info["windows_returned"] = len(result.windows)

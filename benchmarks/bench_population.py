@@ -1,0 +1,34 @@
+"""E16 (extension) — population-scale throughput and storage.
+
+Beyond the paper's single-patient analysis: drive a whole population
+through the storage/retrieval mix and confirm the aggregate shape —
+linear server storage, constant per-operation message counts, flat
+retrieval latency, and one fresh pseudonym per interaction regardless of
+population size.
+"""
+
+import pytest
+
+from repro.ehr.population import PopulationSimulation
+
+
+@pytest.mark.parametrize("n_patients", [4, 12])
+def test_population_run(benchmark, n_patients):
+    def run():
+        sim = PopulationSimulation(n_patients=n_patients, n_hospitals=2,
+                                   files_per_patient=5,
+                                   seed=b"e16-%d" % n_patients)
+        return sim.report(retrievals_per_patient=2)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["patients"] = n_patients
+    benchmark.extra_info["server_bytes_per_patient"] = round(
+        report.per_patient_server_bytes)
+    benchmark.extra_info["mean_retrieval_latency_s"] = round(
+        report.mean_retrieval_latency, 4)
+    benchmark.extra_info["distinct_pseudonyms"] = report.distinct_pseudonyms
+    # Shape assertions: per-patient costs independent of population size.
+    assert report.storage_messages == n_patients
+    assert report.retrieval_messages == 2 * report.retrievals
+    assert report.distinct_pseudonyms == (report.storage_messages
+                                          + report.retrievals)

@@ -1,0 +1,67 @@
+"""E7 (§IV.C) — ASSIGN/REVOKE costs and the broadcast cover growth.
+
+Claims: REVOKE is one S-server message (checked in E4); the revoked device
+can no longer search (asserted here); the NNL broadcast ciphertext grows
+O(t·log(n/t)) in the number of revocations t.
+"""
+
+import pytest
+
+from repro.crypto.broadcast import BroadcastEncryption
+from repro.crypto.rng import HmacDrbg
+from repro.sse.multiuser import PrivilegeManager, wrap_trapdoor
+
+from conftest import build_privileged_system
+
+
+def test_revocation_end_to_end(benchmark):
+    """Full REVOKE: rotate d, rebuild broadcast, install at server."""
+    from repro.core.protocols.privilege import revoke_privilege
+
+    def run():
+        system = build_privileged_system(10, seed=b"e7")
+        return revoke_privilege(system.patient, system.pdevice.name,
+                                system.sserver, system.network)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["broadcast_bytes"] = result.broadcast_bytes
+
+
+@pytest.mark.parametrize("n_revoked", [0, 1, 4, 16])
+def test_broadcast_size_vs_revocations(benchmark, n_revoked):
+    """Cover size grows with t, logarithmically in n/t (NNL bound)."""
+    be = BroadcastEncryption(b"master", 64)
+    rng = HmacDrbg(b"e7-%d" % n_revoked)
+    revoked = frozenset(range(n_revoked))
+
+    ct = benchmark(lambda: be.encrypt(b"d" * 32, revoked, rng))
+    benchmark.extra_info["n_revoked"] = n_revoked
+    benchmark.extra_info["cover_entries"] = len(ct.cover)
+    benchmark.extra_info["bytes"] = ct.size_bytes()
+
+
+def test_wrap_trapdoor_cost(benchmark):
+    """Per-search overhead a privileged entity pays: one θ_d wrap."""
+    from repro.sse.scheme import Sse1Scheme, keygen
+    rng = HmacDrbg(b"e7-wrap")
+    scheme = Sse1Scheme(keygen(rng))
+    manager = PrivilegeManager(8, rng)
+    manager.assign("family")
+    trapdoor = scheme.trapdoor("keyword")
+
+    benchmark(lambda: wrap_trapdoor(manager.current_d, trapdoor))
+
+
+def test_revoked_search_fails():
+    """The capability claim behind the numbers."""
+    from repro.core.protocols.emergency import _privileged_retrieval
+    from repro.core.protocols.privilege import revoke_privilege
+    from repro.exceptions import RevokedError
+    import pytest as _pytest
+    system = build_privileged_system(10, seed=b"e7-cap")
+    revoke_privilege(system.patient, system.pdevice.name, system.sserver,
+                     system.network)
+    keyword = system.patient.collection.index.keywords()[0]
+    with _pytest.raises(RevokedError):
+        _privileged_retrieval(system.pdevice, system.pdevice.address,
+                              system.sserver, system.network, [keyword])

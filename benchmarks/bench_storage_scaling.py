@@ -1,0 +1,39 @@
+"""E2 (§V.B.1) — storage costs: patient O(1), server O(N).
+
+Paper claim: *"the patient has O(1) storage in terms of the
+retrieval-related information … The storage requirement on the S-server is
+O(N) with N the number of PHI files in a collection."*
+"""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.sse.scheme import keygen
+
+from conftest import build_index_workload
+
+
+def test_patient_side_constant(benchmark):
+    """Patient-side secret is generated in O(1) and has fixed size."""
+    keys = benchmark(lambda: keygen(HmacDrbg(b"k")))
+    benchmark.extra_info["patient_secret_bytes"] = keys.size_bytes()
+    assert keys.size_bytes() == 160  # constant, collection-independent
+
+
+@pytest.mark.parametrize("n_files", [20, 80, 320])
+def test_server_side_linear(benchmark, n_files):
+    """Server-side bytes per stored file stay bounded as N grows."""
+    scheme, keyword_map, rng, collection = build_index_workload(n_files)
+    files = collection.plaintext_map()
+
+    def store():
+        index = scheme.build_index(keyword_map, HmacDrbg(b"fresh"))
+        encrypted = scheme.encrypt_collection(files, HmacDrbg(b"fresh2"))
+        return index.size_bytes() + sum(len(c) for c in encrypted.values())
+
+    total = benchmark(store)
+    benchmark.extra_info["n_files"] = n_files
+    benchmark.extra_info["server_bytes"] = total
+    benchmark.extra_info["bytes_per_file"] = round(total / n_files, 1)
+    # O(N): per-file cost bounded by a constant (content + index nodes).
+    assert total / n_files < 2000

@@ -1,0 +1,56 @@
+"""Shared benchmark builders.
+
+Benchmarks use the fast 160-bit test parameters except where the paper's
+claim is about absolute timing (E5 uses the production SS512 parameters to
+compare against the quoted ~20 ms Tate pairing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.params import test_params as _test_params
+from repro.ehr.phi import generate_workload
+from repro.sse.scheme import Sse1Scheme, keygen
+
+
+@pytest.fixture(scope="session")
+def params():
+    return _test_params()
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(b"bench-seed")
+
+
+def build_stored_system(n_files: int = 10, seed: bytes = b"bench-system"):
+    """A system with a generated workload already uploaded."""
+    from repro.core.protocols.storage import private_phi_storage
+    from repro.core.system import build_system
+    system = build_system(seed=seed)
+    workload = generate_workload(system.rng.fork("workload"), n_files,
+                                 server_address=system.sserver.address)
+    system.patient.import_collection(workload)
+    private_phi_storage(system.patient, system.sserver, system.network)
+    return system
+
+
+def build_privileged_system(n_files: int = 10,
+                            seed: bytes = b"bench-system"):
+    from repro.core.protocols.privilege import assign_privilege
+    system = build_stored_system(n_files, seed)
+    assign_privilege(system.patient, system.family, system.sserver,
+                     system.network)
+    assign_privilege(system.patient, system.pdevice, system.sserver,
+                     system.network)
+    return system
+
+
+def build_index_workload(n_files: int, seed: bytes = b"bench-index"):
+    """(scheme, keyword_map, rng) for index-construction benchmarks."""
+    rng = HmacDrbg(seed)
+    collection = generate_workload(rng, n_files)
+    scheme = Sse1Scheme(keygen(rng))
+    return scheme, collection.keyword_map(), rng, collection

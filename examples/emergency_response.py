@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Emergency response: the break-glass scenario that motivates HCPP.
+
+A monitored cardiac patient collapses.  The story exercises §IV.E end to
+end:
+
+1. The patient had assigned searching privileges to his family and his
+   P-device (ASSIGN), and the P-device had been streaming encrypted MHI
+   to the S-server under the day's role identity.
+2. The family-based path retrieves PHI when a family member is present.
+3. Later the patient collapses alone: the on-duty ER physician uses the
+   P-device path — A-server authentication, one-time passcode, dictionary
+   gate, retrieval — and also pulls the recent MHI showing the
+   tachycardia episode.
+4. After recovery the patient audits the RD/TR records and finds the
+   physician also searched 'mental-health' — grounds for a complaint.
+
+Run:  python examples/emergency_response.py
+"""
+
+from repro import build_system
+from repro.core.accountability import AccountabilityAuditor
+from repro.core.protocols.emergency import (family_based_retrieval,
+                                            pdevice_emergency_retrieval)
+from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                      role_identity_for)
+from repro.core.protocols.privilege import assign_privilege
+from repro.core.protocols.storage import private_phi_storage
+from repro.ehr.mhi import AnomalyKind, VitalSign, detect_anomalies
+from repro.ehr.records import Category
+
+
+def main() -> None:
+    system = build_system(seed=b"emergency-demo")
+    patient, family, pdevice = system.patient, system.family, system.pdevice
+    server, state = system.sserver, system.state
+
+    # -- Preparation (weeks earlier) -------------------------------------
+    patient.add_record(Category.CARDIOLOGY, ["cardiology", "heart-failure"],
+                       "Chronic heart failure, NYHA II; EF 40%.",
+                       server.address)
+    patient.add_record(Category.DRUG_HISTORY, ["drug-history",
+                                               "beta-blocker"],
+                       "Carvedilol 12.5 mg twice daily.", server.address)
+    patient.add_record(Category.MENTAL_HEALTH, ["mental-health"],
+                       "Counseling notes (sensitive).", server.address)
+    private_phi_storage(patient, server, system.network)
+    assign_privilege(patient, family, server, system.network)
+    assign_privilege(patient, pdevice, server, system.network)
+    print("PHI stored; family and P-device hold searching privileges.")
+
+    # The P-device streams MHI daily; today's trace has a real episode.
+    day = "2026-07-04"
+    window = pdevice.vitals.generate_day(
+        day, anomalies=[(36000.0, AnomalyKind.TACHYCARDIA)])
+    role = role_identity_for(day, duty="emergency", service_area="TN-Knox")
+    mhi_store(pdevice, server, state.public_key, system.network, window,
+              role)
+    print("Encrypted MHI for %s stored under role %r." % (day, role))
+
+    # -- Scenario A: a family member is reachable -------------------------
+    physician = system.any_physician()
+    state.sign_in(physician.hospital, physician.physician_id)
+    result = family_based_retrieval(family, server, system.network,
+                                    ["cardiology"], physician=physician,
+                                    physician_on_duty=True)
+    print("\n[Family path] %d file(s) in %d messages:"
+          % (len(result.files), result.stats.messages))
+    for phi_file in result.files:
+        print("  -> %s" % phi_file.medical_content)
+
+    # -- Scenario B: the patient is alone — P-device break-glass ----------
+    result = pdevice_emergency_retrieval(
+        physician, pdevice, state, server, system.network,
+        ["cardiology", "drug-history", "mental-health"])
+    print("\n[P-device path] %d file(s) via one-time passcode; "
+          "%d total messages." % (len(result.files),
+                                  result.stats.messages))
+
+    # The physician also pulls the recent MHI for the likely cause.
+    mhi = mhi_retrieve(physician, state, server, system.network, role, day)
+    episode = detect_anomalies(mhi.windows[0])
+    hr_peak = max(mhi.windows[0].values_for(VitalSign.HEART_RATE))
+    print("[MHI] %d window(s); %d alarm sample(s); peak HR %.0f bpm — "
+          "tachycardia episode visible." % (len(mhi.windows), len(episode),
+                                            hr_peak))
+
+    # -- Aftermath: accountability audit (§V.A) ---------------------------
+    print("\nP-device alerts sent to the patient's phone:")
+    for alert in pdevice.alerts:
+        print("  ! %s" % alert)
+    auditor = AccountabilityAuditor(
+        system.params, state.public_key,
+        relevant_keywords=frozenset({"cardiology", "drug-history"}))
+    complaints = auditor.build_complaints(
+        pdevice.records, state.traces,
+        lambda pid, t: state.is_on_duty(pid))
+    for complaint in complaints:
+        print("Audit: physician %s, on-duty=%s, excessive searches=%s"
+              % (complaint.physician_id, complaint.physician_was_on_duty,
+                 list(complaint.excessive_keywords)))
+        if complaint.excessive_keywords:
+            print("  -> complaint filed: 'mental-health' was not relevant "
+                  "to the emergency; the signed RD/TR pair is the evidence.")
+
+
+if __name__ == "__main__":
+    main()

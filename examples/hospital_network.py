@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Cross-hospital availability: PHI spread across S-servers (§V.A).
+
+A patient treated at two hospitals stores each visit's records at that
+hospital's S-server.  The keyword index KI records which server holds
+what, so later retrieval routes each keyword to the right server — and
+the HIBC tree lets entities in *different state domains* authenticate
+each other with nothing but the federal root's public key.
+
+Run:  python examples/hospital_network.py
+"""
+
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import build_system
+from repro.crypto.hibc import hids_verify
+from repro.ehr.records import Category
+
+
+def main() -> None:
+    system = build_system(seed=b"multi-hospital", n_hospitals=3,
+                          physicians_per_hospital=2)
+    patient = system.patient
+    hospitals = list(system.hospitals.values())
+    print("Hospitals:", ", ".join(h.name for h in hospitals))
+
+    # Each visit's PHI goes to that hospital's S-server.
+    visits = [
+        (hospitals[0], Category.XRAY, ["xray", "fracture"],
+         "Wrist series after fall: hairline fracture."),
+        (hospitals[1], Category.SURGERIES, ["surgeries", "appendicitis"],
+         "Laparoscopic appendectomy; uneventful."),
+        (hospitals[2], Category.LAB_RESULTS, ["lab-results", "glucose"],
+         "Fasting glucose 131 mg/dL."),
+    ]
+    for hospital, category, keywords, note in visits:
+        patient.add_record(category, keywords, note,
+                           hospital.sserver.address)
+        private_phi_storage(patient, hospital.sserver, system.network)
+        print("Stored %-12s at %s" % (category.value, hospital.name))
+
+    # Later: an ER physician needs the surgical history and labs.  The
+    # patient's KI routes each keyword to the right S-server.
+    print("\nKeyword routing from the patient's keyword index KI:")
+    for keyword in ("surgeries", "lab-results", "xray"):
+        grouped = patient.collection.index.servers_for(keyword)
+        for address, fids in grouped.items():
+            print("  %-12s -> %s (%d file(s))" % (keyword, address,
+                                                  len(fids)))
+            hospital = next(h for h in hospitals
+                            if h.sserver.address == address)
+            result = common_case_retrieval(patient, hospital.sserver,
+                                           system.network, [keyword])
+            print("     retrieved: %s" % result.files[0].medical_content)
+
+    # Cross-domain authentication via HIBC (§IV.A, §V.A): a hospital in a
+    # different state proves itself with a hierarchical signature that
+    # anyone can verify against the federal root key Q_0 alone.
+    print("\nCross-domain HIBC check:")
+    fl_state = system.federal.create_state_server("FL")
+    fl_hospital = system.federal.create_hospital_node("FL", "miami-general")
+    signature = fl_hospital.sign(b"PHI availability probe")
+    verified = hids_verify(system.params, system.federal.root_public,
+                           fl_hospital.id_tuple, b"PHI availability probe",
+                           signature)
+    print("  FL hospital signature chain %s verifies in TN: %s"
+          % (" / ".join(fl_hospital.id_tuple), verified))
+    print("  (state FL A-server %r created as a level-2 HIBC child)"
+          % fl_state.name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""MHI monitoring pipeline: a week of body-sensor data under role-based
+encryption (§IV.E.2).
+
+Shows the full monitored-patient loop:
+
+* the P-device generates a week of vitals (two days have real episodes),
+* each day's window is IBE-encrypted under that day's role identity and
+  PEKS-tagged with its 5-day searchable horizon, then uploaded,
+* an on-duty ER physician later authenticates, gets the role private key
+  from the A-server, and searches by date — only windows whose horizon
+  covers the query date come back, and only this role's physician can
+  decrypt them.
+
+Run:  python examples/mhi_monitoring.py
+"""
+
+from repro.core.protocols.emergency import pdevice_emergency_retrieval
+from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                      role_identity_for)
+from repro.core.protocols.privilege import assign_privilege
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import build_system
+from repro.ehr.mhi import AnomalyKind, VitalSign, detect_anomalies
+from repro.ehr.records import Category
+
+
+def main() -> None:
+    system = build_system(seed=b"mhi-week")
+    patient, pdevice = system.patient, system.pdevice
+    server, state = system.sserver, system.state
+
+    patient.add_record(Category.CARDIOLOGY, ["cardiology"],
+                       "Ischemic heart disease; monitored.", server.address)
+    private_phi_storage(patient, server, system.network)
+    assign_privilege(patient, pdevice, server, system.network)
+
+    # A week of monitoring; Tuesday and Friday carry episodes.
+    episodes = {"2026-06-30": AnomalyKind.TACHYCARDIA,
+                "2026-07-03": AnomalyKind.HYPERTENSIVE}
+    days = ["2026-06-%02d" % d for d in (29, 30)] \
+        + ["2026-07-%02d" % d for d in range(1, 6)]
+    print("Uploading a week of encrypted MHI:")
+    for day in days:
+        anomalies = [(36000.0, episodes[day])] if day in episodes else None
+        window = pdevice.vitals.generate_day(day, anomalies=anomalies)
+        role = role_identity_for(day, duty="emergency",
+                                 service_area="TN-Knox")
+        result = mhi_store(pdevice, server, state.public_key,
+                           system.network, window, role)
+        print("  %s: %5d B ciphertext, %4d B PEKS tag%s"
+              % (day, result.ciphertext_bytes, result.tag_bytes,
+                 "  << episode" if day in episodes else ""))
+    print("S-server holds %d encrypted windows, zero keys."
+          % server.mhi_count())
+
+    # Emergency on 2026-07-04: the physician authenticates and pulls the
+    # windows searchable under today's date (the 5-day horizon).
+    physician = system.any_physician()
+    state.sign_in(physician.hospital, physician.physician_id)
+    pdevice_emergency_retrieval(physician, pdevice, state, server,
+                                system.network, ["cardiology"])
+
+    query_date = "2026-07-04"
+    print("\nER physician searches MHI for %s:" % query_date)
+    found = 0
+    for day in days:
+        role = role_identity_for(day, duty="emergency",
+                                 service_area="TN-Knox")
+        result = mhi_retrieve(physician, state, server, system.network,
+                              role, query_date)
+        for window in result.windows:
+            found += 1
+            alarms = detect_anomalies(window)
+            hr_peak = max(window.values_for(VitalSign.HEART_RATE))
+            bp_peak = max(window.values_for(VitalSign.SYSTOLIC_BP))
+            flag = ""
+            if alarms:
+                flag = "  !! %d alarm samples (peak HR %.0f, BP %.0f)" \
+                    % (len(alarms), hr_peak, bp_peak)
+            print("  window %s retrieved%s" % (window.day, flag))
+    print("%d windows were searchable for %s (5-day horizons); the "
+          "hypertensive surge on 2026-07-03 is visible to the caregiver."
+          % (found, query_date))
+
+
+if __name__ == "__main__":
+    main()

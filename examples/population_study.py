@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Population study: HCPP at healthcare-system scale.
+
+Runs populations of increasing size through the full storage/retrieval
+protocol mix over a two-hospital deployment, then prints the scaling
+table — the system-level view behind the paper's §V.B per-patient
+analysis and §VI.D distribution argument:
+
+* server storage grows linearly with the population (O(N) per patient),
+* per-operation message counts stay constant (1 storage / 2 retrieval),
+* retrieval latency is flat — independent of how many patients share a
+  server,
+* the unlinkability invariant holds at scale: the servers observe exactly
+  one fresh pseudonym per interaction, never an identity and never a
+  repeat.
+
+Run:  python examples/population_study.py
+"""
+
+from repro.ehr.population import PopulationSimulation
+
+
+def main() -> None:
+    print("%8s %10s %12s %14s %12s %12s"
+          % ("patients", "files", "srv bytes", "bytes/patient",
+             "latency(s)", "pseudonyms"))
+    for n_patients in (4, 8, 16):
+        sim = PopulationSimulation(n_patients=n_patients, n_hospitals=2,
+                                   files_per_patient=6,
+                                   seed=b"study-%d" % n_patients)
+        report = sim.report(retrievals_per_patient=2)
+        total_bytes = sum(report.server_storage_bytes.values())
+        print("%8d %10d %12d %14.0f %12.4f %12d"
+              % (report.n_patients, report.files_stored, total_bytes,
+                 report.per_patient_server_bytes,
+                 report.mean_retrieval_latency,
+                 report.distinct_pseudonyms))
+        interactions = report.storage_messages + report.retrievals
+        assert report.distinct_pseudonyms == interactions
+
+    print("\nInvariants held at every scale:")
+    print("  - 1 message per upload, 2 per retrieval (§V.B.2)")
+    print("  - linear server storage, constant patient secret (§V.B.1)")
+    print("  - one fresh pseudonym per interaction: the servers' combined")
+    print("    view never links two actions to the same patient (§III.C)")
+
+
+if __name__ == "__main__":
+    main()

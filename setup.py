@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works on offline boxes without the
+`wheel` package (PEP 660 editable builds need it; setup.py develop does
+not).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro — a full reproduction of HCPP (Sun, Zhu, Zhang, Fang; ICDCS 2011).
+
+HCPP is a cryptography-based secure EHR system giving patients full
+control of their protected health information (searchable symmetric
+encryption on an untrusted storage server), while still supporting
+break-glass emergency retrieval (family- and P-device-based), role-based
+MHI access via PEKS, and physician accountability — all on an
+identity-based crypto substrate built from scratch in this package.
+
+Quickstart::
+
+    from repro import build_system
+    from repro.core.protocols.storage import private_phi_storage
+    from repro.core.protocols.retrieval import common_case_retrieval
+
+    system = build_system()
+    # ... author PHI on system.patient, then:
+    private_phi_storage(system.patient, system.sserver, system.network)
+    result = common_case_retrieval(system.patient, system.sserver,
+                                   system.network, ["allergies"])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.core.system import HcppSystem, build_system
+from repro.crypto.params import default_params, test_params
+from repro.crypto.rng import HmacDrbg
+
+__version__ = "1.0.0"
+__all__ = ["HcppSystem", "build_system", "default_params", "test_params",
+           "HmacDrbg", "__version__"]

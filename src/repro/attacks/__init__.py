@@ -1,0 +1,8 @@
+"""Attack simulations and countermeasures — paper §VI, executable.
+
+* :mod:`~repro.attacks.collusion` — coalition enumeration (§VI.A)
+* :mod:`~repro.attacks.traffic_analysis` — profiling + origin tracing (§VI.B)
+* :mod:`~repro.attacks.timing` — upload-timing correlation (§VI.C)
+* :mod:`~repro.attacks.dos` — availability under server loss (§VI.D)
+* :mod:`~repro.attacks.replay` — envelope replay / tampering
+"""

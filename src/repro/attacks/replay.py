@@ -1,0 +1,63 @@
+"""Replay and tampering attacks on protocol messages.
+
+The paper's envelopes carry timestamps specifically "to prevent replay
+attack [26]" and HMACs "for ensuring message integrity".  These helpers
+mount the corresponding attacks against a receiver so tests and the
+attack-surface benchmark can confirm both defences hold:
+
+* :func:`replay_envelope` — re-present a previously accepted envelope.
+* :func:`delayed_envelope` — present an envelope after the skew window.
+* :func:`tamper_payload` / :func:`tamper_timestamp` — bit-flip attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.protocols.messages import (Envelope, ReplayGuard,
+                                           open_envelope)
+from repro.exceptions import IntegrityError, ReplayError
+
+
+def replay_envelope(key: bytes, envelope: Envelope, guard: ReplayGuard,
+                    now: float) -> bool:
+    """Deliver the same envelope twice; True when the replay was *accepted*
+    (i.e. the defence failed)."""
+    open_envelope(key, envelope, now, guard)
+    try:
+        open_envelope(key, envelope, now, guard)
+        return True
+    except ReplayError:
+        return False
+
+
+def delayed_envelope(key: bytes, envelope: Envelope, now_late: float) -> bool:
+    """Deliver far outside the skew window; True when accepted (failure)."""
+    try:
+        open_envelope(key, envelope, now_late)
+        return True
+    except ReplayError:
+        return False
+
+
+def tamper_payload(key: bytes, envelope: Envelope, now: float) -> bool:
+    """Flip a payload bit; True when the MAC still verified (failure)."""
+    if not envelope.payload:
+        return False
+    mutated = bytes([envelope.payload[0] ^ 0x01]) + envelope.payload[1:]
+    forged = replace(envelope, payload=mutated)
+    try:
+        open_envelope(key, forged, now)
+        return True
+    except IntegrityError:
+        return False
+
+
+def tamper_timestamp(key: bytes, envelope: Envelope, now: float) -> bool:
+    """Backdate the timestamp; True when accepted (failure)."""
+    forged = replace(envelope, timestamp=envelope.timestamp - 1.0)
+    try:
+        open_envelope(key, forged, now)
+        return True
+    except IntegrityError:
+        return False

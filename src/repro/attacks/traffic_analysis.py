@@ -1,0 +1,162 @@
+"""Traffic analysis — paper §VI.B, executable.
+
+Two attacker categories from the paper:
+
+1. **Search-pattern profiling** at the S-server: previous searches leak
+   (a) which table addresses were touched and (b) whether two searches
+   used the same keyword.  :class:`SearchPatternProfiler` mounts exactly
+   this from the server's observation log; the *keyword-flexibility*
+   countermeasure (multiple alias keywords → the same file set) lowers its
+   accuracy at the cost of a larger index — the trade-off E10 sweeps.
+
+2. **Network-origin tracing**: link a storage/retrieval flow to the
+   patient by the source address of the traffic.  :class:`OriginTracer`
+   mounts it over the simulated network log; routing flows through the
+   onion overlay removes the patient's address from every (src → S-server)
+   edge, driving linkage to chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import HmacDrbg
+from repro.net.sim import MessageRecord
+from repro.core.sserver import Observation
+from repro.exceptions import ParameterError
+
+
+# ---------------------------------------------------------------------------
+# Category 1: search-pattern profiling at the S-server
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProfilingReport:
+    """What the profiler could and could not conclude."""
+
+    total_searches: int
+    distinct_addresses: int
+    repeated_query_pairs: int       # searches provably for the same keyword
+    linkage_accuracy: float         # fraction of true pairs detected
+
+
+class SearchPatternProfiler:
+    """An honest-but-curious S-server operator profiling searches.
+
+    The profiler sees, per search, the table address ℓ_c(kw) (from the
+    trapdoor).  Two searches with the same address *provably* used the
+    same keyword (property (b) in the paper).  Given ground truth (which
+    experiment code knows), :meth:`report` scores how much of the true
+    same-keyword structure the leak reveals.
+    """
+
+    def __init__(self, observations: list[Observation]) -> None:
+        self._searches = [o for o in observations
+                          if o.kind in ("search", "search-wrapped")]
+
+    def report(self, ground_truth_keywords: list[str]) -> ProfilingReport:
+        if len(ground_truth_keywords) != len(self._searches):
+            raise ParameterError(
+                "ground truth length %d != observed searches %d"
+                % (len(ground_truth_keywords), len(self._searches)))
+        addresses = [o.detail for o in self._searches]
+        # True same-keyword pairs vs. pairs the address leak exposes.
+        true_pairs = 0
+        detected = 0
+        n = len(addresses)
+        for i in range(n):
+            for j in range(i + 1, n):
+                same_kw = ground_truth_keywords[i] == ground_truth_keywords[j]
+                same_addr = addresses[i] == addresses[j]
+                if same_kw:
+                    true_pairs += 1
+                    if same_addr:
+                        detected += 1
+        accuracy = detected / true_pairs if true_pairs else 1.0
+        return ProfilingReport(
+            total_searches=n,
+            distinct_addresses=len(set(addresses)),
+            repeated_query_pairs=detected,
+            linkage_accuracy=accuracy)
+
+
+def keyword_flex_aliases(keyword: str, n_aliases: int) -> list[str]:
+    """The paper's countermeasure: several keywords leading to one file set.
+
+    The patient indexes each file under ``keyword`` *and* n−1 aliases, and
+    rotates which one each query uses — repeated queries then hit distinct
+    table addresses.  Costs: keyword-index growth linear in n (measured by
+    E10's ablation).
+    """
+    if n_aliases < 1:
+        raise ParameterError("need at least one alias")
+    return [keyword] + ["%s-alias-%d" % (keyword, i)
+                        for i in range(1, n_aliases)]
+
+
+class AliasRotation:
+    """Client-side helper cycling through a keyword's aliases per query."""
+
+    def __init__(self, aliases: dict[str, list[str]]) -> None:
+        self._aliases = aliases
+        self._cursor: dict[str, int] = {}
+
+    def next_alias(self, keyword: str) -> str:
+        options = self._aliases.get(keyword, [keyword])
+        index = self._cursor.get(keyword, 0)
+        self._cursor[keyword] = (index + 1) % len(options)
+        return options[index]
+
+
+# ---------------------------------------------------------------------------
+# Category 2: network-origin tracing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TracingReport:
+    flows_to_server: int
+    correctly_attributed: int
+
+    @property
+    def accuracy(self) -> float:
+        if self.flows_to_server == 0:
+            return 0.0
+        return self.correctly_attributed / self.flows_to_server
+
+
+class OriginTracer:
+    """An eavesdropper at the S-server's uplink attributing flows.
+
+    Strategy: the source address of any packet arriving at the server *is*
+    the patient — correct without an anonymity layer, and defeated by
+    onion routing, where the arriving source is always an exit relay.
+    """
+
+    def __init__(self, server_address: str) -> None:
+        self.server_address = server_address
+
+    def report(self, log: list[MessageRecord],
+               true_patient_address: str) -> TracingReport:
+        inbound = [r for r in log if r.dst == self.server_address
+                   and not r.label.startswith("mhi")]
+        correct = sum(1 for r in inbound if r.src == true_patient_address)
+        return TracingReport(flows_to_server=len(inbound),
+                             correctly_attributed=correct)
+
+
+def pseudonym_linkage_probability(n_sessions: int,
+                                  rotate_pseudonyms: bool,
+                                  rng: HmacDrbg) -> float:
+    """Model the pseudonym-linkage side channel.
+
+    Without rotation every session presents the same TP_p, so all sessions
+    link trivially (probability 1).  With per-session self-generation the
+    best the attacker can do is guess among the candidate population, which
+    we model as chance over the session count.
+    """
+    if n_sessions < 1:
+        raise ParameterError("need at least one session")
+    if not rotate_pseudonyms:
+        return 1.0
+    guesses = [rng.randrange(n_sessions) == 0 for _ in range(n_sessions)]
+    return sum(guesses) / n_sessions

@@ -1,0 +1,8 @@
+"""Baseline systems the paper compares against (refs [10] and [11])."""
+
+from repro.baselines.leelee import EscrowServer, LeeLeePatient
+from repro.baselines.tanetal import (TanAuthority, TanSensorNode,
+                                     TanStorageSite, doctor_retrieve)
+
+__all__ = ["EscrowServer", "LeeLeePatient", "TanAuthority", "TanSensorNode",
+           "TanStorageSite", "doctor_retrieve"]

@@ -1,0 +1,126 @@
+"""Baseline: the Lee–Lee key-escrow scheme (paper ref [10]).
+
+Lee & Lee, *A cryptographic key management solution for HIPAA
+privacy/security regulations* (IEEE T-ITB 2008): patients control their
+PHI with smart-card keys, and a **trusted server possesses all secret keys
+of the patient** as the consent exception for emergencies.
+
+The HCPP paper's critique (§I.A): *"Although technically correct, the
+proposed scheme is unreasonable since the trusted server is able to access
+the patients' PHI at any time.  As a result, PHI privacy is not fully
+guaranteed."*
+
+This module implements the scheme faithfully enough to demonstrate both
+sides of that comparison:
+
+* it *works*: normal retrieval needs the smart card; emergency retrieval
+  succeeds without the patient (the fail-open property), and
+* it *fails privacy*: :meth:`EscrowServer.covert_read` shows the escrow
+  reading any record with no emergency declared and no patient
+  involvement — the experiment E13 measures exactly this capability gap
+  against HCPP (where no server-side coalition can decrypt anything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.modes import AuthenticatedCipher
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.records import PhiFile
+from repro.exceptions import AccessDenied, ParameterError
+
+
+@dataclass
+class SmartCard:
+    """The patient's smart card: holds the record-encryption key."""
+
+    patient_id: str
+    key: bytes
+    present: bool = True  # False models an incapacitated patient
+
+
+@dataclass
+class _EscrowedPatient:
+    key: bytes                               # the escrowed copy
+    records: dict[bytes, bytes] = field(default_factory=dict)
+
+
+class EscrowServer:
+    """The Lee–Lee trusted server: stores ciphertexts *and all keys*."""
+
+    def __init__(self) -> None:
+        self._patients: dict[str, _EscrowedPatient] = {}
+        self.emergency_log: list[tuple[str, str]] = []
+
+    # -- registration ------------------------------------------------------
+    def register(self, patient_id: str, key: bytes) -> None:
+        """Key escrow at enrollment — the scheme's defining step."""
+        if patient_id in self._patients:
+            raise ParameterError("patient %r already registered" % patient_id)
+        self._patients[patient_id] = _EscrowedPatient(key=key)
+
+    def _patient(self, patient_id: str) -> _EscrowedPatient:
+        entry = self._patients.get(patient_id)
+        if entry is None:
+            raise ParameterError("unknown patient %r" % patient_id)
+        return entry
+
+    # -- storage ---------------------------------------------------------
+    def store(self, patient_id: str, fid: bytes, ciphertext: bytes) -> None:
+        """Records are stored **labeled by patient id** (linkable)."""
+        self._patient(patient_id).records[fid] = ciphertext
+
+    def records_of(self, patient_id: str) -> dict[bytes, bytes]:
+        return dict(self._patient(patient_id).records)
+
+    # -- the consent exception ----------------------------------------------
+    def emergency_read(self, patient_id: str,
+                       physician_id: str) -> list[bytes]:
+        """Declared-emergency decryption using the escrowed key."""
+        entry = self._patient(patient_id)
+        self.emergency_log.append((patient_id, physician_id))
+        cipher = AuthenticatedCipher(entry.key)
+        return [cipher.decrypt(ct) for ct in entry.records.values()]
+
+    # -- the privacy violation HCPP critiques -----------------------------------
+    def covert_read(self, patient_id: str) -> list[bytes]:
+        """Decrypt everything with *no* emergency and *no* patient consent.
+
+        Nothing in the scheme prevents this: the server holds the key.
+        This method exists to measure the capability, not to endorse it.
+        """
+        entry = self._patient(patient_id)
+        cipher = AuthenticatedCipher(entry.key)
+        return [cipher.decrypt(ct) for ct in entry.records.values()]
+
+    def server_view_owners(self) -> dict[str, int]:
+        """What the server knows about ownership: everything."""
+        return {pid: len(entry.records)
+                for pid, entry in self._patients.items()}
+
+
+class LeeLeePatient:
+    """A patient in the Lee–Lee system."""
+
+    def __init__(self, patient_id: str, rng: HmacDrbg) -> None:
+        self.patient_id = patient_id
+        self.rng = rng
+        self.card = SmartCard(patient_id=patient_id,
+                              key=rng.random_bytes(32))
+
+    def enroll(self, server: EscrowServer) -> None:
+        server.register(self.patient_id, self.card.key)
+
+    def store_record(self, server: EscrowServer, phi_file: PhiFile) -> None:
+        cipher = AuthenticatedCipher(self.card.key)
+        server.store(self.patient_id, phi_file.fid,
+                     cipher.encrypt(phi_file.to_bytes(), self.rng))
+
+    def consent_retrieve(self, server: EscrowServer) -> list[PhiFile]:
+        """Normal-case retrieval: requires the smart card in hand."""
+        if not self.card.present:
+            raise AccessDenied("patient incapacitated: smart card unavailable")
+        cipher = AuthenticatedCipher(self.card.key)
+        return [PhiFile.from_bytes(cipher.decrypt(ct))
+                for ct in server.records_of(self.patient_id).values()]

@@ -1,0 +1,117 @@
+"""Baseline: the Tan et al. body-sensor-network scheme (paper ref [11]).
+
+Tan, Wang, Zhong, Li, *Body sensor network security: an identity-based
+cryptography approach* (WiSec 2008) — an IBE-based realization of
+role-based emergency access for sensor records.
+
+The HCPP paper's critique (§I.A): *"the scheme in fact failed to achieve
+privacy protection in that the storage site will learn the ownership of
+the encrypted records (i.e., which records are from which patient) in
+order to return the desired records to the querying doctor.  Such leakage
+will compromise patients' privacy by violating the unlinkability
+requirement."*
+
+We implement the scheme's storage/query shape: sensor records are
+IBE-encrypted under a *role* identity (so content confidentiality holds),
+but the server must index them **by patient identity** so a doctor's query
+"records of patient X" can be answered.  The ownership-inference game in
+experiment E14 then shows a curious server wins with probability 1 here,
+versus chance level against HCPP's pseudonymous SSE storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ec import Point
+from repro.crypto.ibe import (FullIdent, IbeCiphertext, IdentityKeyPair,
+                              PrivateKeyGenerator)
+from repro.crypto.params import DomainParams
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import AccessDenied, ParameterError
+
+
+@dataclass
+class _StoredRecord:
+    patient_id: str          # the linkability leak: plaintext ownership
+    role: str
+    ciphertext: IbeCiphertext
+
+
+class TanStorageSite:
+    """The storage site: honest-but-curious, and it *sees ownership*."""
+
+    def __init__(self) -> None:
+        self._records: list[_StoredRecord] = []
+
+    def store(self, patient_id: str, role: str,
+              ciphertext: IbeCiphertext) -> None:
+        self._records.append(_StoredRecord(patient_id=patient_id, role=role,
+                                           ciphertext=ciphertext))
+
+    def query(self, patient_id: str, role: str) -> list[IbeCiphertext]:
+        """The doctor's query — answered *because* ownership is indexed."""
+        return [r.ciphertext for r in self._records
+                if r.patient_id == patient_id and r.role == role]
+
+    # -- the leak, made measurable ----------------------------------------
+    def ownership_view(self) -> dict[str, int]:
+        """What the curious operator learns: patient → record count."""
+        view: dict[str, int] = {}
+        for record in self._records:
+            view[record.patient_id] = view.get(record.patient_id, 0) + 1
+        return view
+
+    def infer_owner(self, record_index: int) -> str:
+        """The ownership-inference game: trivially perfect here."""
+        if not 0 <= record_index < len(self._records):
+            raise ParameterError("record index out of range")
+        return self._records[record_index].patient_id
+
+
+class TanAuthority:
+    """The PKG issuing role keys (mirrors HCPP's A-server role)."""
+
+    def __init__(self, params: DomainParams, rng: HmacDrbg) -> None:
+        self.params = params
+        self._pkg = PrivateKeyGenerator(params, rng)
+        self._authorized: set[str] = set()
+
+    @property
+    def public_key(self) -> Point:
+        return self._pkg.public_key
+
+    def authorize(self, doctor_id: str) -> None:
+        self._authorized.add(doctor_id)
+
+    def role_key(self, doctor_id: str, role: str) -> IdentityKeyPair:
+        if doctor_id not in self._authorized:
+            raise AccessDenied("doctor %r not authorized for role keys"
+                               % doctor_id)
+        return self._pkg.extract(role)
+
+
+class TanSensorNode:
+    """A patient's body-sensor node: IBE-encrypts under the role string."""
+
+    def __init__(self, patient_id: str, params: DomainParams,
+                 authority_public: Point, rng: HmacDrbg) -> None:
+        self.patient_id = patient_id
+        self._ibe = FullIdent(params, authority_public)
+        self._rng = rng
+
+    def upload(self, site: TanStorageSite, role: str, data: bytes) -> None:
+        ciphertext = self._ibe.encrypt(role, data, self._rng)
+        # The defining flaw: the upload is labeled with the patient id so
+        # the site can later answer per-patient queries.
+        site.store(self.patient_id, role, ciphertext)
+
+
+def doctor_retrieve(site: TanStorageSite, authority: TanAuthority,
+                    params: DomainParams, authority_public: Point,
+                    doctor_id: str, patient_id: str,
+                    role: str) -> list[bytes]:
+    """The emergency-doctor flow: query by patient id, decrypt with Γ_role."""
+    key = authority.role_key(doctor_id, role)
+    ibe = FullIdent(params, authority_public)
+    return [ibe.decrypt(key, ct) for ct in site.query(patient_id, role)]

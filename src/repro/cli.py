@@ -1,0 +1,236 @@
+"""Command-line interface: drive an HCPP deployment from a terminal.
+
+Subcommands (all run against a fresh seeded in-process deployment):
+
+* ``demo``      — the full story: store → retrieve → assign → emergency →
+                  MHI → audit, with per-step message/byte accounting.
+* ``store``     — generate a synthetic workload and upload it, printing
+                  the storage-cost breakdown.
+* ``search``    — store a workload, then search for a keyword.
+* ``emergency`` — run the P-device break-glass flow and print the RD/TR.
+* ``attacks``   — the §VI attack summary table.
+
+Example::
+
+    python -m repro.cli demo --files 20 --seed demo-1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.system import build_system
+from repro.ehr.phi import generate_workload
+
+
+def _prepared_system(args, with_privileges: bool = False):
+    from repro.core.protocols.privilege import assign_privilege
+    from repro.core.protocols.storage import private_phi_storage
+    system = build_system(seed=args.seed.encode())
+    workload = generate_workload(system.rng.fork("cli-workload"),
+                                 args.files,
+                                 server_address=system.sserver.address)
+    system.patient.import_collection(workload)
+    result = private_phi_storage(system.patient, system.sserver,
+                                 system.network)
+    if with_privileges:
+        assign_privilege(system.patient, system.family, system.sserver,
+                         system.network)
+        assign_privilege(system.patient, system.pdevice, system.sserver,
+                         system.network)
+    return system, result
+
+
+def cmd_store(args) -> int:
+    system, result = _prepared_system(args)
+    print("Stored %d PHI files at %s" % (args.files, system.sserver.name))
+    print("  index: %7d B   files: %7d B   wire: %7d B in %d message(s)"
+          % (result.index_bytes, result.files_bytes,
+             result.stats.bytes_total, result.stats.messages))
+    print("  patient-side secret: %d B (constant)"
+          % system.patient.sse_keys.size_bytes())
+    print("  server-side total:   %d B (O(N))"
+          % system.sserver.total_storage_bytes())
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.core.protocols.retrieval import common_case_retrieval
+    system, _ = _prepared_system(args)
+    keywords = system.patient.collection.index.keywords()
+    keyword = args.keyword or keywords[0]
+    if keyword not in keywords:
+        print("keyword %r not indexed; try one of: %s"
+              % (keyword, ", ".join(keywords[:10])))
+        return 1
+    result = common_case_retrieval(system.patient, system.sserver,
+                                   system.network, [keyword])
+    print("Search %r: %d file(s), %d messages, %d B, %.3f s simulated"
+          % (keyword, len(result.files), result.stats.messages,
+             result.stats.bytes_total, result.stats.latency_s))
+    for phi_file in result.files:
+        print("  [%s] %s" % (phi_file.category.value,
+                             phi_file.medical_content))
+    return 0
+
+
+def cmd_emergency(args) -> int:
+    from repro.core.protocols.emergency import pdevice_emergency_retrieval
+    system, _ = _prepared_system(args, with_privileges=True)
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    keyword = args.keyword or system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+    result = pdevice_emergency_retrieval(
+        physician, system.pdevice, system.state, system.sserver,
+        system.network, [keyword])
+    print("Break-glass by %s: %d file(s), %d messages, %.1f s simulated"
+          % (physician.physician_id, len(result.files),
+             result.stats.messages, result.stats.latency_s))
+    rd = system.pdevice.records[0]
+    tr = system.state.traces[0]
+    print("  RD: physician=%s keywords=%s verifies=%s"
+          % (rd.physician_id, list(rd.keywords),
+             rd.verify(system.params, system.state.public_key)))
+    print("  TR: physician=%s t10=%.2f t11=%.2f verifies=%s"
+          % (tr.physician_id, tr.t_request, tr.t_issue,
+             tr.verify(system.params, system.state.public_key)))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.core.protocols.emergency import family_based_retrieval
+    from repro.core.protocols.retrieval import common_case_retrieval
+    system, store_result = _prepared_system(args, with_privileges=True)
+    keyword = system.patient.collection.index.keywords()[0]
+    print("== HCPP demo (seed=%r, %d files) ==" % (args.seed, args.files))
+    print("[1] storage: %d B, %d msg" % (store_result.stats.bytes_total,
+                                         store_result.stats.messages))
+    retrieval = common_case_retrieval(system.patient, system.sserver,
+                                      system.network, [keyword])
+    print("[2] common-case %r: %d file(s), %d msg"
+          % (keyword, len(retrieval.files), retrieval.stats.messages))
+    family = family_based_retrieval(system.family, system.sserver,
+                                    system.network, [keyword])
+    print("[3] family emergency: %d file(s), %d msg"
+          % (len(family.files), family.stats.messages))
+    return cmd_emergency_tail(system, args)
+
+
+def cmd_emergency_tail(system, args) -> int:
+    from repro.core.accountability import AccountabilityAuditor
+    from repro.core.protocols.emergency import pdevice_emergency_retrieval
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    keyword = system.patient.collection.index.keywords()[0]
+    result = pdevice_emergency_retrieval(
+        physician, system.pdevice, system.state, system.sserver,
+        system.network, [keyword])
+    print("[4] P-device emergency: %d file(s), %d msg"
+          % (len(result.files), result.stats.messages))
+    auditor = AccountabilityAuditor(system.params, system.state.public_key)
+    complaints = auditor.build_complaints(
+        system.pdevice.records, system.state.traces,
+        lambda pid, t: system.state.is_on_duty(pid))
+    print("[5] audit: %d transaction(s), all signatures verified"
+          % len(complaints))
+    return 0
+
+
+def cmd_attacks(args) -> int:
+    from repro.attacks.collusion import AdversaryKnowledge, coalition_matrix
+    from repro.core.protocols.privilege import revoke_privilege
+    system, _ = _prepared_system(args, with_privileges=True)
+    keyword = system.patient.collection.index.keywords()[0]
+    knowledge = AdversaryKnowledge(sserver=system.sserver,
+                                   compromised_pdevice=system.pdevice)
+    outcomes = coalition_matrix(knowledge, system.sserver, system.network,
+                                keyword)
+    wins = sum(o.recovered_phi for o in outcomes)
+    print("Collusion: %d/%d coalitions recover PHI (all via the stolen "
+          "P-device)" % (wins, len(outcomes)))
+    revoke_privilege(system.patient, system.pdevice.name, system.sserver,
+                     system.network)
+    after = coalition_matrix(knowledge, system.sserver, system.network,
+                             keyword)
+    print("After REVOKE: %d/%d succeed"
+          % (sum(o.recovered_phi for o in after), len(after)))
+    return 0
+
+
+def cmd_selfcheck(args) -> int:
+    """Installation self-test: known-answer checks across the substrate."""
+    from repro.crypto.aes import AES
+    from repro.crypto.hmac_impl import hmac_sha256
+    from repro.crypto.params import default_params, test_params
+    from repro.crypto.pairing import tate_pairing
+
+    failures = 0
+
+    def check(name: str, ok: bool) -> None:
+        nonlocal failures
+        print("  [%s] %s" % ("ok" if ok else "FAIL", name))
+        if not ok:
+            failures += 1
+
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    check("AES-128 FIPS-197 vector",
+          AES(key).encrypt_block(pt).hex()
+          == "69c4e0d86a7b0430d8cdb78070b4c55a")
+    check("HMAC-SHA256 RFC-4231 vector",
+          hmac_sha256(b"\x0b" * 20, b"Hi There").hex().startswith(
+              "b0344c61d8db3853"))
+    small = test_params()
+    P = small.generator
+    e = tate_pairing(P, P)
+    check("pairing non-degenerate (SS160)", not e.is_one())
+    check("pairing bilinear (SS160)",
+          tate_pairing(P * 3, P * 5) == e ** 15)
+    check("pairing output order r", (e ** small.r).is_one())
+    big = default_params()
+    Q = big.generator
+    check("pairing bilinear (SS512)",
+          tate_pairing(Q * 2, Q * 3) == tate_pairing(Q, Q) ** 6)
+    print("selfcheck: %s" % ("all good" if failures == 0
+                             else "%d failure(s)" % failures))
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", default="cli", help="deployment seed")
+    common.add_argument("--files", type=int, default=12,
+                        help="synthetic PHI files to generate")
+    parser = argparse.ArgumentParser(
+        prog="repro-hcpp",
+        description="Drive an in-process HCPP (ICDCS'11) deployment.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="full walk-through",
+                   parents=[common]).set_defaults(func=cmd_demo)
+    sub.add_parser("store", help="upload a workload",
+                   parents=[common]).set_defaults(func=cmd_store)
+    search = sub.add_parser("search", help="keyword retrieval",
+                            parents=[common])
+    search.add_argument("--keyword", default=None)
+    search.set_defaults(func=cmd_search)
+    emergency = sub.add_parser("emergency", help="P-device break-glass",
+                               parents=[common])
+    emergency.add_argument("--keyword", default=None)
+    emergency.set_defaults(func=cmd_emergency)
+    sub.add_parser("attacks", help="§VI attack summary",
+                   parents=[common]).set_defaults(func=cmd_attacks)
+    sub.add_parser("selfcheck",
+                   help="known-answer tests across the crypto substrate",
+                   parents=[common]).set_defaults(func=cmd_selfcheck)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""HCPP core: entities, servers, protocols, accountability — the paper's
+primary contribution (§III–IV)."""
+
+from repro.core.entities import Family, Patient, PDevice, Physician
+from repro.core.system import HcppSystem, build_system
+
+__all__ = ["Family", "Patient", "PDevice", "Physician", "HcppSystem",
+           "build_system"]

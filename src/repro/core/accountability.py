@@ -1,0 +1,188 @@
+"""Accountability: traces (TR), device records (RD), and the audit trail.
+
+Paper §IV.E / §V.A: every P-device emergency transaction leaves *two*
+signed artifacts —
+
+* **TR = (ID_i, TP_p, t10, t11, IBS_Γi)** at the A-server: the physician's
+  own signature on his passcode request, proving ID_i initiated access to
+  the patient known as TP_p.
+* **RD = (ID_i, TP_p, KW, t11, IBS_ΓA-server)** on the P-device: the
+  A-server's signature on the passcode delivery, proving the transaction
+  happened, *plus the searched keywords* — "for the patient to later
+  decide if the physician performed only necessary and relevant searches."
+
+After recovery, the patient reads the RDs off his P-device, requests the
+matching TRs from the A-server, and files a complaint:
+:class:`AccountabilityAuditor` verifies both signatures and cross-checks
+the on-duty roster, producing :class:`ComplaintEvidence` that a third
+party (court, health department) can verify with public information only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.ec import Point
+from repro.crypto.ibs import IbsSignature, verify as ibs_verify
+from repro.crypto.params import DomainParams
+from repro.core.protocols.messages import pack_fields
+from repro.exceptions import SignatureError
+
+__all__ = ["TraceRecord", "DeviceRecord", "ComplaintEvidence",
+           "AccountabilityAuditor", "tr_message", "rd_message"]
+
+
+def tr_message(physician_id: str, request: bytes, t_request: float) -> bytes:
+    """The byte string the physician's IBS inside a TR covers.
+
+    This is exactly the step-1 message (ID_i ‖ m′ ‖ t10) the physician
+    signed when requesting the passcode — the TR archives that signature
+    as non-repudiable proof of initiation; TP_p and t11 are A-server
+    annotations on the trace, not part of the physician's signature.
+    """
+    return pack_fields(physician_id.encode(), request,
+                       int(t_request * 1000).to_bytes(8, "big"))
+
+
+def rd_message(physician_id: str, patient_pseudonym: bytes,
+               t_issue: float) -> bytes:
+    """The byte string the A-server's IBS inside an RD covers.
+
+    Note the signature covers the *transaction* (ID_i, TP_p, t11) only —
+    the searched keywords KW are entered by the physician *after* step 3,
+    so the A-server cannot sign them; the P-device appends KW to the RD as
+    its own attestation (paper §IV.E.2: "KW is included for the patient to
+    later decide if the physician performed only necessary and relevant
+    searches").
+    """
+    return (b"HCPP-RD|" + physician_id.encode() + b"|" + patient_pseudonym
+            + b"|" + int(t_issue * 1000).to_bytes(8, "big"))
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """TR = (ID_i, TP_p, t10, t11, IBS_Γi): kept by the A-server."""
+
+    physician_id: str
+    patient_pseudonym: bytes     # TP_p serialized
+    request: bytes               # m′, the passcode request body
+    t_request: float             # t10
+    t_issue: float               # t11
+    physician_signature: IbsSignature
+
+    def verify(self, params: DomainParams, pkg_public: Point) -> bool:
+        return ibs_verify(params, pkg_public, self.physician_id,
+                          tr_message(self.physician_id, self.request,
+                                     self.t_request),
+                          self.physician_signature)
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (what the A-server's audit log commits)."""
+        return pack_fields(
+            self.physician_id.encode(),
+            self.patient_pseudonym,
+            self.request,
+            int(self.t_request * 1000).to_bytes(8, "big"),
+            int(self.t_issue * 1000).to_bytes(8, "big"),
+            self.physician_signature.to_bytes(),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceRecord:
+    """RD: kept by the P-device per emergency transaction."""
+
+    physician_id: str
+    patient_pseudonym: bytes
+    keywords: tuple[str, ...]
+    t_issue: float               # t11
+    aserver_id: str
+    aserver_signature: IbsSignature
+
+    def verify(self, params: DomainParams, pkg_public: Point) -> bool:
+        return ibs_verify(params, pkg_public, self.aserver_id,
+                          rd_message(self.physician_id,
+                                     self.patient_pseudonym, self.t_issue),
+                          self.aserver_signature)
+
+
+@dataclass(frozen=True)
+class ComplaintEvidence:
+    """A verified RD, with its matching TR when the A-server produced one.
+
+    ``trace_record is None`` flags a missing/purged A-server trace — the
+    RD alone (signed by the A-server) is still actionable evidence.
+    """
+
+    device_record: DeviceRecord
+    trace_record: TraceRecord | None
+    physician_was_on_duty: bool
+    excessive_keywords: tuple[str, ...]
+
+    @property
+    def physician_id(self) -> str:
+        return self.device_record.physician_id
+
+
+@dataclass
+class AccountabilityAuditor:
+    """Patient-side audit after an emergency is resolved (§V.A).
+
+    ``relevant_keywords``, when provided, encodes what the patient deems
+    medically necessary for the episode; searches outside it are flagged
+    as ``excessive_keywords`` — the paper: *"the patient can check the
+    keywords in the RDs to determine if the physician should be held
+    accountable for searching any PHI other than appropriate."*
+    """
+
+    params: DomainParams
+    pkg_public: Point
+    relevant_keywords: frozenset[str] = field(default_factory=frozenset)
+
+    def build_complaints(
+        self,
+        device_records: list[DeviceRecord],
+        trace_records: list[TraceRecord],
+        duty_roster: "callable",
+    ) -> list[ComplaintEvidence]:
+        """Match RDs to TRs, verify all signatures, flag violations.
+
+        ``duty_roster(physician_id, timestamp) -> bool`` answers whether
+        the physician was on the published on-duty list at that time.
+        Raises :class:`SignatureError` if any artifact fails verification
+        — a forged record must never silently enter evidence.
+        """
+        traces_by_key = {
+            (tr.physician_id, tr.patient_pseudonym, round(tr.t_issue, 3)): tr
+            for tr in trace_records
+        }
+        complaints: list[ComplaintEvidence] = []
+        for rd in device_records:
+            if not rd.verify(self.params, self.pkg_public):
+                raise SignatureError("device record RD failed verification")
+            tr = traces_by_key.get(
+                (rd.physician_id, rd.patient_pseudonym, round(rd.t_issue, 3)))
+            if tr is None:
+                # An RD without a TR means the A-server log was purged or
+                # forged — still actionable with the RD alone.
+                complaints.append(ComplaintEvidence(
+                    device_record=rd,
+                    trace_record=None,
+                    physician_was_on_duty=False,
+                    excessive_keywords=self._excessive(rd.keywords)))
+                continue
+            if not tr.verify(self.params, self.pkg_public):
+                raise SignatureError("trace record TR failed verification")
+            complaints.append(ComplaintEvidence(
+                device_record=rd,
+                trace_record=tr,
+                physician_was_on_duty=duty_roster(rd.physician_id,
+                                                  rd.t_issue),
+                excessive_keywords=self._excessive(rd.keywords)))
+        return complaints
+
+    def _excessive(self, keywords: tuple[str, ...]) -> tuple[str, ...]:
+        if not self.relevant_keywords:
+            return ()
+        return tuple(kw for kw in keywords
+                     if kw not in self.relevant_keywords)

@@ -1,0 +1,144 @@
+"""Tamper-evident audit log for the A-server's traces.
+
+The accountability story (§V.A) relies on the A-server's TR log being
+available and honest after the fact.  A malicious insider who *deletes or
+rewrites* traces would break it — the `missing TR` branch of the auditor
+flags deletion, and this module makes rewriting detectable too: traces are
+committed into an **append-only hash chain with Merkle checkpoints**, so
+
+* any third party holding one checkpoint root can verify a presented
+  trace's inclusion with a logarithmic proof, and
+* any retroactive modification of a committed trace invalidates every
+  later chain link.
+
+This is the standard transparency-log hardening (Certificate-Transparency
+style) applied to HCPP's TR store; it is an extension beyond the paper's
+text, justified by its accountability requirement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import IntegrityError, ParameterError
+
+__all__ = ["AuditLog", "InclusionProof", "Checkpoint"]
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(b"\x00leaf:" + data).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01node:" + left + right).digest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A signed-off log state: (size, merkle_root, chain_head)."""
+
+    size: int
+    merkle_root: bytes
+    chain_head: bytes
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Audit path for one leaf against a checkpoint's Merkle root."""
+
+    index: int
+    leaf_hash: bytes
+    siblings: tuple[tuple[bytes, bool], ...]  # (hash, sibling_is_right)
+
+    def verify(self, root: bytes) -> bool:
+        current = self.leaf_hash
+        for sibling, is_right in self.siblings:
+            if is_right:
+                current = _node_hash(current, sibling)
+            else:
+                current = _node_hash(sibling, current)
+        return current == root
+
+
+class AuditLog:
+    """Append-only log: hash chain per entry + Merkle tree over all."""
+
+    def __init__(self) -> None:
+        self._entries: list[bytes] = []
+        self._leaves: list[bytes] = []
+        self._chain: list[bytes] = [hashlib.sha256(b"audit-genesis").digest()]
+
+    # -- append ------------------------------------------------------------
+    def append(self, entry: bytes) -> int:
+        """Commit one serialized trace; returns its index."""
+        index = len(self._entries)
+        self._entries.append(entry)
+        leaf = _leaf_hash(entry)
+        self._leaves.append(leaf)
+        self._chain.append(hashlib.sha256(
+            b"link:" + self._chain[-1] + leaf).digest())
+        return index
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, index: int) -> bytes:
+        return self._entries[index]
+
+    # -- merkle ------------------------------------------------------------
+    def _levels(self) -> list[list[bytes]]:
+        if not self._leaves:
+            return [[hashlib.sha256(b"empty").digest()]]
+        levels = [list(self._leaves)]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            parents = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else left
+                parents.append(_node_hash(left, right))
+            levels.append(parents)
+        return levels
+
+    def checkpoint(self) -> Checkpoint:
+        """The state a verifier should pin (published / signed by policy)."""
+        return Checkpoint(size=len(self._entries),
+                          merkle_root=self._levels()[-1][0],
+                          chain_head=self._chain[-1])
+
+    def prove_inclusion(self, index: int) -> InclusionProof:
+        if not 0 <= index < len(self._leaves):
+            raise ParameterError("index out of range")
+        levels = self._levels()
+        siblings: list[tuple[bytes, bool]] = []
+        position = index
+        for level in levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                sibling = (level[sibling_index]
+                           if sibling_index < len(level) else level[position])
+                siblings.append((sibling, True))
+            else:
+                siblings.append((level[position - 1], False))
+            position //= 2
+        return InclusionProof(index=index, leaf_hash=self._leaves[index],
+                              siblings=tuple(siblings))
+
+    # -- verification --------------------------------------------------------
+    def verify_chain(self) -> None:
+        """Recompute the hash chain; raises on any rewritten entry."""
+        head = hashlib.sha256(b"audit-genesis").digest()
+        for i, entry in enumerate(self._entries):
+            head = hashlib.sha256(b"link:" + head
+                                  + _leaf_hash(entry)).digest()
+            if head != self._chain[i + 1]:
+                raise IntegrityError("audit log rewritten at entry %d" % i)
+
+    @staticmethod
+    def verify_entry(entry: bytes, proof: InclusionProof,
+                     checkpoint: Checkpoint) -> bool:
+        """Third-party check: is ``entry`` committed under ``checkpoint``?"""
+        if proof.leaf_hash != _leaf_hash(entry):
+            return False
+        return proof.verify(checkpoint.merkle_root)

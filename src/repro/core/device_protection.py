@@ -1,0 +1,147 @@
+"""P-device protection — the §VI.A countermeasures, implemented.
+
+Three defences the paper proposes against a lost/stolen P-device:
+
+* **Tamper-proof module (TPM)**: *"One common approach is to employ the
+  tamper proof module (TPM) on P-device which erases all secrets upon
+  detecting tampers."*  :class:`TamperProofModule` holds the ASSIGN
+  package behind a sealed interface and zeroizes on a tamper signal.
+* **Alerting**: *"we can program P-device to send message alerts to the
+  patient's cell phone or email address whenever the PHI-retrieval
+  related secrets are accessed"* — alerts already fire in
+  :class:`~repro.core.entities.PDevice`; :class:`AlertChannel` here adds
+  the forwarding of RDs "whenever they are created in case the lost
+  P-device cannot be regained".
+* **Privacy-preserving location tracking** (ref [33], Ristenpart et al.):
+  the device periodically deposits location beacons at an untrusted
+  tracking server, encrypted under the owner's key and indexed by
+  unlinkable per-epoch tags, so only the owner can (a) find and (b) read
+  them.  :class:`LostDeviceTracker` implements that scheme shape: tag_i =
+  PRF_k(i), ciphertext = E′_k(location ‖ i); the server learns nothing
+  and cannot link two beacons to one device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.modes import AuthenticatedCipher
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import AccessDenied, DecryptionError, ParameterError
+
+
+class TamperProofModule:
+    """Sealed storage for the P-device's ASSIGN secrets.
+
+    ``unseal()`` returns the secret material only while the module is
+    intact; a tamper event zeroizes it permanently — after which even
+    physical possession of the device yields nothing (closing the §VI.A
+    "sophisticated outsider" attack for TPM-equipped devices).
+    """
+
+    def __init__(self, secret_material: bytes) -> None:
+        if not secret_material:
+            raise ParameterError("nothing to seal")
+        self._material: bytearray | None = bytearray(secret_material)
+        self.tamper_events = 0
+
+    @property
+    def intact(self) -> bool:
+        return self._material is not None
+
+    def unseal(self) -> bytes:
+        if self._material is None:
+            raise AccessDenied("TPM zeroized: secrets were erased on tamper")
+        return bytes(self._material)
+
+    def detect_tamper(self) -> None:
+        """The tamper sensor fired: erase everything, immediately."""
+        self.tamper_events += 1
+        if self._material is not None:
+            for i in range(len(self._material)):
+                self._material[i] = 0
+            self._material = None
+
+
+@dataclass
+class AlertChannel:
+    """Forwarding channel to the patient's cell phone / email (§VI.A)."""
+
+    destination: str
+    delivered: list[str] = field(default_factory=list)
+    forwarded_records: list[object] = field(default_factory=list)
+
+    def push_alert(self, message: str) -> None:
+        self.delivered.append("[to %s] %s" % (self.destination, message))
+
+    def forward_record(self, record: object) -> None:
+        """Ship an RD off-device the moment it is created."""
+        self.forwarded_records.append(record)
+
+
+@dataclass(frozen=True)
+class LocationBeacon:
+    """One deposit at the tracking server: (unlinkable tag, ciphertext)."""
+
+    tag: bytes
+    ciphertext: bytes
+
+
+class TrackingServer:
+    """The untrusted location-tracking server: a blind tag → blob store."""
+
+    def __init__(self) -> None:
+        self._store: dict[bytes, bytes] = {}
+
+    def deposit(self, beacon: LocationBeacon) -> None:
+        self._store[beacon.tag] = beacon.ciphertext
+
+    def fetch(self, tag: bytes) -> bytes | None:
+        return self._store.get(tag)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def all_tags(self) -> list[bytes]:
+        """The server's entire view — used by unlinkability tests."""
+        return list(self._store)
+
+
+class LostDeviceTracker:
+    """Device + owner sides of the privacy-preserving tracker (ref [33])."""
+
+    def __init__(self, owner_key: bytes) -> None:
+        if not owner_key:
+            raise ParameterError("empty owner key")
+        self._key = owner_key
+        self._cipher = AuthenticatedCipher(owner_key)
+
+    def _tag(self, epoch: int) -> bytes:
+        return hmac_sha256(self._key, b"loc-tag:" + epoch.to_bytes(8, "big"))
+
+    # -- device side -------------------------------------------------------
+    def beacon(self, epoch: int, location: str,
+               rng: HmacDrbg) -> LocationBeacon:
+        """Encrypt and tag the current location for one epoch."""
+        plaintext = epoch.to_bytes(8, "big") + location.encode()
+        return LocationBeacon(tag=self._tag(epoch),
+                              ciphertext=self._cipher.encrypt(plaintext,
+                                                              rng))
+
+    # -- owner side ----------------------------------------------------------
+    def locate(self, server: TrackingServer, epoch_range: range
+               ) -> list[tuple[int, str]]:
+        """Recompute tags for the suspected epochs and decrypt the hits."""
+        found: list[tuple[int, str]] = []
+        for epoch in epoch_range:
+            blob = server.fetch(self._tag(epoch))
+            if blob is None:
+                continue
+            try:
+                plaintext = self._cipher.decrypt(blob)
+            except DecryptionError:
+                continue  # server substituted garbage; ignore
+            found.append((int.from_bytes(plaintext[:8], "big"),
+                          plaintext[8:].decode()))
+        return found

@@ -1,0 +1,9 @@
+"""The HCPP protocol suite (paper §IV).
+
+* :mod:`~repro.core.protocols.storage` — private PHI storage (§IV.B)
+* :mod:`~repro.core.protocols.privilege` — ASSIGN / REVOKE (§IV.C)
+* :mod:`~repro.core.protocols.retrieval` — common-case retrieval (§IV.D)
+* :mod:`~repro.core.protocols.emergency` — family & P-device paths (§IV.E)
+* :mod:`~repro.core.protocols.mhi` — MHI storage/retrieval (§IV.E.2)
+* :mod:`~repro.core.protocols.messages` — envelopes / replay defence
+"""

@@ -1,0 +1,34 @@
+"""Shared protocol-run bookkeeping.
+
+Every protocol function returns a result object embedding a
+:class:`ProtocolStats`, read off the network log — these are the raw rows
+of the communication-cost experiments (E4) and the end-to-end latency
+experiment (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.sim import Network
+
+
+@dataclass(frozen=True)
+class ProtocolStats:
+    """Messages / bytes / wall-clock of one protocol execution."""
+
+    protocol: str
+    messages: int
+    bytes_total: int
+    latency_s: float
+
+    @staticmethod
+    def capture(protocol: str, network: Network, mark: int,
+                started_at: float) -> "ProtocolStats":
+        window = network.log[mark:]
+        return ProtocolStats(
+            protocol=protocol,
+            messages=len(window),
+            bytes_total=sum(r.nbytes for r in window),
+            latency_s=network.clock.now - started_at,
+        )

@@ -1,0 +1,153 @@
+"""Cross-domain retrieval — the HIBC-keyed variant (§IV.D, §V.A).
+
+Paper §IV.D: *"The protocol execution remains the same for retrieval
+across hospitals, except for the shared key which is derived in the HIBC
+domain."*  §V.A: *"The patient can be provided a temporary key pair
+(similar to TP_p/Γ_p) at level 3 of the hierarchical tree, enabling the
+patient to interact with any S-server throughout the country."*
+
+Within one state, ν comes from the SOK pairing of same-domain IBC keys.
+Across states the masters differ, so that pairing identity breaks; the
+HIBC tree supplies the replacement:
+
+1. The patient holds a *pseudonymous level-3 HIBC node* (issued by any
+   hospital he visited; the leaf identity is a random string, so it
+   carries no identity linkage).
+2. To talk to a foreign S-server, the patient picks a fresh session key
+   k, **HIBE-encrypts** it to the server's identity tuple
+   (federal / state / hospital / sserver), and **HIDS-signs** the
+   transcript with his level-3 key.
+3. The server verifies the signature against the patient's (pseudonymous)
+   tuple using only the federal root key Q_0, decrypts k with its ψ, and
+   both sides use k exactly where ν would have been — the §IV.D message
+   flow is otherwise byte-identical (the S-server exposes a
+   session-keyed search entry point for this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ec import Point
+from repro.crypto.hibc import (HibcNode, HibeCiphertext, HidsSignature,
+                               hibe_encrypt, hids_verify)
+from repro.crypto.params import DomainParams
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.records import PhiFile
+from repro.net.sim import Network
+from repro.core.entities import Patient
+from repro.core.protocols.base import ProtocolStats
+from repro.core.protocols.messages import pack_fields, seal, open_envelope, unpack_fields
+from repro.core.sserver import StorageServer
+from repro.exceptions import AuthenticationError
+
+SESSION_KEY_BYTES = 32
+
+
+@dataclass(frozen=True)
+class CrossDomainHandshake:
+    """What travels in the key-establishment message."""
+
+    patient_tuple: tuple[str, ...]
+    ciphertext: HibeCiphertext
+    signature: HidsSignature
+
+    def size_bytes(self) -> int:
+        return (sum(len(t) for t in self.patient_tuple)
+                + self.ciphertext.size_bytes()
+                + self.signature.size_bytes())
+
+
+def initiate_session(patient_node: HibcNode, server_tuple: tuple[str, ...],
+                     params: DomainParams, root_public: Point,
+                     rng: HmacDrbg) -> tuple[bytes, CrossDomainHandshake]:
+    """Patient side: fresh k, HIBE to the server, HIDS over the transcript."""
+    session_key = rng.random_bytes(SESSION_KEY_BYTES)
+    ciphertext = hibe_encrypt(params, root_public, server_tuple,
+                              session_key, rng)
+    transcript = _transcript(patient_node.id_tuple, server_tuple,
+                             ciphertext)
+    signature = patient_node.sign(transcript)
+    return session_key, CrossDomainHandshake(
+        patient_tuple=patient_node.id_tuple,
+        ciphertext=ciphertext,
+        signature=signature)
+
+
+def accept_session(server_node: HibcNode, handshake: CrossDomainHandshake,
+                   params: DomainParams, root_public: Point) -> bytes:
+    """Server side: verify the HIDS via Q_0 only, decrypt the session key.
+
+    Raises :class:`AuthenticationError` on a bad signature — a handshake
+    from outside the federal tree cannot produce one.
+    """
+    transcript = _transcript(handshake.patient_tuple, server_node.id_tuple,
+                             handshake.ciphertext)
+    if not hids_verify(params, root_public, handshake.patient_tuple,
+                       transcript, handshake.signature):
+        raise AuthenticationError(
+            "cross-domain handshake signature failed for %r"
+            % (handshake.patient_tuple,))
+    session_key = server_node.decrypt(handshake.ciphertext)
+    if len(session_key) != SESSION_KEY_BYTES:
+        raise AuthenticationError("malformed cross-domain session key")
+    return session_key
+
+
+def _transcript(patient_tuple: tuple[str, ...],
+                server_tuple: tuple[str, ...],
+                ciphertext: HibeCiphertext) -> bytes:
+    return pack_fields(
+        "\x1f".join(patient_tuple).encode(),
+        "\x1f".join(server_tuple).encode(),
+        ciphertext.U0.to_bytes(),
+        ciphertext.V,
+    )
+
+
+@dataclass(frozen=True)
+class CrossDomainResult:
+    keywords: tuple[str, ...]
+    files: list[PhiFile]
+    stats: ProtocolStats
+
+
+def cross_domain_retrieval(patient: Patient, patient_node: HibcNode,
+                           server: StorageServer, server_node: HibcNode,
+                           root_public: Point, network: Network,
+                           keywords: list[str]) -> CrossDomainResult:
+    """The §IV.D flow against a foreign-state S-server.
+
+    One extra message (the handshake) establishes the HIBC-derived key;
+    the retrieval round itself is identical to the same-domain protocol,
+    with the session key standing in for ν.
+    """
+    started_at = network.clock.now
+    mark = network.mark()
+
+    session_key, handshake = initiate_session(
+        patient_node, server_node.id_tuple, patient.params, root_public,
+        patient.rng)
+    network.transmit(patient.address, server.address,
+                     handshake.size_bytes(), label="crossdomain/handshake")
+    server_key = accept_session(server_node, handshake, patient.params,
+                                root_public)
+    assert server_key == session_key  # both sides now hold k
+
+    collection_id = patient.collection_ids[server.address]
+    trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+    request = seal(session_key, "crossdomain/retrieve",
+                   pack_fields(*trapdoors), network.clock.now)
+    network.transmit(patient.address, server.address, request.size_bytes(),
+                     label="crossdomain/request")
+    reply = server.handle_search_session(session_key, collection_id,
+                                         request, network.clock.now)
+    network.transmit(server.address, patient.address, reply.size_bytes(),
+                     label="crossdomain/response")
+    payload = open_envelope(session_key, reply, network.clock.now)
+    files = patient.decrypt_results(unpack_fields(payload))
+    return CrossDomainResult(
+        keywords=tuple(keywords),
+        files=files,
+        stats=ProtocolStats.capture("cross-domain-retrieval", network,
+                                    mark, started_at))

@@ -1,0 +1,214 @@
+"""Emergency health-information retrieval — paper §IV.E.
+
+Two backup mechanisms for when the patient is physically incompetent:
+
+**Family-based (§IV.E.1)** — the trusted family member runs a 4-message
+exchange with the S-server:
+
+    1. family → S-server : TP_p, m, t6, HMAC_ν(…)          (request BE_U(d))
+    2. S-server → family : BE_U′(d), t7, HMAC_ν(…)
+    3. family → S-server : SI, TD_U(kw), t8, HMAC_ν(…)      (θ_d-wrapped)
+    4. S-server → family : E′_s(kw) [= Λ(kw)], t9, HMAC_ν(…)
+
+**P-device-based (§IV.E.2)** — when no family is present.  The physician
+pushes the emergency button; the P-device connects to the A-server; the
+physician authenticates as the on-duty emergency caregiver:
+
+    1. physician → A-server : ID_i, m′, t10, IBS_Γi(ID_i ‖ m′ ‖ t10)
+    2. A-server → physician : E′_ϖ(nounce), t11, IBS_ΓA(…)
+    3. A-server → P-device  : ID_i, IBE_TPp(ID_i ‖ nounce ‖ t11), t11, IBS(…)
+
+then enters ID + nounce on the device (physical contact), the device
+checks the passcode and the keyword dictionary, performs the family-style
+retrieval with the S-server, and returns plaintext PHI.  The A-server logs
+the TR; the P-device logs the RD — the accountability evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ibe import decrypt_with_point
+from repro.crypto.modes import AuthenticatedCipher
+from repro.ehr.records import PhiFile
+from repro.net.sim import Network
+from repro.core.accountability import DeviceRecord
+from repro.core.aserver import StateAServer
+from repro.core.entities import Family, PDevice, Physician, _PrivilegedEntity
+from repro.core.protocols.base import ProtocolStats
+from repro.core.protocols.messages import (open_envelope, pack_fields, seal,
+                                           unpack_fields)
+from repro.core.sserver import StorageServer, _deserialize_broadcast
+from repro.exceptions import AccessDenied, AuthenticationError
+
+
+@dataclass(frozen=True)
+class EmergencyResult:
+    approach: str
+    keywords: tuple[str, ...]
+    files: list[PhiFile]
+    stats: ProtocolStats
+
+
+def _privileged_retrieval(entity: _PrivilegedEntity, entity_address: str,
+                          server: StorageServer, network: Network,
+                          keywords: list[str]) -> list[PhiFile]:
+    """The shared 4-message family-style exchange (steps 1–4 above)."""
+    package = entity.package
+    if package is None:
+        raise AccessDenied("%s holds no ASSIGN package" % entity.name)
+    nu = package.nu
+    pseudonym = package.pseudonym
+    collection_id = package.collection_id
+
+    # Step 1: request the current broadcast.
+    request = seal(nu, "emergency/get-d", b"m:request-broadcast",
+                   network.clock.now)
+    network.transmit(entity_address, server.address,
+                     request.size_bytes() + len(pseudonym.public.to_bytes()),
+                     label="emergency/get-d")
+    # Step 2: BE_U(d).
+    reply = server.handle_get_broadcast(pseudonym.public, collection_id,
+                                        request, network.clock.now)
+    network.transmit(server.address, entity_address, reply.size_bytes(),
+                     label="emergency/broadcast-d")
+    blob = open_envelope(nu, reply, network.clock.now)
+    d_current = entity.recover_group_secret(_deserialize_broadcast(blob))
+
+    # Step 3: θ_d-wrapped trapdoors.
+    wrapped = [entity.wrapped_trapdoor(kw, d_current).data for kw in keywords]
+    search = seal(nu, "emergency/search", pack_fields(*wrapped),
+                  network.clock.now)
+    network.transmit(entity_address, server.address, search.size_bytes(),
+                     label="emergency/search")
+    # Step 4: Λ(kw).
+    results = server.handle_search_wrapped(pseudonym.public, collection_id,
+                                           search, network.clock.now)
+    network.transmit(server.address, entity_address, results.size_bytes(),
+                     label="emergency/results")
+    payload = open_envelope(nu, results, network.clock.now)
+    return entity.decrypt_results(unpack_fields(payload))
+
+
+def family_based_retrieval(family: Family, server: StorageServer,
+                           network: Network, keywords: list[str],
+                           physician: Physician | None = None,
+                           physician_on_duty: bool = True
+                           ) -> EmergencyResult:
+    """§IV.E.1: the family retrieves PHI on the patient's behalf.
+
+    The family's *subjective judgment* gates the exchange: if the
+    requesting physician does not look legitimate, the family refuses
+    (:class:`AccessDenied`) — no crypto needed, exactly the paper's point.
+    """
+    started_at = network.clock.now
+    mark = network.mark()
+
+    if physician is not None and not family.approves(
+            physician.physician_id, physician_on_duty):
+        raise AccessDenied(
+            "family refused PHI access for %r" % physician.physician_id)
+
+    files = _privileged_retrieval(family, family.address, server, network,
+                                  keywords)
+    if physician is not None:
+        network.transmit(family.address, physician.address,
+                         sum(f.size_bytes() for f in files),
+                         label="emergency/handover")
+        physician.received_phi.extend(files)
+    return EmergencyResult(
+        approach="family",
+        keywords=tuple(keywords),
+        files=files,
+        stats=ProtocolStats.capture("family-emergency-retrieval", network,
+                                    mark, started_at))
+
+
+def pdevice_emergency_retrieval(physician: Physician, pdevice: PDevice,
+                                aserver: StateAServer,
+                                server: StorageServer, network: Network,
+                                keywords: list[str]) -> EmergencyResult:
+    """§IV.E.2: the full P-device break-glass flow with accountability."""
+    started_at = network.clock.now
+    mark = network.mark()
+    package = pdevice.package
+    if package is None:
+        raise AccessDenied("P-device holds no ASSIGN package")
+
+    # The physician pushes the emergency button; the device connects to the
+    # A-server over wireless access and registers its pseudonym.
+    pdevice.enter_emergency_mode()
+    pd_public = package.pseudonym.public
+    network.transmit(pdevice.address, aserver.address,
+                     len(pd_public.to_bytes()), label="emergency/register")
+    aserver.register_pdevice(pd_public)
+
+    # Step 1: signed passcode request.
+    request = b"m':one-time-passcode"
+    t_request = network.clock.now
+    signature = physician.sign_passcode_request(request, t_request)
+    network.transmit(physician.address, aserver.address,
+                     len(request) + signature.size_bytes(),
+                     label="emergency/auth-request")
+
+    # Steps 2 and 3 "take place simultaneously and only after the physician
+    # successfully authenticates himself as the emergency caregiver on duty."
+    issue = aserver.authenticate_emergency(
+        physician.physician_id, request, t_request, signature, pd_public,
+        network.clock.now)
+    network.transmit(aserver.address, physician.address,
+                     issue.size_to_physician(), label="emergency/passcode")
+    network.transmit(aserver.address, pdevice.address,
+                     issue.size_to_pdevice(), label="emergency/ibe-passcode")
+
+    # The physician recovers the nounce under ϖ; the P-device under Γ_p.
+    omega = physician.session_key_with(aserver.identity_key.public)
+    nounce_physician = AuthenticatedCipher(omega).decrypt(
+        issue.encrypted_for_physician)
+    pd_plain = decrypt_with_point(package.pseudonym.private,
+                                  issue.pdevice_ciphertext)
+    physician_id_bytes, nounce_device, _t11 = unpack_fields(pd_plain,
+                                                            expected=3)
+    if physician_id_bytes.decode() != physician.physician_id:
+        raise AuthenticationError("P-device: passcode issued for a "
+                                  "different physician")
+    pdevice.expect_nounce(nounce_device)
+
+    # Physical contact: the physician types ID + passcode on the device.
+    network.transmit(physician.address, pdevice.address,
+                     len(physician.physician_id) + len(nounce_physician),
+                     label="emergency/passcode-entry")
+    if not pdevice.check_passcode(nounce_physician):
+        raise AuthenticationError("invalid one-time passcode")
+
+    # Keyword entry + dictionary gate.
+    canonical = pdevice.validate_keywords(keywords)
+    network.transmit(physician.address, pdevice.address,
+                     sum(len(kw) for kw in canonical),
+                     label="emergency/keywords")
+
+    # The device now runs the family-style retrieval with the S-server.
+    files = _privileged_retrieval(pdevice, pdevice.address, server, network,
+                                  canonical)
+
+    # RD = (ID_i, TP_p, KW, t11, IBS_ΓA-server), stored on the device.
+    pdevice.record_transaction(DeviceRecord(
+        physician_id=physician.physician_id,
+        patient_pseudonym=pd_public.to_bytes(),
+        keywords=tuple(canonical),
+        t_issue=issue.t_issue,
+        aserver_id=aserver.identity_key.identity,
+        aserver_signature=issue.pdevice_signature))
+
+    # Plaintext PHI handed to the physician on the spot.
+    network.transmit(pdevice.address, physician.address,
+                     sum(f.size_bytes() for f in files),
+                     label="emergency/handover")
+    physician.received_phi.extend(files)
+    pdevice.exit_emergency_mode()
+    return EmergencyResult(
+        approach="p-device",
+        keywords=tuple(canonical),
+        files=files,
+        stats=ProtocolStats.capture("pdevice-emergency-retrieval", network,
+                                    mark, started_at))

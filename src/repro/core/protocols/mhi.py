@@ -1,0 +1,145 @@
+"""MHI storage and retrieval — paper §IV.E.2 (role-based, IBE + PEKS).
+
+Storage (the P-device, in advance, offline-precomputable):
+
+    P-device → S-server : TP_p, IBE_IDr(MHI) ‖ PEKS_σ(ID_r, kw), t12,
+                          HMAC_ν(TP_p ‖ IBE_IDr ‖ PEKS_σ ‖ t12)
+
+The role identity ID_r is a general descriptive string
+``Date‖Duty‖ServiceArea`` — only the A-server can extract Γ_r, and it
+does so only for an authenticated on-duty emergency caregiver.  Each
+day's window is made searchable for the following 5 days.
+
+Retrieval (after the physician has obtained Γ_r from the A-server):
+
+    1. physician → S-server : ID_r, TD_r(kw), t13, HMAC_ρ(…)
+    2. S-server → physician : IBE_IDr(MHI), t14, HMAC_ρ(…)
+
+with ρ = ê(Γ_r, PK_S) = ê(PK_r, Γ_S) derived locally by both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ec import Point
+from repro.crypto.ibe import FullIdent, IdentityKeyPair
+from repro.crypto.nike import shared_key_from_points
+from repro.crypto.peks import MultiKeywordPeks, RolePeks
+from repro.ehr.mhi import MhiWindow
+from repro.net.sim import Network
+from repro.core.aserver import StateAServer
+from repro.core.entities import PDevice, Physician
+from repro.core.protocols.base import ProtocolStats
+from repro.core.protocols.messages import open_envelope, seal
+from repro.core.sserver import StorageServer
+from repro.exceptions import AccessDenied
+
+
+def role_identity_for(date: str, duty: str = "emergency",
+                      service_area: str = "default") -> str:
+    """The paper's ID_r = "Date ‖ Duty ‖ ServiceArea" convention."""
+    return "role:%s|%s|%s" % (date, duty, service_area)
+
+
+@dataclass(frozen=True)
+class MhiStoreResult:
+    role_identity: str
+    ciphertext_bytes: int
+    tag_bytes: int
+    stats: ProtocolStats
+
+
+@dataclass(frozen=True)
+class MhiRetrieveResult:
+    role_identity: str
+    keyword: str
+    windows: list[MhiWindow]
+    stats: ProtocolStats
+
+
+def mhi_store(pdevice: PDevice, server: StorageServer,
+              aserver_public: Point, network: Network,
+              window: MhiWindow, role_identity: str) -> MhiStoreResult:
+    """Encrypt one MHI window under ID_r, tag it, upload it."""
+    started_at = network.clock.now
+    mark = network.mark()
+    package = pdevice.package
+    if package is None:
+        raise AccessDenied("P-device has no ASSIGN package (no pseudonym)")
+
+    ibe = FullIdent(pdevice.params, aserver_public)
+    ciphertext = ibe.encrypt(role_identity, window.to_bytes(), pdevice.rng)
+    peks = MultiKeywordPeks(pdevice.params, aserver_public)
+    # Searchable under the date keywords (the paper's 5-day horizon).
+    tag = peks.tag(role_identity, list(window.searchable_days), pdevice.rng)
+
+    nu = package.nu
+    envelope = seal(nu, "mhi-store",
+                    role_identity.encode() + ciphertext.to_bytes()[:32],
+                    network.clock.now)
+    wire = (envelope.size_bytes() + ciphertext.size_bytes()
+            + tag.size_bytes())
+    network.transmit(pdevice.address, server.address, wire,
+                     label="mhi/store")
+    server.handle_mhi_store(package.pseudonym.public, envelope,
+                            role_identity, ciphertext, tag,
+                            network.clock.now)
+    return MhiStoreResult(
+        role_identity=role_identity,
+        ciphertext_bytes=ciphertext.size_bytes(),
+        tag_bytes=tag.size_bytes(),
+        stats=ProtocolStats.capture("mhi-store", network, mark, started_at))
+
+
+def mhi_retrieve(physician: Physician, aserver: StateAServer,
+                 server: StorageServer, network: Network,
+                 role_identity: str, keyword: str) -> MhiRetrieveResult:
+    """Obtain Γ_r, search the encrypted MHI, decrypt the matches.
+
+    The physician must already hold an authenticated emergency session at
+    the A-server (the passcode flow) — :meth:`StateAServer.extract_role_key`
+    enforces it.
+    """
+    started_at = network.clock.now
+    mark = network.mark()
+
+    # Role-key issuance (rides on the authenticated session; one round).
+    network.transmit(physician.address, aserver.address,
+                     len(role_identity) + 16, label="mhi/role-key-request")
+    role_key: IdentityKeyPair = aserver.extract_role_key(
+        physician.physician_id, role_identity)
+    network.transmit(aserver.address, physician.address,
+                     len(role_key.private.to_bytes()),
+                     label="mhi/role-key")
+
+    # Step 1: ID_r, TD_r(kw) under HMAC_ρ.
+    trapdoor = RolePeks.trapdoor(role_key.private, physician.params, keyword)
+    rho = shared_key_from_points(role_key.private,
+                                 server.identity_key.public)
+    request = seal(rho, "mhi-search",
+                   role_identity.encode() + trapdoor.point.to_bytes(),
+                   network.clock.now)
+    network.transmit(physician.address, server.address,
+                     request.size_bytes(), label="mhi/search")
+
+    # Server verifies under its own ρ = ê(Γ_S, H1(ID_r)) and tests tags.
+    reply, matches = server.handle_mhi_search(
+        role_identity, request, trapdoor, aserver.public_key,
+        network.clock.now)
+
+    # Step 2: IBE_IDr(MHI) under HMAC_ρ.
+    network.transmit(server.address, physician.address, reply.size_bytes(),
+                     label="mhi/results")
+    open_envelope(rho, reply, network.clock.now)
+
+    ibe = FullIdent(physician.params, aserver.public_key)
+    windows = [MhiWindow.from_bytes(ibe.decrypt(role_key, ct))
+               for ct in matches]
+    physician.received_mhi.extend(windows)
+    return MhiRetrieveResult(
+        role_identity=role_identity,
+        keyword=keyword,
+        windows=windows,
+        stats=ProtocolStats.capture("mhi-retrieve", network, mark,
+                                    started_at))

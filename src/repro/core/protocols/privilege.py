@@ -1,0 +1,132 @@
+"""Privilege assignment — ASSIGN and REVOKE (paper §IV.C).
+
+ASSIGN (patient → each entity u ∈ U, over the patient LAN):
+
+    patient → U :  E′_μ(TP_p ‖ ν ‖ a ‖ b ‖ c ‖ d ‖ SI ‖ KI ‖ dictionary
+                   ‖ s ‖ X), t2, HMAC_μ(E′_μ ‖ t2)
+
+REVOKE (patient → S-server, to rotate the group secret):
+
+    patient → S-server :  E′_ν(d′ ‖ BE′_U′(d′)), t3, HMAC_ν(E′_ν ‖ t3)
+
+After REVOKE, the revoked entity can neither recover d′ from the new
+broadcast (its leaf is outside the NNL cover) nor have θ_{d_old}-wrapped
+trapdoors accepted (the validity tag fails under d′).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.crypto.modes import AuthenticatedCipher
+from repro.net.sim import Network
+from repro.core.entities import Patient, _PrivilegedEntity
+from repro.core.protocols.base import ProtocolStats
+from repro.core.protocols.messages import open_envelope, pack_fields, seal
+from repro.core.sserver import StorageServer, _serialize_broadcast
+
+
+
+@dataclass(frozen=True)
+class AssignResult:
+    entity_name: str
+    package_bytes: int
+    stats: ProtocolStats
+
+
+@dataclass(frozen=True)
+class RevokeResult:
+    revoked_entity: str
+    broadcast_bytes: int
+    stats: ProtocolStats
+
+
+def push_group_state(patient: Patient, server: StorageServer,
+                     network: Network) -> int:
+    """Send the current (d, BE_U(d)) to the S-server under E′_ν.
+
+    §IV.C: *"the interactions … between patient and S-server (i.e.,
+    sending θ, d, BE_U(d)) take the same secure procedures"* — ASSIGN and
+    REVOKE both end with this one-message update.  Returns wire bytes.
+    """
+    broadcast = patient.privileges.broadcast_d()
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(server.identity_key.public, pseudonym)
+    plaintext = pack_fields(patient.privileges.current_d,
+                            _serialize_broadcast(broadcast))
+    body = AuthenticatedCipher(nu).encrypt(plaintext, patient.rng)
+    envelope = seal(nu, "group-update", body, network.clock.now)
+    network.transmit(patient.address, server.address, envelope.size_bytes(),
+                     label="assign/group-update")
+    collection_id = patient.collection_ids[server.address]
+    server.handle_revoke(pseudonym.public, collection_id, envelope,
+                         network.clock.now)
+    return envelope.size_bytes()
+
+
+def assign_privilege(patient: Patient, entity: _PrivilegedEntity,
+                     server: StorageServer,
+                     network: Network) -> AssignResult:
+    """Run ASSIGN: ship the package to one family member / P-device."""
+    started_at = network.clock.now
+    mark = network.mark()
+
+    package = patient.make_assign_package(entity.name, server.address)
+    # ν for the entity's own pseudonym pair, derived patient-side (the
+    # patient knows the server's public key; ν rides inside E′_μ).
+    nu = patient.session_key_with(server.identity_key.public,
+                                  package.pseudonym)
+    package = replace(package, nu=nu)
+
+    mu = patient.preshared_key(entity.name)
+    body = AuthenticatedCipher(mu).encrypt(package.to_bytes(patient.params),
+                                           patient.rng)
+    envelope = seal(mu, "assign", body, network.clock.now)
+    network.transmit(patient.address, entity.address,
+                     envelope.size_bytes(), label="assign")
+
+    # Entity side: verify HMAC_μ, decrypt E′_μ, parse and install the
+    # package from its actual wire bytes.
+    payload = open_envelope(mu, envelope, network.clock.now)
+    plaintext = AuthenticatedCipher(mu).decrypt(payload)
+    from repro.core.entities import AssignPackage
+    received = AssignPackage.from_bytes(plaintext, patient.params)
+    entity.receive_assign(received)
+
+    # The new entity's leaf must enter the server-side broadcast cover.
+    push_group_state(patient, server, network)
+
+    return AssignResult(
+        entity_name=entity.name,
+        package_bytes=package.size_bytes(patient.params),
+        stats=ProtocolStats.capture("privilege-assign", network, mark,
+                                    started_at))
+
+
+def revoke_privilege(patient: Patient, entity_name: str,
+                     server: StorageServer,
+                     network: Network) -> RevokeResult:
+    """Run REVOKE: rotate d and install BE_U′(d′) at the S-server."""
+    started_at = network.clock.now
+    mark = network.mark()
+
+    broadcast = patient.privileges.revoke(entity_name)
+    d_new = patient.privileges.current_d
+
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(server.identity_key.public, pseudonym)
+    plaintext = pack_fields(d_new, _serialize_broadcast(broadcast))
+    body = AuthenticatedCipher(nu).encrypt(plaintext, patient.rng)
+    envelope = seal(nu, "revoke", body, network.clock.now)
+    network.transmit(patient.address, server.address,
+                     envelope.size_bytes(), label="revoke")
+
+    collection_id = patient.collection_ids[server.address]
+    server.handle_revoke(pseudonym.public, collection_id, envelope,
+                         network.clock.now)
+
+    return RevokeResult(
+        revoked_entity=entity_name,
+        broadcast_bytes=broadcast.size_bytes(),
+        stats=ProtocolStats.capture("privilege-revoke", network, mark,
+                                    started_at))

@@ -1,0 +1,87 @@
+"""Private PHI storage — paper §IV.B.
+
+    patient → S-server :  TP_p, SI, Λ, t1, HMAC_ν(TP_p ‖ SI ‖ Λ ‖ t1)
+
+One message.  The patient (home PC) builds the secure index SI per Fig. 2,
+encrypts the file collection Λ = E′_s(F), derives ν non-interactively from
+a freshly self-generated pseudonym, and uploads.  The initial multi-user
+material (d, BE_U(d)) rides along, as §IV.C notes ("the interactions …
+take the same secure procedures").
+
+The envelope's HMAC binds TP_p and SHA-256 digests of SI and Λ, and the
+server recomputes the digests over what it received — any in-flight
+modification is detected (data-integrity requirement, §III.C).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.pseudonym import TemporaryKeyPair
+from repro.net.sim import Network
+from repro.core.entities import Patient
+from repro.core.protocols.base import ProtocolStats
+from repro.core.protocols.messages import pack_fields, seal
+from repro.core.sserver import StorageServer
+from repro.exceptions import IntegrityError
+
+
+@dataclass(frozen=True)
+class StorageResult:
+    collection_id: bytes
+    pseudonym: TemporaryKeyPair
+    index_bytes: int
+    files_bytes: int
+    stats: ProtocolStats
+
+
+def files_digest(files: dict[bytes, bytes]) -> bytes:
+    """Order-independent digest of the encrypted collection Λ."""
+    hasher = hashlib.sha256(b"encrypted-collection:")
+    for fid in sorted(files):
+        hasher.update(fid)
+        hasher.update(hashlib.sha256(files[fid]).digest())
+    return hasher.digest()
+
+
+def private_phi_storage(patient: Patient, server: StorageServer,
+                        network: Network) -> StorageResult:
+    """Run the one-message upload; returns the new collection handle."""
+    started_at = network.clock.now
+    mark = network.mark()
+
+    pseudonym = patient.fresh_pseudonym()
+    index, files = patient.build_upload()
+    group_d = patient.privileges.current_d
+    broadcast = patient.privileges.broadcast_d()
+    nu = patient.session_key_with(server.identity_key.public, pseudonym)
+
+    payload = pack_fields(pseudonym.public.to_bytes(), index.digest(),
+                          files_digest(files))
+    envelope = seal(nu, "phi-store", payload, network.clock.now)
+
+    files_bytes = sum(len(ct) for ct in files.values())
+    wire_bytes = (envelope.size_bytes() + index.size_bytes() + files_bytes
+                  + broadcast.size_bytes() + len(group_d))
+    network.transmit(patient.address, server.address, wire_bytes,
+                     label="phi-storage/upload")
+
+    # Server-side: verify HMAC_ν and the SI/Λ digests before accepting.
+    received_payload = pack_fields(pseudonym.public.to_bytes(),
+                                   index.digest(), files_digest(files))
+    if received_payload != envelope.payload:
+        raise IntegrityError("SI/Λ digest mismatch on upload")
+    collection_id = server.handle_store(
+        pseudonym.public, envelope, index, files, group_d, broadcast,
+        network.clock.now)
+
+    patient.collection_ids[server.address] = collection_id
+    patient.upload_pseudonyms[server.address] = pseudonym
+    return StorageResult(
+        collection_id=collection_id,
+        pseudonym=pseudonym,
+        index_bytes=index.size_bytes(),
+        files_bytes=files_bytes,
+        stats=ProtocolStats.capture("private-phi-storage", network, mark,
+                                    started_at))

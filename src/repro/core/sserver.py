@@ -1,0 +1,284 @@
+"""The S-server: honest-but-curious storage at each hospital (§III.A).
+
+*"S-server is provided by each hospital/clinic to store the patient's PHI.
+It can be considered as a public server and is not trusted by patients."*
+
+The server stores, per pseudonymous collection:
+
+* the secure index SI = (A, T) and the encrypted file collection Λ,
+* the current multi-user secret d and the broadcast BE_U(d),
+
+and, for monitored patients, the IBE-encrypted MHI windows with their
+PEKS tags.  **At no point does it hold a decryption key for any of it.**
+
+Every handler takes / returns :class:`~repro.core.protocols.messages.Envelope`
+objects whose HMAC keys are derived non-interactively (SOK) from the
+pseudonym presented in the message — the server needs only its own private
+key Γ_S.  Handlers verify integrity and freshness before acting.
+
+The server also keeps an ``observations`` log of everything an
+honest-but-curious adversary in its position would see (pseudonyms,
+collection ids, trapdoor addresses, timing); the traffic-analysis
+experiments mine this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.broadcast import BroadcastCiphertext
+from repro.crypto.ec import Point
+from repro.crypto.ibe import IbeCiphertext, IdentityKeyPair
+from repro.crypto.hashes import h1_identity
+from repro.crypto.modes import AuthenticatedCipher
+from repro.crypto.nike import shared_key_from_points
+from repro.crypto.params import DomainParams
+from repro.crypto.peks import MultiKeywordPeks, MultiKeywordTag, PeksTrapdoor
+from repro.crypto.rng import HmacDrbg
+from repro.sse.index import SecureIndex, Trapdoor
+from repro.sse.multiuser import WrappedTrapdoor, unwrap_trapdoor
+from repro.core.protocols.messages import (Envelope, ReplayGuard,
+                                           open_envelope, pack_fields, seal,
+                                           unpack_fields)
+from repro.exceptions import ParameterError, StorageError
+
+
+@dataclass
+class StoredCollection:
+    """One pseudonymous PHI collection as the server sees it."""
+
+    collection_id: bytes
+    index: SecureIndex
+    files: dict[bytes, bytes]            # fid -> E′_s ciphertext
+    group_secret_d: bytes                # current d (server-side copy)
+    broadcast_d: BroadcastCiphertext     # BE_U(d) for privileged entities
+
+    def storage_bytes(self) -> int:
+        return (self.index.size_bytes()
+                + sum(len(ct) for ct in self.files.values())
+                + len(self.group_secret_d) + self.broadcast_d.size_bytes())
+
+
+@dataclass
+class StoredMhi:
+    """One IBE-encrypted MHI window plus its searchable PEKS tag."""
+
+    role_identity: str
+    ciphertext: IbeCiphertext
+    tag: MultiKeywordTag
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a curious S-server operator records about one request."""
+
+    kind: str
+    pseudonym: bytes
+    collection_id: bytes
+    detail: bytes
+    timestamp: float
+
+
+class StorageServer:
+    """An HCPP S-server instance."""
+
+    def __init__(self, name: str, params: DomainParams,
+                 identity_key: IdentityKeyPair, rng: HmacDrbg) -> None:
+        self.name = name
+        self.address = "sserver://" + name
+        self.params = params
+        self.identity_key = identity_key         # (PK_S, Γ_S)
+        self._rng = rng
+        self._collections: dict[bytes, StoredCollection] = {}
+        self._mhi: list[StoredMhi] = []
+        self._guard = ReplayGuard()
+        self.observations: list[Observation] = []
+        self.deleted_abnormal = 0  # DoS countermeasure counter (§VI.D)
+
+    # -- key derivation -----------------------------------------------------
+    def session_key(self, client_public: Point) -> bytes:
+        """ν (or ρ) = KDF(ê(Γ_S, client_public)) — SOK, no messages."""
+        return shared_key_from_points(self.identity_key.private, client_public)
+
+    def _observe(self, kind: str, pseudonym: bytes, collection_id: bytes,
+                 detail: bytes, now: float) -> None:
+        self.observations.append(Observation(
+            kind=kind, pseudonym=pseudonym, collection_id=collection_id,
+            detail=detail, timestamp=now))
+
+    # -- private PHI storage (§IV.B) -------------------------------------
+    def handle_store(self, pseudonym: Point, envelope: Envelope,
+                     index: SecureIndex, files: dict[bytes, bytes],
+                     group_secret_d: bytes,
+                     broadcast_d: BroadcastCiphertext, now: float) -> bytes:
+        """Verify and accept an upload; returns the new collection id.
+
+        The bulky SI/Λ objects travel beside the envelope (whose payload
+        carries their digest-sized summary); the envelope's HMAC_ν is the
+        integrity check the paper specifies.
+        """
+        key = self.session_key(pseudonym)
+        open_envelope(key, envelope, now, self._guard)
+        collection_id = self._rng.random_bytes(16)
+        self._collections[collection_id] = StoredCollection(
+            collection_id=collection_id, index=index, files=dict(files),
+            group_secret_d=group_secret_d, broadcast_d=broadcast_d)
+        self._observe("store", pseudonym.to_bytes(), collection_id,
+                      b"files=%d" % len(files), now)
+        return collection_id
+
+    def _collection(self, collection_id: bytes) -> StoredCollection:
+        collection = self._collections.get(collection_id)
+        if collection is None:
+            raise StorageError("unknown collection id")
+        return collection
+
+    # -- common-case retrieval (§IV.D) -----------------------------------------
+    def handle_search(self, pseudonym: Point, collection_id: bytes,
+                      envelope: Envelope, now: float) -> Envelope:
+        """Steps 1→2: verify HMAC_ν, run SEARCH, return Λ(kw) under HMAC_ν.
+
+        The envelope payload is one or more serialized trapdoors (the
+        paper: "multiple keywords can be searched in step 1").
+        """
+        key = self.session_key(pseudonym)
+        return self._search_with_key(key, pseudonym.to_bytes(),
+                                     collection_id, envelope, now)
+
+    def handle_search_session(self, session_key: bytes,
+                              collection_id: bytes, envelope: Envelope,
+                              now: float) -> Envelope:
+        """The cross-domain variant (§IV.D note): identical flow, but the
+        shared key was established through the HIBC handshake instead of
+        the same-domain SOK pairing."""
+        return self._search_with_key(session_key, b"hibc-session",
+                                     collection_id, envelope, now)
+
+    def _search_with_key(self, key: bytes, observed_client: bytes,
+                         collection_id: bytes, envelope: Envelope,
+                         now: float) -> Envelope:
+        payload = open_envelope(key, envelope, now, self._guard)
+        collection = self._collection(collection_id)
+        results: list[bytes] = []
+        for raw in unpack_fields(payload):
+            trapdoor = Trapdoor.from_bytes(raw)
+            self._observe("search", observed_client, collection_id,
+                          trapdoor.address.to_bytes(16, "big"), now)
+            for fid in collection.index.search(trapdoor):
+                ciphertext = collection.files.get(fid)
+                if ciphertext is None:
+                    raise StorageError("index references a missing file")
+                results.append(fid + ciphertext)
+        return seal(key, "phi-results", pack_fields(*results), now)
+
+    # -- family / P-device retrieval (§IV.E.1) ---------------------------------
+    def handle_get_broadcast(self, pseudonym: Point, collection_id: bytes,
+                             envelope: Envelope, now: float) -> Envelope:
+        """Steps 1→2 of the family protocol: return BE_U(d)."""
+        key = self.session_key(pseudonym)
+        open_envelope(key, envelope, now, self._guard)
+        collection = self._collection(collection_id)
+        self._observe("get-broadcast", pseudonym.to_bytes(), collection_id,
+                      b"", now)
+        blob = _serialize_broadcast(collection.broadcast_d)
+        return seal(key, "broadcast-d", blob, now)
+
+    def handle_search_wrapped(self, pseudonym: Point, collection_id: bytes,
+                              envelope: Envelope, now: float) -> Envelope:
+        """Steps 3→4: unwrap TD_U = θ_d(TD), validate, SEARCH, return files.
+
+        Raises :class:`AccessDenied` for wraps under a stale (revoked) d.
+        """
+        key = self.session_key(pseudonym)
+        payload = open_envelope(key, envelope, now, self._guard)
+        collection = self._collection(collection_id)
+        results: list[bytes] = []
+        for raw in unpack_fields(payload):
+            trapdoor = unwrap_trapdoor(collection.group_secret_d,
+                                       WrappedTrapdoor(raw))
+            self._observe("search-wrapped", pseudonym.to_bytes(),
+                          collection_id,
+                          trapdoor.address.to_bytes(16, "big"), now)
+            for fid in collection.index.search(trapdoor):
+                ciphertext = collection.files.get(fid)
+                if ciphertext is None:
+                    raise StorageError("index references a missing file")
+                results.append(fid + ciphertext)
+        return seal(key, "phi-results", pack_fields(*results), now)
+
+    # -- REVOKE (§IV.C) ----------------------------------------------------
+    def handle_revoke(self, pseudonym: Point, collection_id: bytes,
+                      envelope: Envelope, now: float) -> None:
+        """patient → S-server: E′_ν(d′ ‖ BE′_U′(d′)) — replace d and BE_U(d)."""
+        key = self.session_key(pseudonym)
+        payload = open_envelope(key, envelope, now, self._guard)
+        plaintext = AuthenticatedCipher(key).decrypt(payload)
+        d_new, broadcast_blob = unpack_fields(plaintext, expected=2)
+        collection = self._collection(collection_id)
+        collection.group_secret_d = d_new
+        collection.broadcast_d = _deserialize_broadcast(broadcast_blob)
+        self._observe("revoke", pseudonym.to_bytes(), collection_id, b"", now)
+
+    # -- MHI (§IV.E.2) -------------------------------------------------------
+    def handle_mhi_store(self, pseudonym: Point, envelope: Envelope,
+                         role_identity: str, ciphertext: IbeCiphertext,
+                         tag: MultiKeywordTag, now: float) -> None:
+        """P-device → S-server: TP_p, IBE_IDr(MHI) ‖ PEKS_σ(IDr, kw)."""
+        key = self.session_key(pseudonym)
+        open_envelope(key, envelope, now, self._guard)
+        self._mhi.append(StoredMhi(role_identity=role_identity,
+                                   ciphertext=ciphertext, tag=tag))
+        self._observe("mhi-store", pseudonym.to_bytes(), b"",
+                      role_identity.encode(), now)
+
+    def handle_mhi_search(self, role_identity: str, envelope: Envelope,
+                          trapdoor: PeksTrapdoor, pkg_public: Point,
+                          now: float) -> tuple[Envelope, list[IbeCiphertext]]:
+        """physician → S-server under HMAC_ρ; returns matching IBE_IDr(MHI).
+
+        ρ is derived from the *role* public key PK_r = H1(ID_r): the
+        physician pairs Γ_r with PK_S, the server pairs Γ_S with PK_r.
+        """
+        role_public = h1_identity(self.params, role_identity)
+        key = self.session_key(role_public)
+        open_envelope(key, envelope, now, self._guard)
+        peks = MultiKeywordPeks(self.params, pkg_public)
+        matches = [entry.ciphertext for entry in self._mhi
+                   if entry.role_identity == role_identity
+                   and peks.test(entry.tag, trapdoor)]
+        self._observe("mhi-search", role_public.to_bytes(), b"",
+                      role_identity.encode(), now)
+        reply = seal(key, "mhi-results",
+                     pack_fields(*[c.to_bytes() for c in matches]), now)
+        return reply, matches
+
+    # -- accounting -----------------------------------------------------------
+    def total_storage_bytes(self) -> int:
+        phi = sum(c.storage_bytes() for c in self._collections.values())
+        mhi = sum(m.ciphertext.size_bytes() + m.tag.size_bytes()
+                  for m in self._mhi)
+        return phi + mhi
+
+    def collection_count(self) -> int:
+        return len(self._collections)
+
+    def mhi_count(self) -> int:
+        return len(self._mhi)
+
+
+def _serialize_broadcast(broadcast: BroadcastCiphertext) -> bytes:
+    entries = []
+    for node_id, body in broadcast.cover:
+        entries.append(node_id.to_bytes(8, "big") + body)
+    revoked = b",".join(str(leaf).encode() for leaf in sorted(broadcast.revoked))
+    return pack_fields(revoked, *entries)
+
+
+def _deserialize_broadcast(blob: bytes) -> BroadcastCiphertext:
+    fields = unpack_fields(blob)
+    if not fields:
+        raise ParameterError("empty broadcast blob")
+    revoked_blob, entries = fields[0], fields[1:]
+    revoked = frozenset(int(x) for x in revoked_blob.decode().split(",") if x)
+    cover = tuple((int.from_bytes(e[:8], "big"), e[8:]) for e in entries)
+    return BroadcastCiphertext(cover=cover, revoked=revoked)

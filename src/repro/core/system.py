@@ -1,0 +1,133 @@
+"""One-call HCPP deployment builder (the paper's Fig. 1, executable).
+
+:func:`build_system` assembles the whole architecture:
+
+* a federal A-server (HIBC root) with one or more state A-servers,
+* per state: hospitals, each with an S-server and enrolled physicians,
+* a patient with family and P-device, wired to the topology of Fig. 1
+  (patient LAN internals wired; patient↔S-server wireless;
+  hospital/A-server over the Internet; physician↔patient-LAN physical).
+
+Everything is seeded from a single DRBG, so whole-system experiments are
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.params import DomainParams, test_params
+from repro.crypto.rng import HmacDrbg
+from repro.net.link import LinkClass
+from repro.net.sim import Network
+from repro.core.aserver import FederalAServer, StateAServer
+from repro.core.entities import Family, Patient, PDevice, Physician
+from repro.core.sserver import StorageServer
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class Hospital:
+    """One hospital: its S-server plus enrolled physicians."""
+
+    name: str
+    sserver: StorageServer
+    physicians: dict[str, Physician] = field(default_factory=dict)
+
+
+@dataclass
+class HcppSystem:
+    """A fully wired HCPP deployment."""
+
+    params: DomainParams
+    rng: HmacDrbg
+    network: Network
+    federal: FederalAServer
+    state: StateAServer
+    hospitals: dict[str, Hospital]
+    patient: Patient
+    family: Family
+    pdevice: PDevice
+
+    @property
+    def sserver(self) -> StorageServer:
+        """The first hospital's S-server (the common single-site case)."""
+        return next(iter(self.hospitals.values())).sserver
+
+    def physician(self, physician_id: str) -> Physician:
+        for hospital in self.hospitals.values():
+            if physician_id in hospital.physicians:
+                return hospital.physicians[physician_id]
+        raise ParameterError("unknown physician %r" % physician_id)
+
+    def any_physician(self) -> Physician:
+        hospital = next(iter(self.hospitals.values()))
+        return next(iter(hospital.physicians.values()))
+
+
+def build_system(seed: bytes = b"hcpp-system",
+                 params: DomainParams | None = None,
+                 n_hospitals: int = 1,
+                 physicians_per_hospital: int = 2,
+                 state_name: str = "TN") -> HcppSystem:
+    """Assemble and wire a complete HCPP deployment."""
+    if n_hospitals < 1 or physicians_per_hospital < 1:
+        raise ParameterError("need at least one hospital and one physician")
+    params = params or test_params()
+    rng = HmacDrbg(seed)
+    network = Network(rng.fork("network"))
+
+    federal = FederalAServer(params, rng.fork("federal"))
+    state = federal.create_state_server(state_name)
+
+    # Patient-side entities.
+    temp_pair = state.issue_temporary_pool(1)[0]
+    patient = Patient("alice", params, state.public_key, temp_pair,
+                      rng.fork("patient"))
+    family = Family("bob")
+    pdevice = PDevice("alice-wearable", params, rng.fork("pdevice"))
+
+    # Topology: register nodes first, then links per Fig. 1.
+    for node in (patient.address, family.address, pdevice.address,
+                 state.address):
+        network.add_node(node)
+    network.connect(patient.address, family.address, LinkClass.WIRED_LAN)
+    network.connect(patient.address, pdevice.address, LinkClass.WIRED_LAN)
+    network.connect(pdevice.address, state.address, LinkClass.WIRELESS)
+
+    hospitals: dict[str, Hospital] = {}
+    for h in range(n_hospitals):
+        hospital_name = "%s-hospital-%d" % (state_name.lower(), h)
+        federal.create_hospital_node(state_name, hospital_name)
+        sserver = StorageServer(
+            hospital_name, params,
+            state.enroll("sserver:" + hospital_name),
+            rng.fork("sserver-%d" % h))
+        hospital = Hospital(name=hospital_name, sserver=sserver)
+        network.add_node(sserver.address)
+        network.connect(patient.address, sserver.address, LinkClass.WIRELESS)
+        network.connect(family.address, sserver.address, LinkClass.WIRELESS)
+        network.connect(pdevice.address, sserver.address, LinkClass.WIRELESS)
+        network.connect(sserver.address, state.address, LinkClass.INTERNET)
+        for i in range(physicians_per_hospital):
+            physician_id = "dr-%s-%d-%d" % (state_name.lower(), h, i)
+            physician = Physician(
+                physician_id, hospital_name,
+                state.enroll(physician_id), params,
+                rng.fork(physician_id))
+            hospital.physicians[physician_id] = physician
+            network.add_node(physician.address)
+            network.connect(physician.address, sserver.address,
+                            LinkClass.WIRED_LAN)
+            network.connect(physician.address, state.address,
+                            LinkClass.INTERNET)
+            # Physical contact with the patient LAN (Fig. 1 double line).
+            for lan_node in (patient.address, family.address,
+                             pdevice.address):
+                network.connect(physician.address, lan_node,
+                                LinkClass.PHYSICAL)
+        hospitals[hospital_name] = hospital
+
+    return HcppSystem(params=params, rng=rng, network=network,
+                      federal=federal, state=state, hospitals=hospitals,
+                      patient=patient, family=family, pdevice=pdevice)

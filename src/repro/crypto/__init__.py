@@ -1,0 +1,20 @@
+"""Cryptographic substrate of the HCPP reproduction.
+
+Everything HCPP's protocols need, implemented from scratch:
+
+* pairing groups (:mod:`~repro.crypto.fields`, :mod:`~repro.crypto.ec`,
+  :mod:`~repro.crypto.pairing`, :mod:`~repro.crypto.params`)
+* identity-based primitives (:mod:`~repro.crypto.ibe`,
+  :mod:`~repro.crypto.ibs`, :mod:`~repro.crypto.hibc`,
+  :mod:`~repro.crypto.nike`, :mod:`~repro.crypto.pseudonym`)
+* searchable-encryption building blocks (:mod:`~repro.crypto.prf`,
+  :mod:`~repro.crypto.prp`, :mod:`~repro.crypto.peks`)
+* symmetric layer (:mod:`~repro.crypto.aes`, :mod:`~repro.crypto.modes`,
+  :mod:`~repro.crypto.hmac_impl`, :mod:`~repro.crypto.rng`)
+* group management (:mod:`~repro.crypto.broadcast`)
+"""
+
+from repro.crypto.params import DomainParams, default_params, test_params
+from repro.crypto.rng import HmacDrbg
+
+__all__ = ["DomainParams", "default_params", "test_params", "HmacDrbg"]

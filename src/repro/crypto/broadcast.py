@@ -1,0 +1,159 @@
+"""Broadcast encryption — the paper's BE for privilege assignment (§IV.C).
+
+HCPP stores ``BE_U(d)`` at the S-server, where U = {family, P-device} is
+the set of search-privileged entities and d keys the trapdoor-wrapping PRP
+θ.  REVOKE replaces it with ``BE_U′(d′)`` for the reduced set U′, cutting a
+lost P-device off from future searches without re-encrypting any PHI.
+
+We implement the **complete-subtree method** of Naor–Naor–Lotspiech
+(CRYPTO'01), the classic stateless-receiver scheme:
+
+* Receivers are leaves of a complete binary tree; every tree node owns a
+  symmetric key; a receiver's secret material X (the paper's X in the
+  ASSIGN message) is the key chain on its root-to-leaf path.
+* To broadcast to the non-revoked set, the sender computes the *subtree
+  cover* — the minimal set of maximal subtrees containing no revoked leaf —
+  and encrypts the session payload once per cover node.
+* Ciphertext size is O(t·log(n/t)) for t revocations; a receiver decrypts
+  with whichever of its log n keys appears in the cover.
+
+The tree keys derive from a broadcast master secret via a PRF, so the
+sender's state is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.modes import AuthenticatedCipher
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import DecryptionError, ParameterError, RevokedError
+
+__all__ = ["BroadcastEncryption", "ReceiverSecret", "BroadcastCiphertext"]
+
+
+@dataclass(frozen=True)
+class ReceiverSecret:
+    """One receiver's private material: its leaf index and path-key chain.
+
+    ``path_keys[depth]`` is the key of the ancestor at that depth
+    (depth 0 = root, last = the leaf itself).
+    """
+
+    leaf: int
+    path_keys: tuple[bytes, ...]
+
+    def size_bytes(self) -> int:
+        return 8 + sum(len(k) for k in self.path_keys)
+
+
+@dataclass(frozen=True)
+class BroadcastCiphertext:
+    """A cover of subtree-node ids, each with an encryption of the payload."""
+
+    cover: tuple[tuple[int, bytes], ...]  # (node_id, ciphertext) pairs
+    revoked: frozenset[int]
+
+    def size_bytes(self) -> int:
+        return sum(8 + len(ct) for _, ct in self.cover)
+
+
+class BroadcastEncryption:
+    """NNL complete-subtree broadcast encryption over ``capacity`` leaves.
+
+    ``capacity`` is rounded up to a power of two.  Node ids follow the
+    implicit-heap convention: root = 1, children of ``v`` are ``2v`` and
+    ``2v + 1``; leaf ``i`` is node ``capacity + i``.
+    """
+
+    def __init__(self, master_secret: bytes, capacity: int) -> None:
+        if capacity < 1:
+            raise ParameterError("capacity must be >= 1")
+        size = 1
+        while size < capacity:
+            size *= 2
+        self.capacity = size
+        self._master = master_secret
+
+    # -- key derivation ------------------------------------------------------
+    def _node_key(self, node_id: int) -> bytes:
+        return hmac_sha256(self._master,
+                           b"nnl-node:" + node_id.to_bytes(8, "big"))
+
+    def receiver_secret(self, leaf: int) -> ReceiverSecret:
+        """Extract the path-key chain for leaf ``leaf`` (sender-side)."""
+        if not 0 <= leaf < self.capacity:
+            raise ParameterError("leaf index out of range")
+        node = self.capacity + leaf
+        chain = []
+        while node >= 1:
+            chain.append(self._node_key(node))
+            node //= 2
+        chain.reverse()  # root first
+        return ReceiverSecret(leaf=leaf, path_keys=tuple(chain))
+
+    # -- cover computation ----------------------------------------------------
+    def _cover(self, revoked: frozenset[int]) -> list[int]:
+        """Minimal subtree cover of the non-revoked leaves (Steiner-tree
+        complement).  Returns node ids; empty when everyone is revoked."""
+        for leaf in revoked:
+            if not 0 <= leaf < self.capacity:
+                raise ParameterError("revoked leaf out of range")
+        if not revoked:
+            return [1]
+        # Mark every ancestor of a revoked leaf ("dirty"), then for each
+        # dirty node emit any clean child as a cover root.
+        dirty: set[int] = set()
+        for leaf in revoked:
+            node = self.capacity + leaf
+            while node >= 1:
+                dirty.add(node)
+                node //= 2
+        cover: list[int] = []
+        for node in sorted(dirty):
+            if node >= self.capacity:
+                continue  # leaves have no children
+            for child in (2 * node, 2 * node + 1):
+                if child not in dirty:
+                    cover.append(child)
+        return cover
+
+    # -- encryption -----------------------------------------------------------
+    def encrypt(self, payload: bytes, revoked: frozenset[int] | set[int],
+                rng: HmacDrbg) -> BroadcastCiphertext:
+        """BE_U(payload) for U = all leaves minus ``revoked``."""
+        revoked = frozenset(revoked)
+        cover = self._cover(revoked)
+        entries = []
+        for node_id in cover:
+            cipher = AuthenticatedCipher(self._node_key(node_id))
+            entries.append((node_id, cipher.encrypt(payload, rng)))
+        return BroadcastCiphertext(cover=tuple(entries), revoked=revoked)
+
+    @staticmethod
+    def decrypt(ciphertext: BroadcastCiphertext,
+                secret: ReceiverSecret, capacity: int) -> bytes:
+        """Receiver-side decryption with the path-key chain.
+
+        Raises :class:`RevokedError` when the receiver's leaf is outside
+        the cover (i.e. it has been revoked).
+        """
+        # Map each ancestor node id of this leaf to its chain key.
+        node = capacity + secret.leaf
+        ancestors: dict[int, bytes] = {}
+        for depth in range(len(secret.path_keys) - 1, -1, -1):
+            ancestors[node] = secret.path_keys[depth]
+            node //= 2
+        for node_id, body in ciphertext.cover:
+            key = ancestors.get(node_id)
+            if key is None:
+                continue
+            try:
+                return AuthenticatedCipher(key).decrypt(body)
+            except DecryptionError as exc:
+                raise DecryptionError(
+                    "cover entry failed to decrypt (corrupted broadcast)"
+                ) from exc
+        raise RevokedError("receiver leaf %d is revoked (not in cover)"
+                           % secret.leaf)

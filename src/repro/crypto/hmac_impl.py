@@ -1,0 +1,49 @@
+"""HMAC (RFC 2104) implemented from scratch over :mod:`hashlib` SHA-256.
+
+HCPP attaches ``HMAC_ν(message ‖ timestamp)`` to every protocol message for
+integrity (paper §IV.B–E).  We implement the inner/outer padding
+construction directly rather than using :mod:`hmac` so the whole MAC path
+is part of the reproduction, and expose a constant-time comparison to avoid
+timing side channels in verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.exceptions import IntegrityError
+
+_BLOCK_SIZE = 64  # SHA-256 block size in bytes
+_IPAD = bytes(0x36 for _ in range(_BLOCK_SIZE))
+_OPAD = bytes(0x5C for _ in range(_BLOCK_SIZE))
+
+HMAC_OUTPUT_SIZE = 32
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256(key, message) per RFC 2104."""
+    if len(key) > _BLOCK_SIZE:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+    inner_key = bytes(k ^ i for k, i in zip(key, _IPAD))
+    outer_key = bytes(k ^ o for k, o in zip(key, _OPAD))
+    inner = hashlib.sha256(inner_key + message).digest()
+    return hashlib.sha256(outer_key + inner).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit on mismatch."""
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0
+
+
+def verify_hmac(key: bytes, message: bytes, tag: bytes) -> None:
+    """Raise :class:`IntegrityError` unless ``tag`` authenticates ``message``."""
+    expected = hmac_sha256(key, message)
+    if not constant_time_equal(expected, tag):
+        raise IntegrityError("HMAC verification failed: message was tampered "
+                             "with or the key is wrong")

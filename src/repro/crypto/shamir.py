@@ -1,0 +1,160 @@
+"""Shamir secret sharing + threshold IBC key extraction.
+
+Paper §VI.D: *"The attack to A-servers can be addressed by splitting the
+role of an A-server to several local offices."*  The natural cryptographic
+realization is to **share the IBC master secret s0** across the offices
+with Shamir's scheme, so that
+
+* no single office (or any coalition below the threshold) can extract
+  private keys or impersonate the A-server — a *stronger* property than
+  the paper's plain replication, since it also removes the single point of
+  *compromise*, and
+* any t offices jointly extract keys without ever reconstructing s0:
+  office i returns the partial key s_i·H1(ID), and the requester combines
+  them with Lagrange coefficients (evaluated at 0) in the exponent:
+
+      Γ = Σ_i λ_i · (s_i·H1(ID)) = (Σ_i λ_i s_i) · H1(ID) = s0·H1(ID).
+
+:func:`split` / :func:`reconstruct` are the classic polynomial scheme over
+Z_q; :class:`ThresholdPkg` wires it to G1 for distributed key extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import mathutil
+from repro.crypto.ec import Point
+from repro.crypto.hashes import h1_identity
+from repro.crypto.ibe import IdentityKeyPair
+from repro.crypto.params import DomainParams
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import ParameterError
+
+__all__ = ["Share", "split", "reconstruct", "lagrange_at_zero",
+           "ThresholdPkg", "PartialKey"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation (x, f(x)) of the secret polynomial."""
+
+    x: int
+    y: int
+
+
+def split(secret: int, threshold: int, n_shares: int, modulus: int,
+          rng: HmacDrbg) -> list[Share]:
+    """Split ``secret`` into ``n_shares`` with reconstruction threshold
+    ``threshold`` over Z_modulus (a prime)."""
+    if not 1 <= threshold <= n_shares:
+        raise ParameterError("need 1 <= threshold <= n_shares")
+    if n_shares >= modulus:
+        raise ParameterError("too many shares for the field")
+    secret %= modulus
+    coefficients = [secret] + [rng.randrange(modulus)
+                               for _ in range(threshold - 1)]
+    shares = []
+    for x in range(1, n_shares + 1):
+        y = 0
+        for coefficient in reversed(coefficients):  # Horner
+            y = (y * x + coefficient) % modulus
+        shares.append(Share(x=x, y=y))
+    return shares
+
+
+def lagrange_at_zero(xs: list[int], modulus: int) -> list[int]:
+    """Lagrange coefficients λ_i for interpolating f(0) from points x_i."""
+    if len(set(xs)) != len(xs):
+        raise ParameterError("duplicate share indices")
+    coefficients = []
+    for i, xi in enumerate(xs):
+        numerator, denominator = 1, 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            numerator = numerator * (-xj) % modulus
+            denominator = denominator * (xi - xj) % modulus
+        coefficients.append(
+            numerator * mathutil.inv_mod(denominator, modulus) % modulus)
+    return coefficients
+
+
+def reconstruct(shares: list[Share], modulus: int) -> int:
+    """Recover the secret from >= threshold shares."""
+    if not shares:
+        raise ParameterError("no shares")
+    coefficients = lagrange_at_zero([s.x for s in shares], modulus)
+    return sum(c * s.y for c, s in zip(coefficients, shares)) % modulus
+
+
+@dataclass(frozen=True)
+class PartialKey:
+    """Office i's contribution to a key extraction: (i, s_i·H1(ID))."""
+
+    share_x: int
+    point: Point
+
+
+class ThresholdPkg:
+    """A t-of-n threshold PKG: the split A-server of §VI.D.
+
+    Build with :meth:`setup` (dealer-based sharing of a fresh s0); each
+    *office* is addressed by its share index.  ``partial_extract`` runs at
+    one office; ``combine`` runs at the requester (or a gateway) and never
+    sees s0 or any share.
+    """
+
+    def __init__(self, params: DomainParams, shares: list[Share],
+                 public_key: Point, threshold: int) -> None:
+        self.params = params
+        self._shares = {share.x: share for share in shares}
+        self.public_key = public_key  # P_pub = s0·P, same as a plain PKG
+        self.threshold = threshold
+
+    @classmethod
+    def setup(cls, params: DomainParams, threshold: int, n_offices: int,
+              rng: HmacDrbg) -> "ThresholdPkg":
+        secret = params.random_scalar(rng)
+        shares = split(secret, threshold, n_offices, params.r, rng)
+        public_key = params.generator * secret
+        # The dealer's copy of the secret is dropped here; only shares
+        # and the public key survive into the object.
+        return cls(params=params, shares=shares, public_key=public_key,
+                   threshold=threshold)
+
+    @property
+    def offices(self) -> list[int]:
+        return sorted(self._shares)
+
+    def partial_extract(self, office: int, identity: str) -> PartialKey:
+        """One office's partial key s_i·H1(ID) (checks it exists)."""
+        share = self._shares.get(office)
+        if share is None:
+            raise ParameterError("unknown office %d" % office)
+        return PartialKey(share_x=share.x,
+                          point=h1_identity(self.params, identity) * share.y)
+
+    def combine(self, identity: str,
+                partials: list[PartialKey]) -> IdentityKeyPair:
+        """Lagrange-combine >= t partial keys into Γ = s0·H1(ID)."""
+        if len(partials) < self.threshold:
+            raise ParameterError(
+                "need %d partial keys, got %d" % (self.threshold,
+                                                  len(partials)))
+        xs = [p.share_x for p in partials]
+        coefficients = lagrange_at_zero(xs, self.params.r)
+        private = None
+        for coefficient, partial in zip(coefficients, partials):
+            term = partial.point * coefficient
+            private = term if private is None else private + term
+        assert private is not None
+        public = h1_identity(self.params, identity)
+        return IdentityKeyPair(identity=identity, public=public,
+                               private=private)
+
+    def verify_extraction(self, key: IdentityKeyPair) -> bool:
+        """Publicly check Γ = s0·H1(ID) via ê(Γ, P) == ê(PK, P_pub)."""
+        return self.params.pairing_ratio_check(
+            (key.private, self.params.generator),
+            (key.public, self.public_key))

@@ -1,0 +1,10 @@
+"""EHR data layer: PHI records, keyword index/dictionary, MHI streams."""
+
+from repro.ehr.dictionary import KeywordDictionary
+from repro.ehr.keyindex import KeywordIndex
+from repro.ehr.phi import PhiCollection, generate_workload
+from repro.ehr.records import Category, PhiFile, make_phi_file, new_fid
+
+__all__ = ["KeywordDictionary", "KeywordIndex", "PhiCollection",
+           "generate_workload", "Category", "PhiFile", "make_phi_file",
+           "new_fid"]

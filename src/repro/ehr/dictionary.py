@@ -1,0 +1,131 @@
+"""The keyword dictionary — HCPP's "agreed-upon syntax" (§IV.E).
+
+The paper requires that *"the choice of keywords (also in the PHI
+retrieval) must obey an agreed-upon syntax so that the physician will be
+able to specify proper keywords for searching"*, and that the P-device
+check entered keywords against a stored dictionary before searching.
+
+:class:`KeywordDictionary` is that artifact: a canonicalizing, validating
+set of legal keywords.  Canonical form is lowercase, hyphen-separated
+tokens (``"Drug History" → "drug-history"``); date keywords follow
+``YYYY-MM-DD`` and date-range keywords ``YYYY-MM-DD..YYYY-MM-DD`` (used by
+the MHI path's "period of time" keywords).
+
+:data:`STANDARD_MEDICAL_KEYWORDS` seeds a realistic default vocabulary so
+examples and benchmarks share one terminology.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ParameterError, SearchError
+
+_TOKEN_RE = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_RANGE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}\.\.\d{4}-\d{2}-\d{2}$")
+
+STANDARD_MEDICAL_KEYWORDS: tuple[str, ...] = (
+    # categories
+    "allergies", "drug-history", "xray", "surgeries", "lab-results",
+    "diagnoses", "immunizations", "cardiology", "mental-health", "insurance",
+    # conditions
+    "hypertension", "diabetes", "asthma", "heart-attack", "heart-failure",
+    "arrhythmia", "stroke", "pneumonia", "fracture", "concussion",
+    "anaphylaxis", "sepsis", "appendicitis", "migraine", "epilepsy",
+    # medications
+    "penicillin", "aspirin", "warfarin", "insulin", "metformin",
+    "beta-blocker", "statin", "ace-inhibitor", "opioid", "antibiotic",
+    # vitals / MHI
+    "heart-rate", "blood-pressure", "spo2", "glucose", "temperature",
+    "ecg", "respiratory-rate",
+    # care context
+    "emergency", "icu", "outpatient", "pediatric", "oncology", "radiology",
+    "anesthesia", "transfusion", "dialysis", "pacemaker", "defibrillator",
+)
+
+
+def canonicalize(raw: str) -> str:
+    """Map free-form input to canonical keyword syntax.
+
+    Lowercases, collapses whitespace/underscores to hyphens, strips other
+    punctuation.  Raises :class:`ParameterError` when nothing survives.
+    """
+    lowered = raw.strip().lower()
+    if _DATE_RE.match(lowered) or _RANGE_RE.match(lowered):
+        return lowered
+    collapsed = re.sub(r"[\s_]+", "-", lowered)
+    cleaned = re.sub(r"[^a-z0-9-]", "", collapsed)
+    cleaned = re.sub(r"-{2,}", "-", cleaned).strip("-")
+    if not cleaned:
+        raise ParameterError("keyword %r canonicalizes to nothing" % raw)
+    return cleaned
+
+
+def is_valid_syntax(keyword: str) -> bool:
+    """True when ``keyword`` already obeys the agreed-upon syntax."""
+    return bool(_TOKEN_RE.match(keyword) or _DATE_RE.match(keyword)
+                or _RANGE_RE.match(keyword))
+
+
+class KeywordDictionary:
+    """The dictionary of all legal keywords (stored on the P-device).
+
+    Per the emergency protocol: *"If the keywords result in a match in the
+    dictionary, P-device proceeds to execute the PHI retrieval"* — i.e.
+    :meth:`validate` gates every emergency search.
+    """
+
+    def __init__(self, keywords: tuple[str, ...] = STANDARD_MEDICAL_KEYWORDS,
+                 allow_dates: bool = True) -> None:
+        self._words: set[str] = set()
+        self.allow_dates = allow_dates
+        for kw in keywords:
+            self.add(kw)
+
+    def add(self, keyword: str) -> str:
+        """Canonicalize and register a keyword; returns the canonical form."""
+        canonical = canonicalize(keyword)
+        if not is_valid_syntax(canonical):
+            raise ParameterError("keyword %r violates the agreed syntax"
+                                 % keyword)
+        self._words.add(canonical)
+        return canonical
+
+    def __contains__(self, keyword: str) -> bool:
+        try:
+            canonical = canonicalize(keyword)
+        except ParameterError:
+            return False
+        if canonical in self._words:
+            return True
+        return self.allow_dates and bool(_DATE_RE.match(canonical)
+                                         or _RANGE_RE.match(canonical))
+
+    def validate(self, keywords: list[str]) -> list[str]:
+        """Canonicalize a query; raise :class:`SearchError` on any miss.
+
+        This is the P-device's dictionary gate: an emergency physician may
+        only search terms the patient anticipated.
+        """
+        result = []
+        for kw in keywords:
+            if kw not in self:
+                raise SearchError("keyword %r is not in the dictionary" % kw)
+            result.append(canonicalize(kw))
+        return result
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def words(self) -> tuple[str, ...]:
+        """Sorted canonical vocabulary (for serialization / ASSIGN)."""
+        return tuple(sorted(self._words))
+
+    def to_bytes(self) -> bytes:
+        return "\x1f".join(self.words()).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, allow_dates: bool = True) -> "KeywordDictionary":
+        words = tuple(w for w in data.decode().split("\x1f") if w)
+        return cls(keywords=words, allow_dates=allow_dates)

@@ -1,0 +1,101 @@
+"""The keyword index KI — the patient's private reference (§IV.A).
+
+The paper: *"The patient creates a keyword index KI for SSE recording the
+association of all keywords and their resulting files, before encrypting
+the PHI files. The keyword index is for the patient's own reference to
+facilitate future retrievals"* — and §IV.D adds that KI also records *"the
+network address information of S-servers for each stored PHI file
+collection"*, which is what makes cross-hospital retrieval work.
+
+KI lives on the patient's PC / cell phone (and is shipped to family and
+P-device in ASSIGN); the S-server never sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ehr.records import PhiFile
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class KeywordIndex:
+    """keyword → fids, fid → keywords, and fid → S-server address."""
+
+    keyword_to_fids: dict[str, list[bytes]] = field(default_factory=dict)
+    fid_to_keywords: dict[bytes, tuple[str, ...]] = field(default_factory=dict)
+    fid_to_server: dict[bytes, str] = field(default_factory=dict)
+
+    # -- building -----------------------------------------------------------
+    def add_file(self, phi_file: PhiFile, server_address: str) -> None:
+        """Index one PHI file under all of its keywords."""
+        if phi_file.fid in self.fid_to_keywords:
+            raise ParameterError("fid already indexed (duplicate file)")
+        self.fid_to_keywords[phi_file.fid] = phi_file.keywords
+        self.fid_to_server[phi_file.fid] = server_address
+        for keyword in phi_file.keywords:
+            self.keyword_to_fids.setdefault(keyword, []).append(phi_file.fid)
+
+    def remove_file(self, fid: bytes) -> None:
+        """Drop a file from the index (before a re-upload)."""
+        keywords = self.fid_to_keywords.pop(fid, ())
+        self.fid_to_server.pop(fid, None)
+        for keyword in keywords:
+            fids = self.keyword_to_fids.get(keyword, [])
+            if fid in fids:
+                fids.remove(fid)
+            if not fids:
+                self.keyword_to_fids.pop(keyword, None)
+
+    # -- queries ---------------------------------------------------------
+    def fids_for(self, keyword: str) -> list[bytes]:
+        return list(self.keyword_to_fids.get(keyword, []))
+
+    def servers_for(self, keyword: str) -> dict[str, list[bytes]]:
+        """Group a keyword's fids by the S-server holding them.
+
+        This drives cross-hospital retrieval: one search message per
+        distinct server (§V.A availability).
+        """
+        grouped: dict[str, list[bytes]] = {}
+        for fid in self.fids_for(keyword):
+            grouped.setdefault(self.fid_to_server[fid], []).append(fid)
+        return grouped
+
+    def keywords(self) -> list[str]:
+        return sorted(self.keyword_to_fids)
+
+    def file_count(self) -> int:
+        return len(self.fid_to_keywords)
+
+    def pair_count(self) -> int:
+        """Total (keyword, fid) pairs — the SSE node count."""
+        return sum(len(fids) for fids in self.keyword_to_fids.values())
+
+    # -- serialization (for ASSIGN messages) ---------------------------------
+    def to_bytes(self) -> bytes:
+        rows = []
+        for fid in sorted(self.fid_to_keywords):
+            keywords = "\x1f".join(self.fid_to_keywords[fid])
+            server = self.fid_to_server.get(fid, "")
+            rows.append(fid.hex() + "\x1e" + keywords + "\x1e" + server)
+        return "\x1d".join(rows).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "KeywordIndex":
+        index = cls()
+        if not data:
+            return index
+        for row in data.decode().split("\x1d"):
+            fid_hex, keywords_blob, server = row.split("\x1e")
+            fid = bytes.fromhex(fid_hex)
+            keywords = tuple(k for k in keywords_blob.split("\x1f") if k)
+            index.fid_to_keywords[fid] = keywords
+            index.fid_to_server[fid] = server
+            for keyword in keywords:
+                index.keyword_to_fids.setdefault(keyword, []).append(fid)
+        return index
+
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())

@@ -1,0 +1,163 @@
+"""PHI collection management + synthetic workload generation.
+
+:class:`PhiCollection` groups a patient's :class:`~repro.ehr.records.PhiFile`
+objects, derives the keyword → fid map the SSE BuildIndex consumes, and
+keeps the :class:`~repro.ehr.keyindex.KeywordIndex` in sync.
+
+:func:`generate_workload` builds realistic synthetic PHI corpora (the
+paper's motivating categories, populated with plausible clinical notes)
+used by the examples and every benchmark's workload generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.dictionary import KeywordDictionary, canonicalize
+from repro.ehr.keyindex import KeywordIndex
+from repro.ehr.records import Category, PhiFile, make_phi_file
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class PhiCollection:
+    """A patient's plaintext file collection F plus its keyword index KI."""
+
+    files: dict[bytes, PhiFile] = field(default_factory=dict)
+    index: KeywordIndex = field(default_factory=KeywordIndex)
+
+    def add(self, phi_file: PhiFile, server_address: str) -> None:
+        if phi_file.fid in self.files:
+            raise ParameterError("duplicate fid in collection")
+        self.files[phi_file.fid] = phi_file
+        self.index.add_file(phi_file, server_address)
+
+    def remove(self, fid: bytes) -> None:
+        self.files.pop(fid, None)
+        self.index.remove_file(fid)
+
+    def keyword_map(self) -> dict[str, list[bytes]]:
+        """keyword → [fid] for SSE BuildIndex."""
+        return {kw: self.index.fids_for(kw) for kw in self.index.keywords()}
+
+    def plaintext_map(self) -> dict[bytes, bytes]:
+        """fid → serialized plaintext for E′ encryption."""
+        return {fid: f.to_bytes() for fid, f in self.files.items()}
+
+    def total_plaintext_bytes(self) -> int:
+        """α before padding: the paper's 'total size of the plaintext file
+        collection in bytes'."""
+        return sum(f.size_bytes() for f in self.files.values())
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic workload generation
+# ---------------------------------------------------------------------------
+
+_NOTE_TEMPLATES: dict[Category, list[tuple[str, list[str]]]] = {
+    Category.ALLERGIES: [
+        ("Severe allergy to {kw}; carries epinephrine auto-injector.",
+         ["penicillin", "aspirin", "antibiotic"]),
+        ("Mild seasonal rhinitis; no known drug allergies besides {kw}.",
+         ["penicillin", "opioid"]),
+    ],
+    Category.DRUG_HISTORY: [
+        ("Long-term {kw} therapy, last reviewed at annual checkup.",
+         ["warfarin", "statin", "metformin", "insulin", "beta-blocker"]),
+        ("Discontinued {kw} after adverse reaction; see allergy list.",
+         ["ace-inhibitor", "opioid", "aspirin"]),
+    ],
+    Category.XRAY: [
+        ("Chest radiograph: no acute findings. Follow-up for {kw}.",
+         ["pneumonia", "fracture"]),
+        ("Left wrist series after fall: hairline {kw} noted.",
+         ["fracture"]),
+    ],
+    Category.SURGERIES: [
+        ("Laparoscopic appendectomy for acute {kw}; uneventful recovery.",
+         ["appendicitis"]),
+        ("{kw} implanted; device interrogation scheduled quarterly.",
+         ["pacemaker", "defibrillator"]),
+    ],
+    Category.LAB_RESULTS: [
+        ("Fasting {kw} elevated; lifestyle counseling provided.",
+         ["glucose"]),
+        ("INR in range on current {kw} dose.",
+         ["warfarin"]),
+    ],
+    Category.DIAGNOSES: [
+        ("Stage 2 {kw}, managed with diet and medication.",
+         ["hypertension", "diabetes"]),
+        ("History of {kw}; on prophylactic therapy.",
+         ["migraine", "epilepsy", "asthma", "arrhythmia"]),
+    ],
+    Category.CARDIOLOGY: [
+        ("Prior {kw}; ejection fraction 45%, on beta-blocker.",
+         ["heart-attack", "heart-failure"]),
+        ("Holter monitor: intermittent {kw}, anticoagulation discussed.",
+         ["arrhythmia"]),
+    ],
+    Category.IMMUNIZATIONS: [
+        ("Routine immunization record updated; {kw} booster given.",
+         ["antibiotic"]),
+    ],
+    Category.MENTAL_HEALTH: [
+        ("Outpatient counseling notes; {kw} screening negative.",
+         ["outpatient"]),
+    ],
+    Category.INSURANCE: [
+        ("Coverage verification for {kw} procedures.",
+         ["dialysis", "transfusion", "radiology"]),
+    ],
+}
+
+_FIRST_NAMES = ["Alex", "Sam", "Jordan", "Taylor", "Morgan", "Casey",
+                "Riley", "Jamie", "Avery", "Quinn"]
+_LAST_NAMES = ["Chen", "Garcia", "Smith", "Johnson", "Patel", "Kim",
+               "Nguyen", "Brown", "Davis", "Lopez"]
+
+
+def generate_workload(rng: HmacDrbg, n_files: int,
+                      server_address: str = "sserver://hospital-0",
+                      dictionary: KeywordDictionary | None = None,
+                      patient_name: str | None = None) -> PhiCollection:
+    """Generate a synthetic PHI collection of ``n_files`` files.
+
+    Files are spread across categories with clinically plausible notes;
+    each carries its category keyword plus 1–3 condition keywords, all
+    canonical per the dictionary syntax.
+    """
+    if n_files < 1:
+        raise ParameterError("need at least one file")
+    dictionary = dictionary or KeywordDictionary()
+    if patient_name is None:
+        patient_name = "%s %s" % (rng.choice(_FIRST_NAMES),
+                                  rng.choice(_LAST_NAMES))
+    collection = PhiCollection()
+    categories = list(_NOTE_TEMPLATES)
+    for i in range(n_files):
+        category = categories[i % len(categories)]
+        template, candidate_kws = rng.choice(_NOTE_TEMPLATES[category])
+        primary = rng.choice(candidate_kws)
+        note = template.format(kw=primary.replace("-", " "))
+        keywords = {category.value, primary}
+        # 0–2 extra cross-cutting keywords for realistic overlap.
+        extras = rng.randint(0, 2)
+        vocabulary = dictionary.words()
+        for _ in range(extras):
+            keywords.add(rng.choice(vocabulary))
+        phi_file = make_phi_file(
+            rng=rng,
+            category=category,
+            keywords=sorted(canonicalize(k) for k in keywords),
+            medical_content=note,
+            patient_fields={"name": patient_name,
+                            "mrn": "MRN%06d" % rng.randint(0, 999999)},
+            created_at=float(i) * 86400.0,
+        )
+        collection.add(phi_file, server_address)
+    return collection

@@ -1,0 +1,139 @@
+"""Population-scale simulation: many patients, many hospitals.
+
+The paper argues HCPP is deployable at healthcare-system scale ("S-servers
+are distributed across the area", §VI.D; O(N) per-patient server storage,
+§V.B).  This module drives that claim: it builds a population of patients
+over a multi-hospital deployment, gives each a synthetic PHI workload and
+a visit schedule, and runs the storage/retrieval protocol mix — producing
+the aggregate numbers (per-server storage, message volume, retrieval
+latency distribution, pseudonym counts) the scalability experiment (E16,
+an extension beyond the paper's analysis) reports.
+
+All per-patient state is independent, so the simulation also doubles as a
+fixture for cross-patient unlinkability checks: the servers' observation
+logs can be mined to confirm no identity signal accumulates as the
+population grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.phi import generate_workload
+from repro.net.link import LinkClass
+from repro.core.entities import Patient
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import HcppSystem, build_system
+from repro.exceptions import ParameterError
+
+
+@dataclass
+class PopulationReport:
+    """Aggregates from one population run."""
+
+    n_patients: int
+    n_hospitals: int
+    files_stored: int
+    retrievals: int
+    storage_messages: int
+    retrieval_messages: int
+    total_bytes: int
+    server_storage_bytes: dict[str, int]
+    retrieval_latencies: list[float] = field(default_factory=list)
+    distinct_pseudonyms: int = 0
+
+    @property
+    def mean_retrieval_latency(self) -> float:
+        if not self.retrieval_latencies:
+            return 0.0
+        return sum(self.retrieval_latencies) / len(self.retrieval_latencies)
+
+    @property
+    def per_patient_server_bytes(self) -> float:
+        total = sum(self.server_storage_bytes.values())
+        return total / self.n_patients if self.n_patients else 0.0
+
+
+class PopulationSimulation:
+    """Build and run a multi-patient HCPP deployment."""
+
+    def __init__(self, n_patients: int, n_hospitals: int = 2,
+                 files_per_patient: int = 8,
+                 seed: bytes = b"population") -> None:
+        if n_patients < 1:
+            raise ParameterError("need at least one patient")
+        self.system: HcppSystem = build_system(
+            seed=seed, n_hospitals=n_hospitals)
+        self.rng = HmacDrbg(seed + b"/population")
+        self.files_per_patient = files_per_patient
+        self.patients: list[Patient] = [self.system.patient]
+        # Additional patients share the deployment; each gets its own
+        # temporary pair from the state A-server and its own LAN links.
+        for i in range(1, n_patients):
+            pair = self.system.state.issue_temporary_pool(1)[0]
+            patient = Patient("patient-%03d" % i, self.system.params,
+                              self.system.state.public_key, pair,
+                              self.rng.fork("patient-%d" % i))
+            self.system.network.add_node(patient.address)
+            for hospital in self.system.hospitals.values():
+                self.system.network.connect(patient.address,
+                                            hospital.sserver.address,
+                                            LinkClass.WIRELESS)
+            self.patients.append(patient)
+        self._hospitals = list(self.system.hospitals.values())
+
+    def _hospital_for(self, patient_index: int):
+        return self._hospitals[patient_index % len(self._hospitals)]
+
+    def store_all(self) -> None:
+        """Every patient generates a workload and uploads it."""
+        for i, patient in enumerate(self.patients):
+            hospital = self._hospital_for(i)
+            workload = generate_workload(
+                self.rng.fork("workload-%d" % i), self.files_per_patient,
+                server_address=hospital.sserver.address)
+            patient.import_collection(workload)
+            private_phi_storage(patient, hospital.sserver,
+                                self.system.network)
+
+    def run_retrievals(self, per_patient: int = 2) -> list[float]:
+        """Each patient performs some keyword retrievals; returns latencies."""
+        latencies = []
+        for i, patient in enumerate(self.patients):
+            hospital = self._hospital_for(i)
+            keywords = patient.collection.index.keywords()
+            for j in range(per_patient):
+                keyword = keywords[(i + j) % len(keywords)]
+                result = common_case_retrieval(
+                    patient, hospital.sserver, self.system.network,
+                    [keyword])
+                latencies.append(result.stats.latency_s)
+        return latencies
+
+    def report(self, retrievals_per_patient: int = 2) -> PopulationReport:
+        """Run the full mix and aggregate."""
+        network = self.system.network
+        self.store_all()
+        storage_messages = len(network.log)
+        latencies = self.run_retrievals(retrievals_per_patient)
+        retrieval_messages = len(network.log) - storage_messages
+        pseudonyms: set[bytes] = set()
+        for hospital in self._hospitals:
+            for observation in hospital.sserver.observations:
+                pseudonyms.add(observation.pseudonym)
+        return PopulationReport(
+            n_patients=len(self.patients),
+            n_hospitals=len(self._hospitals),
+            files_stored=len(self.patients) * self.files_per_patient,
+            retrievals=len(latencies),
+            storage_messages=storage_messages,
+            retrieval_messages=retrieval_messages,
+            total_bytes=sum(r.nbytes for r in network.log),
+            server_storage_bytes={
+                h.name: h.sserver.total_storage_bytes()
+                for h in self._hospitals},
+            retrieval_latencies=latencies,
+            distinct_pseudonyms=len(pseudonyms),
+        )

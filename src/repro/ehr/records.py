@@ -1,0 +1,136 @@
+"""PHI records — the paper's health-record data model (§III.A).
+
+The paper: *"we let the patient break the PHI into files for different
+categories of health information (e.g., allergy lists, drug history, X-ray
+data, surgeries, etc). Each category can also consist of multiple files."*
+And: the patient encrypts *both* the identifying PHI fields and the
+de-identified medical data together as one complete record, "to easily
+maneuver the storage/retrieval for common-case treatment and emergencies".
+
+:class:`PhiFile` is one such file: a category, a set of searchable
+keywords, identifying fields, and the medical payload.  Serialization is a
+simple length-prefixed format (no external deps) so files round-trip
+byte-exactly through the E′ cipher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import ParameterError
+
+FID_BYTES = 16
+
+
+class Category(Enum):
+    """The paper's exemplary PHI categories (extensible)."""
+
+    ALLERGIES = "allergies"
+    DRUG_HISTORY = "drug-history"
+    XRAY = "xray"
+    SURGERIES = "surgeries"
+    LAB_RESULTS = "lab-results"
+    DIAGNOSES = "diagnoses"
+    IMMUNIZATIONS = "immunizations"
+    CARDIOLOGY = "cardiology"
+    MENTAL_HEALTH = "mental-health"
+    INSURANCE = "insurance"
+
+    @classmethod
+    def from_string(cls, value: str) -> "Category":
+        for member in cls:
+            if member.value == value:
+                return member
+        raise ParameterError("unknown PHI category %r" % value)
+
+
+@dataclass(frozen=True)
+class PhiFile:
+    """One PHI file: identifying fields + de-identified medical content.
+
+    ``fid`` is a random 16-byte identifier (assigned by
+    :func:`new_fid`) — random so that the identifier itself links to no
+    patient; the S-server only ever sees fids and ciphertext.
+    """
+
+    fid: bytes
+    category: Category
+    keywords: tuple[str, ...]
+    patient_fields: dict[str, str] = field(default_factory=dict)
+    medical_content: str = ""
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.fid) != FID_BYTES:
+            raise ParameterError("fid must be %d bytes" % FID_BYTES)
+        if not self.keywords:
+            raise ParameterError("a PHI file needs at least one keyword")
+
+    # -- serialization ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Length-prefixed binary encoding (the plaintext handed to E′)."""
+        def pack(data: bytes) -> bytes:
+            return len(data).to_bytes(4, "big") + data
+
+        parts = [
+            self.fid,
+            pack(self.category.value.encode()),
+            pack("\x1f".join(self.keywords).encode()),
+            pack("\x1e".join("%s\x1f%s" % kv
+                             for kv in sorted(self.patient_fields.items()))
+                 .encode()),
+            pack(self.medical_content.encode()),
+            int(self.created_at * 1000).to_bytes(8, "big"),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PhiFile":
+        offset = 0
+
+        def unpack() -> bytes:
+            nonlocal offset
+            length = int.from_bytes(data[offset:offset + 4], "big")
+            offset += 4
+            chunk = data[offset:offset + length]
+            if len(chunk) != length:
+                raise ParameterError("truncated PHI file encoding")
+            offset += length
+            return chunk
+
+        fid = data[:FID_BYTES]
+        offset = FID_BYTES
+        category = Category.from_string(unpack().decode())
+        keywords = tuple(k for k in unpack().decode().split("\x1f") if k)
+        fields_blob = unpack().decode()
+        patient_fields: dict[str, str] = {}
+        if fields_blob:
+            for pair in fields_blob.split("\x1e"):
+                key, _, value = pair.partition("\x1f")
+                patient_fields[key] = value
+        medical_content = unpack().decode()
+        created_at = int.from_bytes(data[offset:offset + 8], "big") / 1000.0
+        return cls(fid=fid, category=category, keywords=keywords,
+                   patient_fields=patient_fields,
+                   medical_content=medical_content, created_at=created_at)
+
+    def size_bytes(self) -> int:
+        return len(self.to_bytes())
+
+
+def new_fid(rng: HmacDrbg) -> bytes:
+    """A fresh random 16-byte file identifier."""
+    return rng.random_bytes(FID_BYTES)
+
+
+def make_phi_file(rng: HmacDrbg, category: Category, keywords: list[str],
+                  medical_content: str,
+                  patient_fields: dict[str, str] | None = None,
+                  created_at: float = 0.0) -> PhiFile:
+    """Convenience constructor that assigns a fresh fid."""
+    return PhiFile(fid=new_fid(rng), category=category,
+                   keywords=tuple(keywords),
+                   patient_fields=dict(patient_fields or {}),
+                   medical_content=medical_content, created_at=created_at)

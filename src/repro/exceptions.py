@@ -1,0 +1,78 @@
+"""Exception hierarchy for the HCPP reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish cryptographic failures (which usually
+indicate tampering or a wrong key) from protocol-level failures (which
+indicate misuse of the API or an access-control denial).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures inside the cryptographic substrate."""
+
+
+class ParameterError(CryptoError):
+    """Invalid or inconsistent domain parameters."""
+
+
+class NotOnCurveError(CryptoError):
+    """A point failed the curve-membership check."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext failed to decrypt (wrong key, or tampered)."""
+
+
+class IntegrityError(CryptoError):
+    """A MAC or signature check failed: the message was tampered with."""
+
+
+class SignatureError(IntegrityError):
+    """A digital / identity-based signature failed verification."""
+
+
+class ProtocolError(ReproError):
+    """Base class for HCPP protocol-level failures."""
+
+
+class ReplayError(ProtocolError):
+    """A protocol message carried a stale or duplicated timestamp."""
+
+
+class AccessDenied(ProtocolError):
+    """The requesting party does not hold the right to perform the action."""
+
+
+class RevokedError(AccessDenied):
+    """The acting entity's searching privilege has been revoked."""
+
+
+class AuthenticationError(ProtocolError):
+    """Identity authentication failed (e.g. physician not on duty)."""
+
+
+class StorageError(ProtocolError):
+    """The S-server could not satisfy a storage or retrieval request."""
+
+
+class SearchError(StorageError):
+    """A keyword search failed (unknown keyword or malformed trapdoor)."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class LinkDownError(NetworkError):
+    """The link between two simulated nodes is unavailable."""
+
+
+class NodeUnreachableError(NetworkError):
+    """No route exists to the destination node (e.g. DoS-disabled)."""

@@ -1,0 +1,8 @@
+"""Simulated network substrate: event kernel, links, topology, onion overlay."""
+
+from repro.net.clock import SimClock
+from repro.net.link import DEFAULT_PROFILES, LinkClass, LinkProfile
+from repro.net.sim import EventScheduler, MessageRecord, Network
+
+__all__ = ["SimClock", "LinkClass", "LinkProfile", "DEFAULT_PROFILES",
+           "EventScheduler", "MessageRecord", "Network"]

@@ -1,0 +1,37 @@
+"""Simulated time.
+
+All HCPP messages carry timestamps t₁…t₁₄ for replay protection, and the
+efficiency experiments measure end-to-end protocol latency — both need a
+controllable clock.  :class:`SimClock` is a monotonic simulated clock that
+entities share; protocols read it for timestamps and the transport layer
+advances it by link delays.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError
+
+
+class SimClock:
+    """A monotonic simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds; returns the new time."""
+        if delta < 0:
+            raise ParameterError("cannot advance the clock backwards")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time, which must not be in the past."""
+        if timestamp < self._now:
+            raise ParameterError("cannot rewind the clock")
+        self._now = timestamp
+        return self._now

@@ -1,0 +1,68 @@
+"""Link models — the paper's Fig. 1 connectivity classes.
+
+Fig. 1 distinguishes **wired links** (hospital/clinic network and patient
+LAN internals: "often high-speed wired links"), **wireless links** (patient
+LAN ↔ S-server, P-device ↔ A-server), the **Internet** (inter-domain
+paths), and **physical contact** (physician ↔ patient/family/P-device —
+oral exchange or physically operating the device).
+
+Each :class:`LinkProfile` has a base propagation latency, an exponential
+jitter term, and a bandwidth that adds serialization delay per byte.  The
+defaults are ballpark figures for 2011-era networks; every profile is a
+frozen dataclass so experiments can sweep their own values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import ParameterError
+
+
+class LinkClass(Enum):
+    WIRED_LAN = "wired-lan"
+    WIRELESS = "wireless"
+    INTERNET = "internet"
+    PHYSICAL = "physical"   # oral / hands-on interaction, no packets
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency/bandwidth model for one link class."""
+
+    link_class: LinkClass
+    base_latency_s: float
+    jitter_mean_s: float
+    bandwidth_bytes_per_s: float
+    loss_probability: float = 0.0
+
+    def delay(self, nbytes: int, rng: HmacDrbg) -> float:
+        """Total one-way delay for an ``nbytes`` message."""
+        if nbytes < 0:
+            raise ParameterError("negative message size")
+        jitter = rng.expovariate(1.0 / self.jitter_mean_s) \
+            if self.jitter_mean_s > 0 else 0.0
+        return (self.base_latency_s + jitter
+                + nbytes / self.bandwidth_bytes_per_s)
+
+    def drops(self, rng: HmacDrbg) -> bool:
+        """Whether this transmission is lost."""
+        return self.loss_probability > 0 and rng.random() < self.loss_probability
+
+
+DEFAULT_PROFILES: dict[LinkClass, LinkProfile] = {
+    LinkClass.WIRED_LAN: LinkProfile(
+        link_class=LinkClass.WIRED_LAN, base_latency_s=0.0005,
+        jitter_mean_s=0.0002, bandwidth_bytes_per_s=125_000_000.0),  # 1 Gb/s
+    LinkClass.WIRELESS: LinkProfile(
+        link_class=LinkClass.WIRELESS, base_latency_s=0.020,
+        jitter_mean_s=0.010, bandwidth_bytes_per_s=1_000_000.0),     # ~8 Mb/s
+    LinkClass.INTERNET: LinkProfile(
+        link_class=LinkClass.INTERNET, base_latency_s=0.050,
+        jitter_mean_s=0.015, bandwidth_bytes_per_s=2_500_000.0),     # 20 Mb/s
+    LinkClass.PHYSICAL: LinkProfile(
+        link_class=LinkClass.PHYSICAL, base_latency_s=2.0,
+        jitter_mean_s=1.0, bandwidth_bytes_per_s=50.0),  # speech-rate
+}

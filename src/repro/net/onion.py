@@ -1,0 +1,149 @@
+"""Onion-routing overlay — the paper's Tor countermeasure (§VI.B).
+
+Traffic-analysis Category 2: *"Attackers trace the network address of the
+patient's PC or cell phone to identify the owner of the stored PHI files
+… can be coped with by building our HCPP system on an anonymous
+underlying network such as Tor."*  There is no Tor offline, so we build
+the equivalent in-repo: source-routed circuits with layered symmetric
+encryption over relay nodes of the simulated network (DESIGN.md
+substitution note).
+
+* :class:`OnionOverlay` manages a set of relay nodes and builds circuits
+  of ``hops`` relays chosen by the client's DRBG.
+* :meth:`OnionOverlay.wrap` produces an onion: the payload encrypted once
+  per hop (innermost = exit), each layer naming only the *next* hop.
+* :meth:`OnionOverlay.route` transmits the onion hop-by-hop over the
+  simulated network, peeling one layer per relay; the accounting log
+  therefore shows the destination receiving traffic *from the exit relay*,
+  never from the patient — which is exactly the property the
+  traffic-analysis experiment (E10) measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.modes import AuthenticatedCipher
+from repro.crypto.rng import HmacDrbg
+from repro.net.link import LinkClass
+from repro.net.sim import Network
+from repro.exceptions import NetworkError, ParameterError
+
+_LAYER_HEADER = 64  # serialized next-hop header budget per layer
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """An ordered relay path plus the per-hop layer keys."""
+
+    relays: tuple[str, ...]
+    layer_keys: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class RoutedDelivery:
+    """What the destination observes after an onion delivery."""
+
+    payload: bytes
+    observed_source: str   # the exit relay — not the true origin
+    total_latency: float
+    total_bytes: int
+
+
+class OnionOverlay:
+    """A minimal Tor-like overlay on top of :class:`~repro.net.sim.Network`."""
+
+    def __init__(self, network: Network, relays: list[str]) -> None:
+        if len(relays) < 1:
+            raise ParameterError("need at least one relay")
+        self.network = network
+        self.relays = list(relays)
+        # Relay long-term keys: in Tor these would be negotiated; here each
+        # relay holds a key the client learns from the (simulated) directory.
+        self._relay_keys = {r: hmac_sha256(b"relay-key", r.encode())
+                            for r in relays}
+
+    def relay_key(self, relay: str) -> bytes:
+        key = self._relay_keys.get(relay)
+        if key is None:
+            raise ParameterError("unknown relay %r" % relay)
+        return key
+
+    def build_circuit(self, rng: HmacDrbg, hops: int = 3) -> Circuit:
+        """Choose ``hops`` distinct relays (Tor's default is 3)."""
+        if hops < 1:
+            raise ParameterError("need at least one hop")
+        if hops > len(self.relays):
+            raise ParameterError("not enough relays for %d hops" % hops)
+        path = tuple(rng.sample(self.relays, hops))
+        return Circuit(relays=path,
+                       layer_keys=tuple(self.relay_key(r) for r in path))
+
+    # -- onion construction -----------------------------------------------
+    def wrap(self, circuit: Circuit, destination: str, payload: bytes,
+             rng: HmacDrbg) -> bytes:
+        """Layered encryption, innermost layer addressed to ``destination``."""
+        onion = len(destination).to_bytes(2, "big") + destination.encode() \
+            + payload
+        # Encrypt from the exit relay inward to the entry relay.
+        for i in range(len(circuit.relays) - 1, -1, -1):
+            cipher = AuthenticatedCipher(circuit.layer_keys[i])
+            next_hop = (circuit.relays[i + 1]
+                        if i + 1 < len(circuit.relays) else "")
+            header = len(next_hop).to_bytes(2, "big") + next_hop.encode()
+            onion = cipher.encrypt(header + onion, rng)
+        return onion
+
+    @staticmethod
+    def peel(layer_key: bytes, onion: bytes) -> tuple[str, bytes]:
+        """One relay's decryption: returns (next_hop_or_empty, inner onion)."""
+        plain = AuthenticatedCipher(layer_key).decrypt(onion)
+        hop_len = int.from_bytes(plain[:2], "big")
+        next_hop = plain[2:2 + hop_len].decode()
+        return next_hop, plain[2 + hop_len:]
+
+    # -- end-to-end routing ----------------------------------------------------
+    def route(self, source: str, circuit: Circuit, destination: str,
+              payload: bytes, rng: HmacDrbg,
+              label: str = "onion") -> RoutedDelivery:
+        """Send ``payload`` source → relays… → destination over the network.
+
+        Relays and the destination must be connected in the underlying
+        :class:`Network`; this method transmits each hop and peels layers,
+        so the log shows only hop-local (src, dst) pairs.
+        """
+        onion = self.wrap(circuit, destination, payload, rng)
+        start_mark = self.network.mark()
+        current = source
+        for i, relay in enumerate(circuit.relays):
+            self.network.transmit(current, relay, len(onion),
+                                  label="%s/hop%d" % (label, i))
+            next_hop, onion = self.peel(circuit.layer_keys[i], onion)
+            current = relay
+            expected = (circuit.relays[i + 1]
+                        if i + 1 < len(circuit.relays) else "")
+            if next_hop != expected:
+                raise NetworkError("onion routing header mismatch")
+        # Exit relay → destination: deliver the innermost payload.
+        dest_len = int.from_bytes(onion[:2], "big")
+        final_destination = onion[2:2 + dest_len].decode()
+        if final_destination != destination:
+            raise NetworkError("onion exit destination mismatch")
+        inner_payload = onion[2 + dest_len:]
+        self.network.transmit(current, destination, len(inner_payload),
+                              label="%s/exit" % label)
+        stats = self.network.stats_between(start_mark)
+        return RoutedDelivery(payload=inner_payload, observed_source=current,
+                              total_latency=stats["latency"],
+                              total_bytes=int(stats["bytes"]))
+
+    def connect_full_mesh(self, endpoints: list[str],
+                          link_class: LinkClass = LinkClass.INTERNET) -> None:
+        """Convenience: register relays and mesh them with the endpoints."""
+        for relay in self.relays:
+            self.network.add_node(relay)
+        everyone = self.relays + endpoints
+        for i, a in enumerate(everyone):
+            for b in everyone[i + 1:]:
+                self.network.connect(a, b, link_class)

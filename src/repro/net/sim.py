@@ -1,0 +1,185 @@
+"""Discrete-event network simulator.
+
+Two layers:
+
+* :class:`EventScheduler` — a classic heapq-based discrete-event kernel
+  (schedule callbacks at absolute times, run until quiescent or a horizon).
+  Used by the DoS and traffic-analysis experiments, which need many
+  concurrent flows.
+* :class:`Network` — the topology object: registered nodes, link classes
+  per node pair, up/down state, and a message log.  The HCPP protocol
+  layer talks to it through :meth:`Network.transmit`, a *sequential*
+  request path (compute delay → advance the clock → log → deliver), which
+  matches HCPP's strictly request/response protocols and keeps the
+  protocol code free of callback plumbing.
+
+Every transmission is recorded as a :class:`MessageRecord` so the
+communication-cost experiments (E4, E8) read rounds / bytes / latency
+straight off the log.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.crypto.rng import HmacDrbg
+from repro.net.clock import SimClock
+from repro.net.link import DEFAULT_PROFILES, LinkClass, LinkProfile
+from repro.exceptions import (LinkDownError, NetworkError,
+                              NodeUnreachableError, ParameterError)
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventScheduler:
+    """Heap-based discrete-event kernel."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ParameterError("cannot schedule in the past")
+        heapq.heappush(self._heap,
+                       _Event(self.clock.now + delay, next(self._seq), callback))
+
+    def run(self, until: float | None = None) -> int:
+        """Process events (optionally only up to time ``until``).
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            event = heapq.heappop(self._heap)
+            self.clock.advance_to(event.time)
+            event.callback()
+            executed += 1
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return executed
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One logged transmission (the unit of the communication experiments)."""
+
+    src: str
+    dst: str
+    label: str
+    nbytes: int
+    sent_at: float
+    arrived_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.arrived_at - self.sent_at
+
+
+class Network:
+    """Topology + sequential message delivery with full accounting."""
+
+    def __init__(self, rng: HmacDrbg, clock: SimClock | None = None,
+                 profiles: dict[LinkClass, LinkProfile] | None = None) -> None:
+        self.clock = clock or SimClock()
+        self.rng = rng
+        self.profiles = dict(profiles or DEFAULT_PROFILES)
+        self._nodes: set[str] = set()
+        self._down: set[str] = set()
+        self._links: dict[tuple[str, str], LinkClass] = {}
+        self.log: list[MessageRecord] = []
+
+    # -- topology -----------------------------------------------------------
+    def add_node(self, address: str) -> None:
+        self._nodes.add(address)
+
+    def connect(self, a: str, b: str, link_class: LinkClass) -> None:
+        """Create a bidirectional link of the given class."""
+        for node in (a, b):
+            if node not in self._nodes:
+                raise ParameterError("unknown node %r" % node)
+        self._links[_key(a, b)] = link_class
+
+    def set_node_up(self, address: str, up: bool) -> None:
+        """Mark a node up or down (DoS experiments)."""
+        if address not in self._nodes:
+            raise ParameterError("unknown node %r" % address)
+        if up:
+            self._down.discard(address)
+        else:
+            self._down.add(address)
+
+    def is_up(self, address: str) -> bool:
+        return address in self._nodes and address not in self._down
+
+    def link_class(self, a: str, b: str) -> LinkClass:
+        link = self._links.get(_key(a, b))
+        if link is None:
+            raise LinkDownError("no link between %r and %r" % (a, b))
+        return link
+
+    # -- delivery -------------------------------------------------------------
+    def transmit(self, src: str, dst: str, nbytes: int,
+                 label: str = "") -> MessageRecord:
+        """Deliver one message, advancing the clock by the link delay.
+
+        Raises :class:`NodeUnreachableError` for down endpoints and
+        :class:`LinkDownError` when no link exists.  Lossy links retry up
+        to 3 times (each attempt pays its delay) before failing.
+        """
+        if not self.is_up(src):
+            raise NodeUnreachableError("source %r is down" % src)
+        if not self.is_up(dst):
+            raise NodeUnreachableError("destination %r is down" % dst)
+        profile = self.profiles[self.link_class(src, dst)]
+        sent_at = self.clock.now
+        for attempt in range(3):
+            delay = profile.delay(nbytes, self.rng)
+            self.clock.advance(delay)
+            if not profile.drops(self.rng):
+                record = MessageRecord(src=src, dst=dst, label=label,
+                                       nbytes=nbytes, sent_at=sent_at,
+                                       arrived_at=self.clock.now)
+                self.log.append(record)
+                return record
+        raise NetworkError("message %r from %s to %s lost after 3 attempts"
+                           % (label, src, dst))
+
+    # -- accounting --------------------------------------------------------
+    def stats_between(self, start_index: int) -> dict[str, float]:
+        """Aggregate log entries from ``start_index`` onward.
+
+        Returns message count, total bytes, and wall-clock latency — the
+        rows experiment E4 prints per protocol run.
+        """
+        window = self.log[start_index:]
+        if not window:
+            return {"messages": 0, "bytes": 0, "latency": 0.0}
+        return {
+            "messages": len(window),
+            "bytes": sum(r.nbytes for r in window),
+            "latency": window[-1].arrived_at - window[0].sent_at,
+        }
+
+    def mark(self) -> int:
+        """Snapshot the log position (pair with :meth:`stats_between`)."""
+        return len(self.log)
+
+
+def _key(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)

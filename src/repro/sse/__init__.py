@@ -1,0 +1,13 @@
+"""Searchable symmetric encryption — Curtmola et al. as used by HCPP.
+
+* :mod:`repro.sse.fks` — the FKS O(1) perfect-hash lookup table (ref [30])
+* :mod:`repro.sse.index` — the secure index SI = (A, T) of Fig. 2
+* :mod:`repro.sse.scheme` — SSE-1 keygen / build / trapdoor / search
+* :mod:`repro.sse.multiuser` — ASSIGN / REVOKE via θ_d + broadcast encryption
+* :mod:`repro.sse.adaptive` — the drop-in adaptive SSE-2 variant
+"""
+
+from repro.sse.index import SecureIndex, Trapdoor
+from repro.sse.scheme import Sse1Scheme, SseKeys, keygen
+
+__all__ = ["SecureIndex", "Trapdoor", "Sse1Scheme", "SseKeys", "keygen"]

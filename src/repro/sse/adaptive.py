@@ -1,0 +1,144 @@
+"""SSE-2 — the adaptively secure construction (paper §II.B note).
+
+The paper applies the *non-adaptive* SSE-1 "for demonstration" and remarks
+that *"the adaptive SSE construction [17] which features a more robust
+security notion can be applied instead without modifying other parts of
+the protocols."*  This module provides that drop-in: it exposes the same
+``build_index`` / ``trapdoor`` / ``search`` surface as SSE-1 so the HCPP
+protocol layer can swap schemes via a constructor argument.
+
+Construction (Curtmola SSE-2, label-per-position flavour):
+
+* For keyword w and position j ∈ {1..|F(w)|}, derive a pseudorandom
+  **label** L_{w,j} = PRF_k1(w ‖ j) and store
+  ``D[L_{w,j}] = fid_j ⊕ PRF_{mask(w)}(j)`` in a flat dictionary D
+  (again FKS-backed for O(1) probes).
+* The trapdoor for w is the pair of per-keyword seeds
+  (label_seed(w), mask_seed(w)); the server derives L_{w,1}, L_{w,2}, …
+  and probes until the first miss, unmasking each hit.
+* Security is adaptive because labels are unpredictable until their seed
+  is revealed, and each label is used exactly once.
+
+To hide per-keyword result counts, ``build_index`` can pad every keyword's
+list to a common maximum (``pad_to``), matching SSE-2's max-padding; padded
+entries carry a reserved all-zero fid that search filters out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.rng import HmacDrbg
+from repro.sse.fks import FksTable
+from repro.exceptions import ParameterError
+
+FID_BYTES = 16
+_PAD_FID = bytes(FID_BYTES)
+
+
+@dataclass(frozen=True)
+class AdaptiveTrapdoor:
+    """Per-keyword seeds: the server can derive labels/masks, nothing else."""
+
+    label_seed: bytes
+    mask_seed: bytes
+
+    def size_bytes(self) -> int:
+        return len(self.label_seed) + len(self.mask_seed)
+
+
+@dataclass
+class AdaptiveIndex:
+    """The dictionary D (FKS-backed) plus its entry count."""
+
+    table: FksTable
+    entries: int
+
+    def size_bytes(self) -> int:
+        return self.table.size_bytes()
+
+    def search(self, trapdoor: AdaptiveTrapdoor,
+               limit: int | None = None) -> list[bytes]:
+        """Probe L_{w,1}, L_{w,2}, … until the first miss; unmask hits."""
+        fids: list[bytes] = []
+        j = 1
+        bound = limit if limit is not None else self.entries + 1
+        while j <= bound:
+            label = _label(trapdoor.label_seed, j)
+            masked = self.table.get(label)
+            if masked is None:
+                break
+            fid = bytes(m ^ k for m, k in zip(masked,
+                                              _mask(trapdoor.mask_seed, j)))
+            if fid != _PAD_FID:
+                fids.append(fid)
+            j += 1
+        return fids
+
+
+def _label(seed: bytes, j: int) -> int:
+    digest = hmac_sha256(seed, b"label:" + j.to_bytes(8, "big"))
+    return int.from_bytes(digest[:16], "big")
+
+
+def _mask(seed: bytes, j: int) -> bytes:
+    return hmac_sha256(seed, b"mask:" + j.to_bytes(8, "big"))[:FID_BYTES]
+
+
+class Sse2Scheme:
+    """Client-side SSE-2 bound to two master keys (labels / masks)."""
+
+    def __init__(self, key_labels: bytes, key_masks: bytes) -> None:
+        if not key_labels or not key_masks:
+            raise ParameterError("empty SSE-2 keys")
+        self._k1 = key_labels
+        self._k2 = key_masks
+
+    @classmethod
+    def keygen(cls, rng: HmacDrbg) -> "Sse2Scheme":
+        return cls(rng.random_bytes(32), rng.random_bytes(32))
+
+    # -- per-keyword seeds ------------------------------------------------
+    def _label_seed(self, keyword: str) -> bytes:
+        return hmac_sha256(self._k1, b"kw:" + keyword.encode())
+
+    def _mask_seed(self, keyword: str) -> bytes:
+        return hmac_sha256(self._k2, b"kw:" + keyword.encode())
+
+    def trapdoor(self, keyword: str) -> AdaptiveTrapdoor:
+        return AdaptiveTrapdoor(label_seed=self._label_seed(keyword),
+                                mask_seed=self._mask_seed(keyword))
+
+    # -- index ------------------------------------------------------------
+    def build_index(self, keyword_to_fids: dict[str, list[bytes]],
+                    rng: HmacDrbg, pad_to: int | None = None) -> AdaptiveIndex:
+        """Build D; optionally pad every keyword to ``pad_to`` entries."""
+        entries: dict[int, bytes] = {}
+        for keyword in sorted(keyword_to_fids):
+            fids = list(keyword_to_fids[keyword])
+            for fid in fids:
+                if len(fid) != FID_BYTES:
+                    raise ParameterError("fid must be %d bytes" % FID_BYTES)
+                if fid == _PAD_FID:
+                    raise ParameterError(
+                        "the all-zero fid is reserved as the SSE-2 padding "
+                        "sentinel; assign real (random) file identifiers")
+            if pad_to is not None:
+                if len(fids) > pad_to:
+                    raise ParameterError(
+                        "keyword %r exceeds pad_to=%d" % (keyword, pad_to))
+                fids += [_PAD_FID] * (pad_to - len(fids))
+            label_seed = self._label_seed(keyword)
+            mask_seed = self._mask_seed(keyword)
+            for j, fid in enumerate(fids, start=1):
+                label = _label(label_seed, j)
+                if label in entries:
+                    raise ParameterError("label collision (re-keygen)")
+                entries[label] = bytes(
+                    f ^ m for f, m in zip(fid, _mask(mask_seed, j)))
+        return AdaptiveIndex(table=FksTable.build(entries, rng),
+                             entries=len(entries))
+
+    def search(self, index: AdaptiveIndex, keyword: str) -> list[bytes]:
+        return index.search(self.trapdoor(keyword))

@@ -1,0 +1,143 @@
+"""Multi-user SSE: the ASSIGN / REVOKE extension (paper §IV.C).
+
+Curtmola et al. extend SSE to many searchers with one extra PRP θ keyed by
+a rotating secret ``d`` and a broadcast-encryption layer:
+
+* The owner gives every privileged entity u ∈ U the SSE keys **and** the
+  BE receiver secret X_u; the S-server holds the current ``d`` *and*
+  ``BE_U(d)`` so privileged entities can fetch the current ``d`` on demand
+  (this is steps 1–2 of the family-based emergency retrieval).
+* A privileged searcher wraps its trapdoor: ``TD_U(kw) = θ_d(TD(kw))``.
+  The server unwraps with θ_d⁻¹ and *checks validity* before searching —
+  validity is an embedded MAC tag bound to ``d``, so a wrap under a stale
+  ``d′ ≠ d`` unwraps to garbage and is rejected.
+* REVOKE rotates ``d → d′`` and replaces the stored broadcast with
+  ``BE_U′(d′)`` covering only the surviving set U′.  A revoked P-device
+  still *knows* the old d, but the server no longer accepts θ_{d_old}
+  wraps, and it cannot decrypt BE_U′(d′): search capability is gone
+  without touching a single PHI ciphertext.
+
+The owner (patient) bypasses θ entirely — the common-case retrieval
+protocol sends bare trapdoors authenticated under the patient's pseudonym
+key, matching the paper's §IV.D message flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.broadcast import (BroadcastCiphertext, BroadcastEncryption,
+                                    ReceiverSecret)
+from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.prp import FeistelPrp
+from repro.crypto.rng import HmacDrbg
+from repro.sse.index import Trapdoor
+from repro.exceptions import AccessDenied, ParameterError
+
+_TAG_BYTES = 8
+_WRAP_BYTES = Trapdoor.WIRE_BYTES + _TAG_BYTES
+_WRAP_BITS = _WRAP_BYTES * 8
+D_BYTES = 32
+
+
+@dataclass(frozen=True)
+class WrappedTrapdoor:
+    """TD_U(kw) = θ_d(TD(kw) ‖ tag): what a privileged entity sends."""
+
+    data: bytes
+
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+
+def wrap_trapdoor(d: bytes, trapdoor: Trapdoor) -> WrappedTrapdoor:
+    """Entity-side wrapping under the current group secret ``d``."""
+    body = trapdoor.to_bytes()
+    tag = hmac_sha256(d, b"td-validity:" + body)[:_TAG_BYTES]
+    theta = FeistelPrp(d, _WRAP_BITS)
+    return WrappedTrapdoor(theta.encrypt_bytes(body + tag))
+
+
+def unwrap_trapdoor(d: bytes, wrapped: WrappedTrapdoor) -> Trapdoor:
+    """Server-side θ_d⁻¹ plus the validity check the paper calls for.
+
+    Raises :class:`AccessDenied` when the tag fails — which is what
+    happens to every wrap produced under a stale (revoked) ``d``.
+    """
+    if len(wrapped.data) != _WRAP_BYTES:
+        raise ParameterError("bad wrapped-trapdoor length")
+    theta = FeistelPrp(d, _WRAP_BITS)
+    plain = theta.decrypt_bytes(wrapped.data)
+    body, tag = plain[:-_TAG_BYTES], plain[-_TAG_BYTES:]
+    expected = hmac_sha256(d, b"td-validity:" + body)[:_TAG_BYTES]
+    if tag != expected:
+        raise AccessDenied("wrapped trapdoor failed validity check "
+                           "(revoked or forged)")
+    return Trapdoor.from_bytes(body)
+
+
+class PrivilegeManager:
+    """Patient-side state for ASSIGN / REVOKE.
+
+    Owns the BE tree (master secret + leaf assignment) and the current
+    group secret ``d``.  ASSIGN yields the per-entity receiver secret X;
+    REVOKE rotates ``d`` and emits the new ``BE_U′(d′)`` for the S-server.
+    """
+
+    def __init__(self, capacity: int, rng: HmacDrbg) -> None:
+        self._be = BroadcastEncryption(rng.random_bytes(32), capacity)
+        self._rng = rng
+        self._next_leaf = 0
+        self._leaves: dict[str, int] = {}
+        self._revoked: set[int] = set()
+        self.current_d = rng.random_bytes(D_BYTES)
+
+    @property
+    def capacity(self) -> int:
+        return self._be.capacity
+
+    def assign(self, entity_name: str) -> ReceiverSecret:
+        """ASSIGN: register an entity and return its BE secret X."""
+        if entity_name in self._leaves:
+            return self._be.receiver_secret(self._leaves[entity_name])
+        if self._next_leaf >= self._be.capacity:
+            raise ParameterError("privilege capacity exhausted")
+        leaf = self._next_leaf
+        self._next_leaf += 1
+        self._leaves[entity_name] = leaf
+        return self._be.receiver_secret(leaf)
+
+    def broadcast_d(self) -> BroadcastCiphertext:
+        """BE_U(d) for the current set U — what the S-server stores."""
+        # Leaves never assigned are treated as revoked so that only real
+        # entities can open the broadcast.
+        unassigned = set(range(self._next_leaf, self._be.capacity))
+        return self._be.encrypt(self.current_d,
+                                frozenset(self._revoked | unassigned),
+                                self._rng)
+
+    def revoke(self, entity_name: str) -> BroadcastCiphertext:
+        """REVOKE: rotate d and return BE_U′(d′) to upload to the S-server.
+
+        Paper §IV.C: ``patient → S-server: E′_ν(d′ ‖ BE′_U′(d′)) …`` — the
+        protocol layer handles the envelope; this returns the new payload.
+        """
+        if entity_name not in self._leaves:
+            raise ParameterError("unknown entity %r" % entity_name)
+        self._revoked.add(self._leaves[entity_name])
+        self.current_d = self._rng.random_bytes(D_BYTES)
+        return self.broadcast_d()
+
+    def is_revoked(self, entity_name: str) -> bool:
+        leaf = self._leaves.get(entity_name)
+        return leaf is None or leaf in self._revoked
+
+
+def recover_d(broadcast: BroadcastCiphertext, secret: ReceiverSecret,
+              capacity: int) -> bytes:
+    """Entity-side recovery of the current d from BE_U(d) using X.
+
+    Raises :class:`repro.exceptions.RevokedError` when the entity has been
+    cut out of the cover.
+    """
+    return BroadcastEncryption.decrypt(broadcast, secret, capacity)

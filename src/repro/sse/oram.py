@@ -1,0 +1,236 @@
+"""Path ORAM — the paper's stronger search-pattern countermeasure.
+
+Paper §VI.B, category 1: previous searches leak *"whether two searches
+were for a same keyword.  There are well established schemes [15], [16]
+to hide this information with lower efficiency"* — references [15]/[16]
+are Ostrovsky's and Goldreich–Ostrovsky's oblivious-RAM line.  This
+module supplies an ORAM so that trade-off can actually be measured
+(experiment E10's ORAM ablation): storing the secure index's array A
+inside an ORAM makes every search touch a *uniformly random tree path*,
+eliminating the repeated-address leak at a logarithmic bandwidth cost.
+
+We implement **Path ORAM** (Stefanov et al., CCS'13) — the simplest
+tree-based ORAM with the same asymptotics as the cited constructions and
+a much smaller constant:
+
+* the server holds a complete binary tree of buckets, each with Z slots
+  of fixed-size encrypted blocks (real blocks are indistinguishable from
+  dummies — all slots are always ciphertext);
+* the client holds a position map (block id → random leaf) and a small
+  stash;
+* ``access(id)`` reads the whole path to the block's leaf, remaps the
+  block to a fresh random leaf, and writes the path back greedily.
+
+Every access therefore presents the server with: one uniformly random
+leaf path read + the same path written, independent of which block was
+requested or whether two accesses hit the same block.
+
+:class:`ObliviousStore` adapts the ORAM to a byte-addressed key/value
+surface used by the SSE ablation (each SSE array slot is one block).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crypto.modes import SemanticCipher
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import ParameterError, StorageError
+
+BUCKET_SIZE = 4          # Z: blocks per bucket (the Path ORAM standard)
+_BLOCK_HEADER = 8        # block id prefix inside the plaintext
+
+
+@dataclass
+class AccessTrace:
+    """What the server observes for one access: the touched leaf path."""
+
+    leaf: int
+    path_nodes: tuple[int, ...]
+
+
+class PathOram:
+    """A Path ORAM over ``capacity`` fixed-size blocks.
+
+    The *client* state is this object (position map + stash + key); the
+    *server* state is :attr:`buckets` — all ciphertext, re-encrypted on
+    every write-back.  ``trace`` records the leaf of every access so
+    experiments can test the access-pattern distribution.
+    """
+
+    def __init__(self, capacity: int, block_size: int, key: bytes,
+                 rng: HmacDrbg) -> None:
+        if capacity < 1:
+            raise ParameterError("capacity must be >= 1")
+        if block_size < 1:
+            raise ParameterError("block size must be >= 1")
+        self.capacity = capacity
+        self.block_size = block_size
+        self._cipher = SemanticCipher(key)
+        self._rng = rng
+        # Tree with at least `capacity` leaves.
+        self.levels = max(1, math.ceil(math.log2(max(2, capacity))))
+        self.n_leaves = 1 << self.levels
+        n_nodes = 2 * self.n_leaves - 1
+        # Server storage: every slot always holds a ciphertext (dummies
+        # included) so occupancy is invisible.
+        self.buckets: list[list[bytes]] = [
+            [self._encrypt_dummy() for _ in range(BUCKET_SIZE)]
+            for _ in range(n_nodes)
+        ]
+        # Client storage.
+        self._position: dict[int, int] = {}
+        self._stash: dict[int, bytes] = {}
+        self.trace: list[AccessTrace] = []
+
+    # -- block encoding ---------------------------------------------------
+    def _encrypt_block(self, block_id: int, data: bytes) -> bytes:
+        if len(data) > self.block_size:
+            raise ParameterError("block data exceeds block size")
+        padded = data.ljust(self.block_size, b"\x00")
+        plaintext = block_id.to_bytes(_BLOCK_HEADER, "big") + padded
+        return self._cipher.encrypt(plaintext, self._rng)
+
+    def _encrypt_dummy(self) -> bytes:
+        plaintext = (0xFFFFFFFFFFFFFFFF).to_bytes(_BLOCK_HEADER, "big") \
+            + bytes(self.block_size)
+        return self._cipher.encrypt(plaintext, self._rng)
+
+    def _decrypt_block(self, ciphertext: bytes) -> tuple[int, bytes] | None:
+        plaintext = self._cipher.decrypt(ciphertext)
+        block_id = int.from_bytes(plaintext[:_BLOCK_HEADER], "big")
+        if block_id == 0xFFFFFFFFFFFFFFFF:
+            return None
+        return block_id, plaintext[_BLOCK_HEADER:]
+
+    # -- tree geometry -----------------------------------------------------
+    def _path_nodes(self, leaf: int) -> list[int]:
+        """Node indices from root to the given leaf (heap layout)."""
+        node = self.n_leaves - 1 + leaf  # leaves occupy the last level
+        path = []
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        path.reverse()
+        return path
+
+    # -- the access protocol ----------------------------------------------
+    def access(self, block_id: int, write_data: bytes | None = None) -> bytes:
+        """Oblivious read (and optional write) of one block.
+
+        Returns the block's previous contents (zeros if never written).
+        The server-visible behaviour is identical for reads and writes,
+        and for hits on the same or different blocks.
+        """
+        if not 0 <= block_id < self.capacity:
+            raise ParameterError("block id out of range")
+        leaf = self._position.get(block_id)
+        if leaf is None:
+            leaf = self._rng.randrange(self.n_leaves)
+        # Remap before anything else: the next access is independent.
+        self._position[block_id] = self._rng.randrange(self.n_leaves)
+
+        path = self._path_nodes(leaf)
+        self.trace.append(AccessTrace(leaf=leaf, path_nodes=tuple(path)))
+
+        # 1. Read the whole path into the stash.
+        for node in path:
+            for slot, ciphertext in enumerate(self.buckets[node]):
+                decoded = self._decrypt_block(ciphertext)
+                if decoded is not None:
+                    self._stash[decoded[0]] = decoded[1]
+                self.buckets[node][slot] = self._encrypt_dummy()
+
+        # 2. Serve the request from the stash.
+        previous = self._stash.get(block_id, bytes(self.block_size))
+        if write_data is not None:
+            self._stash[block_id] = write_data.ljust(self.block_size,
+                                                     b"\x00")
+        elif block_id not in self._stash:
+            self._stash[block_id] = previous
+
+        # 3. Greedy write-back: push each stash block as deep as its
+        #    (new) position allows along this path.
+        for node in reversed(path):
+            placed: list[int] = []
+            for candidate, data in self._stash.items():
+                if len(placed) == BUCKET_SIZE:
+                    break
+                candidate_leaf = self._position.get(candidate)
+                if candidate_leaf is None:
+                    continue
+                if node in self._path_nodes(candidate_leaf):
+                    slot = len(placed)
+                    self.buckets[node][slot] = self._encrypt_block(candidate,
+                                                                   data)
+                    placed.append(candidate)
+            for candidate in placed:
+                del self._stash[candidate]
+        return previous
+
+    def read(self, block_id: int) -> bytes:
+        return self.access(block_id)
+
+    def write(self, block_id: int, data: bytes) -> None:
+        self.access(block_id, write_data=data)
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def stash_size(self) -> int:
+        return len(self._stash)
+
+    def server_storage_bytes(self) -> int:
+        return sum(len(ct) for bucket in self.buckets for ct in bucket)
+
+    def bandwidth_blocks_per_access(self) -> int:
+        """Blocks moved per access: one full path, read + written."""
+        return 2 * (self.levels + 1) * BUCKET_SIZE
+
+
+class ObliviousStore:
+    """A keyword-search front over Path ORAM for the E10 ablation.
+
+    Maps opaque labels (e.g. SSE table addresses) to fixed-size values,
+    with every lookup producing a full ORAM access — repeated queries for
+    the same label are statistically indistinguishable from fresh ones.
+    """
+
+    def __init__(self, capacity: int, value_size: int, key: bytes,
+                 rng: HmacDrbg) -> None:
+        self._oram = PathOram(capacity, value_size, key, rng)
+        self._labels: dict[bytes, int] = {}
+        self._next = 0
+
+    def put(self, label: bytes, value: bytes) -> None:
+        index = self._labels.get(label)
+        if index is None:
+            if self._next >= self._oram.capacity:
+                raise StorageError("oblivious store is full")
+            index = self._next
+            self._next += 1
+            self._labels[label] = index
+        self._oram.write(index, value)
+
+    def get(self, label: bytes) -> bytes | None:
+        index = self._labels.get(label)
+        if index is None:
+            # Unknown labels still perform a dummy access so misses are
+            # indistinguishable from hits.
+            if self._next > 0:
+                self._oram.read(self._rng_dummy_index())
+            return None
+        value = self._oram.read(index)
+        return value
+
+    def _rng_dummy_index(self) -> int:
+        return self._oram._rng.randrange(max(1, self._next))
+
+    @property
+    def trace(self) -> list[AccessTrace]:
+        return self._oram.trace
+
+    def bandwidth_blocks_per_access(self) -> int:
+        return self._oram.bandwidth_blocks_per_access()

@@ -1,0 +1,125 @@
+"""Baseline tests: Lee–Lee escrow (E13) and Tan et al. linkability (E14),
+each contrasted against HCPP's corresponding property."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.baselines.leelee import EscrowServer, LeeLeePatient
+from repro.baselines.tanetal import (TanAuthority, TanSensorNode,
+                                     TanStorageSite, doctor_retrieve)
+from repro.ehr.records import Category, PhiFile, make_phi_file
+from repro.exceptions import AccessDenied, ParameterError
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(b"baselines")
+
+
+class TestLeeLee:
+    def _enrolled(self, rng):
+        server = EscrowServer()
+        patient = LeeLeePatient("alice", rng)
+        patient.enroll(server)
+        phi = make_phi_file(rng, Category.CARDIOLOGY, ["cardiology"],
+                            "MI history.")
+        patient.store_record(server, phi)
+        return server, patient, phi
+
+    def test_normal_retrieval_works(self, rng):
+        server, patient, phi = self._enrolled(rng)
+        files = patient.consent_retrieve(server)
+        assert files[0].medical_content == "MI history."
+
+    def test_incapacitated_patient_blocked_normally(self, rng):
+        server, patient, _ = self._enrolled(rng)
+        patient.card.present = False
+        with pytest.raises(AccessDenied):
+            patient.consent_retrieve(server)
+
+    def test_emergency_fail_open_works(self, rng):
+        """The scheme is 'technically correct': emergencies succeed."""
+        server, patient, _ = self._enrolled(rng)
+        patient.card.present = False
+        plaintexts = server.emergency_read("alice", "dr-er-1")
+        assert b"MI history." in plaintexts[0]
+        assert server.emergency_log == [("alice", "dr-er-1")]
+
+    def test_the_privacy_violation(self, rng):
+        """The paper's critique: the escrow reads PHI with NO emergency
+        and NO consent — impossible in HCPP (see collusion tests)."""
+        server, patient, _ = self._enrolled(rng)
+        plaintexts = server.covert_read("alice")
+        assert b"MI history." in plaintexts[0]
+        assert server.emergency_log == []  # nothing was even logged
+
+    def test_ownership_fully_linkable(self, rng):
+        server, patient, _ = self._enrolled(rng)
+        other = LeeLeePatient("bob", rng)
+        other.enroll(server)
+        other.store_record(server, make_phi_file(
+            rng, Category.XRAY, ["xray"], "note"))
+        assert server.server_view_owners() == {"alice": 1, "bob": 1}
+
+    def test_double_registration_rejected(self, rng):
+        server = EscrowServer()
+        patient = LeeLeePatient("alice", rng)
+        patient.enroll(server)
+        with pytest.raises(ParameterError):
+            patient.enroll(server)
+
+    def test_unknown_patient_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            EscrowServer().covert_read("ghost")
+
+
+class TestTanEtAl:
+    def _deployed(self, params, rng):
+        authority = TanAuthority(params, rng)
+        site = TanStorageSite()
+        node = TanSensorNode("alice", params, authority.public_key, rng)
+        node.upload(site, "role:er-duty", b"sensor record 1")
+        node.upload(site, "role:er-duty", b"sensor record 2")
+        return authority, site
+
+    def test_authorized_doctor_retrieves(self, params, rng):
+        authority, site = self._deployed(params, rng)
+        authority.authorize("dr-er")
+        records = doctor_retrieve(site, authority, params,
+                                  authority.public_key, "dr-er", "alice",
+                                  "role:er-duty")
+        assert records == [b"sensor record 1", b"sensor record 2"]
+
+    def test_unauthorized_doctor_blocked(self, params, rng):
+        authority, site = self._deployed(params, rng)
+        with pytest.raises(AccessDenied):
+            doctor_retrieve(site, authority, params, authority.public_key,
+                            "dr-mallory", "alice", "role:er-duty")
+
+    def test_content_confidential_at_rest(self, params, rng):
+        """Content confidentiality holds (that is not the flaw)."""
+        authority, site = self._deployed(params, rng)
+        blob = b"".join(r.ciphertext.V + r.ciphertext.W
+                        for r in site._records)
+        assert b"sensor record" not in blob
+
+    def test_the_linkability_violation(self, params, rng):
+        """The paper's critique: the site learns record ownership —
+        ownership inference succeeds with probability 1."""
+        authority, site = self._deployed(params, rng)
+        node_bob = TanSensorNode("bob", params, authority.public_key, rng)
+        node_bob.upload(site, "role:er-duty", b"bob record")
+        assert site.ownership_view() == {"alice": 2, "bob": 1}
+        assert site.infer_owner(0) == "alice"
+        assert site.infer_owner(2) == "bob"
+
+    def test_hcpp_defeats_same_inference(self, stored_system):
+        """Contrast: HCPP's server view has pseudonyms, not identities —
+        and fresh pseudonyms per session prevent even count aggregation."""
+        observations = stored_system.sserver.observations
+        assert all(b"alice" not in o.pseudonym for o in observations)
+
+    def test_index_bounds(self, params, rng):
+        authority, site = self._deployed(params, rng)
+        with pytest.raises(ParameterError):
+            site.infer_owner(99)

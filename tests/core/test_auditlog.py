@@ -1,0 +1,110 @@
+"""Audit-log tests: hash chain, Merkle proofs, A-server integration."""
+
+import pytest
+
+from repro.core.auditlog import AuditLog, Checkpoint
+from repro.exceptions import IntegrityError, ParameterError
+
+
+class TestAuditLog:
+    def test_append_and_read(self):
+        log = AuditLog()
+        idx = log.append(b"trace-0")
+        assert idx == 0
+        assert log.entry(0) == b"trace-0"
+        assert len(log) == 1
+
+    def test_chain_verifies(self):
+        log = AuditLog()
+        for i in range(10):
+            log.append(b"trace-%d" % i)
+        log.verify_chain()  # must not raise
+
+    def test_rewrite_detected(self):
+        log = AuditLog()
+        for i in range(5):
+            log.append(b"trace-%d" % i)
+        log._entries[2] = b"rewritten"
+        with pytest.raises(IntegrityError):
+            log.verify_chain()
+
+    def test_inclusion_proofs_all_sizes(self):
+        for n in (1, 2, 3, 7, 8, 9):
+            log = AuditLog()
+            entries = [b"e%d" % i for i in range(n)]
+            for entry in entries:
+                log.append(entry)
+            checkpoint = log.checkpoint()
+            for i, entry in enumerate(entries):
+                proof = log.prove_inclusion(i)
+                assert AuditLog.verify_entry(entry, proof, checkpoint), \
+                    "n=%d i=%d" % (n, i)
+
+    def test_wrong_entry_fails_proof(self):
+        log = AuditLog()
+        log.append(b"real")
+        log.append(b"other")
+        proof = log.prove_inclusion(0)
+        checkpoint = log.checkpoint()
+        assert not AuditLog.verify_entry(b"forged", proof, checkpoint)
+
+    def test_old_checkpoint_rejects_new_entries(self):
+        log = AuditLog()
+        log.append(b"a")
+        old = log.checkpoint()
+        log.append(b"b")
+        proof = log.prove_inclusion(1)
+        assert not AuditLog.verify_entry(b"b", proof, old)
+
+    def test_checkpoint_changes_per_append(self):
+        log = AuditLog()
+        roots = set()
+        for i in range(5):
+            log.append(b"e%d" % i)
+            roots.add(log.checkpoint().merkle_root)
+        assert len(roots) == 5
+
+    def test_index_bounds(self):
+        log = AuditLog()
+        with pytest.raises(ParameterError):
+            log.prove_inclusion(0)
+
+    def test_empty_checkpoint(self):
+        checkpoint = AuditLog().checkpoint()
+        assert checkpoint.size == 0
+
+
+class TestAServerIntegration:
+    def test_traces_committed(self, privileged_system):
+        from repro.core.protocols.emergency import (
+            pdevice_emergency_retrieval)
+        physician = privileged_system.any_physician()
+        privileged_system.state.sign_in(physician.hospital,
+                                        physician.physician_id)
+        pdevice_emergency_retrieval(
+            physician, privileged_system.pdevice, privileged_system.state,
+            privileged_system.sserver, privileged_system.network,
+            ["cardiology"])
+        state = privileged_system.state
+        assert len(state.audit_log) == len(state.traces) == 1
+        state.audit_log.verify_chain()
+        # A third party can verify the trace against the checkpoint.
+        checkpoint = state.audit_log.checkpoint()
+        proof = state.audit_log.prove_inclusion(0)
+        assert AuditLog.verify_entry(state.traces[0].to_bytes(), proof,
+                                     checkpoint)
+
+    def test_trace_rewrite_detected(self, privileged_system):
+        from repro.core.protocols.emergency import (
+            pdevice_emergency_retrieval)
+        physician = privileged_system.any_physician()
+        privileged_system.state.sign_in(physician.hospital,
+                                        physician.physician_id)
+        pdevice_emergency_retrieval(
+            physician, privileged_system.pdevice, privileged_system.state,
+            privileged_system.sserver, privileged_system.network,
+            ["cardiology"])
+        log = privileged_system.state.audit_log
+        log._entries[0] = b"scrubbed"
+        with pytest.raises(IntegrityError):
+            log.verify_chain()

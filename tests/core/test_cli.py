@@ -1,0 +1,56 @@
+"""CLI smoke tests: every subcommand runs and prints the expected shape."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def fast(monkeypatch):
+    """Use a tiny workload so CLI tests stay fast."""
+    return ["--seed", "cli-test", "--files", "5"]
+
+
+class TestCli:
+    def test_store(self, capsys, fast):
+        assert main(["store"] + fast) == 0
+        out = capsys.readouterr().out
+        assert "patient-side secret: 160 B" in out
+        assert "server-side total" in out
+
+    def test_search_default_keyword(self, capsys, fast):
+        assert main(["search"] + fast) == 0
+        out = capsys.readouterr().out
+        assert "file(s)" in out
+
+    def test_search_unknown_keyword(self, capsys, fast):
+        assert main(["search"] + fast + ["--keyword", "zzz"]) == 1
+        assert "not indexed" in capsys.readouterr().out
+
+    def test_emergency(self, capsys, fast):
+        assert main(["emergency"] + fast) == 0
+        out = capsys.readouterr().out
+        assert "RD:" in out and "TR:" in out
+        assert "verifies=True" in out
+
+    def test_demo(self, capsys, fast):
+        assert main(["demo"] + fast) == 0
+        out = capsys.readouterr().out
+        for step in ("[1]", "[2]", "[3]", "[4]", "[5]"):
+            assert step in out
+
+    def test_attacks(self, capsys, fast):
+        assert main(["attacks"] + fast) == 0
+        out = capsys.readouterr().out
+        assert "8/15" in out
+        assert "0/15" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all good" in out
+        assert "FAIL" not in out

@@ -1,0 +1,125 @@
+"""Cross-domain (HIBC-keyed) retrieval tests — §IV.D note, §V.A."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.records import Category
+from repro.core.aserver import FederalAServer
+from repro.core.entities import Patient
+from repro.core.protocols.crossdomain import (accept_session,
+                                              cross_domain_retrieval,
+                                              initiate_session)
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.sserver import StorageServer
+from repro.net.link import LinkClass
+from repro.net.sim import Network
+from repro.exceptions import AuthenticationError
+
+
+@pytest.fixture()
+def federation(params):
+    """A TN patient (with a level-4 HIBC pseudonym) and an FL S-server."""
+    rng = HmacDrbg(b"crossdomain")
+    federal = FederalAServer(params, rng)
+    tn = federal.create_state_server("TN")
+    federal.create_state_server("FL")
+    tn_hospital = federal.create_hospital_node("TN", "knox-general")
+    fl_hospital = federal.create_hospital_node("FL", "miami-general")
+    fl_sserver_node = fl_hospital.extract_child("sserver", rng)
+
+    fl_state = federal.state("FL")
+    server = StorageServer("miami-general", params,
+                           fl_state.enroll("sserver:miami-general"),
+                           rng.fork("fl-server"))
+    # During the Florida visit the patient held an FL pool pair (so the
+    # original *storage* used the same-domain SOK key); the later
+    # cross-domain *retrieval* from home must use the HIBC handshake.
+    patient = Patient("traveler", params, fl_state.public_key,
+                      fl_state.issue_temporary_pool(1)[0],
+                      rng.fork("patient"))
+    patient_node = federal.issue_patient_node(tn_hospital,
+                                              rng.fork("leaf"))
+
+    network = Network(rng.fork("net"))
+    network.add_node(patient.address)
+    network.add_node(server.address)
+    network.connect(patient.address, server.address, LinkClass.INTERNET)
+
+    # The patient stored PHI at the FL hospital during a visit there.
+    patient.add_record(Category.SURGERIES, ["surgeries"],
+                       "Appendectomy in Florida.", server.address)
+    private_phi_storage(patient, server, network)
+    return (federal, patient, patient_node, server, fl_sserver_node,
+            network)
+
+
+class TestHandshake:
+    def test_both_sides_agree(self, federation, params):
+        federal, patient, patient_node, server, server_node, _ = federation
+        key, handshake = initiate_session(
+            patient_node, server_node.id_tuple, params,
+            federal.root_public, patient.rng)
+        assert accept_session(server_node, handshake, params,
+                              federal.root_public) == key
+
+    def test_forged_signature_rejected(self, federation, params):
+        from dataclasses import replace
+        federal, patient, patient_node, _, server_node, _ = federation
+        _, handshake = initiate_session(
+            patient_node, server_node.id_tuple, params,
+            federal.root_public, patient.rng)
+        forged = replace(handshake,
+                         patient_tuple=handshake.patient_tuple[:-1]
+                         + ("patient:impostor",))
+        with pytest.raises(AuthenticationError):
+            accept_session(server_node, forged, params,
+                           federal.root_public)
+
+    def test_outside_the_tree_rejected(self, federation, params):
+        """A node from a different federal root cannot handshake."""
+        from repro.crypto.hibc import HibcRoot
+        federal, patient, _, _, server_node, _ = federation
+        rogue_root = HibcRoot(params, HmacDrbg(b"rogue"))
+        rogue = rogue_root.extract_child("federal-a-server",
+                                         HmacDrbg(b"r1"))
+        rogue = rogue.extract_child("state:TN", HmacDrbg(b"r2"))
+        _, handshake = initiate_session(rogue, server_node.id_tuple,
+                                        params, rogue_root.root_public,
+                                        patient.rng)
+        with pytest.raises(AuthenticationError):
+            accept_session(server_node, handshake, params,
+                           federal.root_public)
+
+    def test_pseudonymous_leaf(self, federation):
+        """The patient's HIBC credential carries no identity."""
+        _, patient, patient_node, _, _, _ = federation
+        leaf = patient_node.id_tuple[-1]
+        assert patient.name not in leaf
+        assert leaf.startswith("patient:")
+
+
+class TestCrossDomainRetrieval:
+    def test_end_to_end(self, federation, params):
+        federal, patient, patient_node, server, server_node, net = federation
+        result = cross_domain_retrieval(
+            patient, patient_node, server, server_node,
+            federal.root_public, net, ["surgeries"])
+        assert len(result.files) == 1
+        assert "Florida" in result.files[0].medical_content
+
+    def test_message_count(self, federation, params):
+        """One handshake message + the standard §IV.D round = 3 total."""
+        federal, patient, patient_node, server, server_node, net = federation
+        result = cross_domain_retrieval(
+            patient, patient_node, server, server_node,
+            federal.root_public, net, ["surgeries"])
+        assert result.stats.messages == 3
+
+    def test_server_observes_no_pseudonym_point(self, federation, params):
+        """Cross-domain searches appear under the session marker, not a
+        same-domain pseudonym — there is nothing to pair against."""
+        federal, patient, patient_node, server, server_node, net = federation
+        cross_domain_retrieval(patient, patient_node, server, server_node,
+                               federal.root_public, net, ["surgeries"])
+        searches = [o for o in server.observations if o.kind == "search"]
+        assert searches[-1].pseudonym == b"hibc-session"

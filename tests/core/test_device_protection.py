@@ -1,0 +1,115 @@
+"""Device-protection tests: TPM zeroization, alerting, lost-device
+tracking (§VI.A countermeasures)."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.core.device_protection import (AlertChannel, LostDeviceTracker,
+                                          TamperProofModule, TrackingServer)
+from repro.exceptions import AccessDenied, ParameterError
+
+
+class TestTamperProofModule:
+    def test_unseal_while_intact(self):
+        tpm = TamperProofModule(b"secret-material")
+        assert tpm.unseal() == b"secret-material"
+        assert tpm.intact
+
+    def test_tamper_erases(self):
+        tpm = TamperProofModule(b"secret-material")
+        tpm.detect_tamper()
+        assert not tpm.intact
+        with pytest.raises(AccessDenied):
+            tpm.unseal()
+        assert tpm.tamper_events == 1
+
+    def test_double_tamper_counted(self):
+        tpm = TamperProofModule(b"x")
+        tpm.detect_tamper()
+        tpm.detect_tamper()
+        assert tpm.tamper_events == 2
+
+    def test_empty_material_rejected(self):
+        with pytest.raises(ParameterError):
+            TamperProofModule(b"")
+
+    def test_tpm_closes_the_sophisticated_outsider_attack(self, params):
+        """§VI.A: with a TPM, even full physical compromise of a lost
+        P-device yields no ASSIGN secrets."""
+        from repro.core.system import build_system
+        from repro.core.protocols.privilege import assign_privilege
+        from repro.core.protocols.storage import private_phi_storage
+        from repro.ehr.records import Category
+        system = build_system(seed=b"tpm-test")
+        system.patient.add_record(Category.XRAY, ["xray"], "n",
+                                  system.sserver.address)
+        private_phi_storage(system.patient, system.sserver, system.network)
+        assign_privilege(system.patient, system.pdevice, system.sserver,
+                         system.network)
+        package_bytes = system.pdevice.package.to_bytes(system.params)
+        tpm = TamperProofModule(package_bytes)
+        tpm.detect_tamper()  # the thief opens the case
+        with pytest.raises(AccessDenied):
+            tpm.unseal()
+
+
+class TestAlertChannel:
+    def test_alert_delivery(self):
+        channel = AlertChannel(destination="alice-cell")
+        channel.push_alert("secrets accessed")
+        assert channel.delivered == ["[to alice-cell] secrets accessed"]
+
+    def test_record_forwarding(self):
+        channel = AlertChannel(destination="alice-cell")
+        channel.forward_record({"rd": 1})
+        channel.forward_record({"rd": 2})
+        assert len(channel.forwarded_records) == 2
+
+
+class TestLostDeviceTracker:
+    def test_owner_locates_device(self):
+        rng = HmacDrbg(b"tracker")
+        tracker = LostDeviceTracker(b"owner-key")
+        server = TrackingServer()
+        for epoch, place in enumerate(["home", "bus", "cafe"]):
+            server.deposit(tracker.beacon(epoch, place, rng))
+        found = tracker.locate(server, range(0, 10))
+        assert found == [(0, "home"), (1, "bus"), (2, "cafe")]
+
+    def test_server_learns_nothing_linkable(self):
+        """Tags are PRF outputs: two devices' beacons are uniform,
+        disjoint tags; the server cannot group them."""
+        rng = HmacDrbg(b"tracker2")
+        server = TrackingServer()
+        t1 = LostDeviceTracker(b"owner-1")
+        t2 = LostDeviceTracker(b"owner-2")
+        for epoch in range(5):
+            server.deposit(t1.beacon(epoch, "loc", rng))
+            server.deposit(t2.beacon(epoch, "loc", rng))
+        tags = server.all_tags()
+        assert len(set(tags)) == 10  # no collisions / shared structure
+        # Content is encrypted: the location string never appears.
+        for tag in tags:
+            assert b"loc" not in server.fetch(tag)
+
+    def test_wrong_owner_cannot_read(self):
+        rng = HmacDrbg(b"tracker3")
+        server = TrackingServer()
+        device_owner = LostDeviceTracker(b"owner-key")
+        server.deposit(device_owner.beacon(0, "home", rng))
+        other = LostDeviceTracker(b"attacker-key")
+        assert other.locate(server, range(0, 5)) == []
+
+    def test_corrupted_blob_ignored(self):
+        rng = HmacDrbg(b"tracker4")
+        server = TrackingServer()
+        tracker = LostDeviceTracker(b"owner-key")
+        beacon = tracker.beacon(0, "home", rng)
+        from repro.core.device_protection import LocationBeacon
+        server.deposit(LocationBeacon(tag=beacon.tag,
+                                      ciphertext=b"\x00" * 64))
+        assert tracker.locate(server, range(0, 2)) == []
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParameterError):
+            LostDeviceTracker(b"")

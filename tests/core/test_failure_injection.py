@@ -1,0 +1,124 @@
+"""Failure injection: protocols under network loss, down nodes, skewed
+clocks, and corrupted server state."""
+
+import pytest
+
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.ehr.records import Category
+from repro.net.link import LinkClass, LinkProfile
+from repro.exceptions import (NetworkError, NodeUnreachableError,
+                              ReplayError, SearchError, StorageError)
+
+
+class TestNetworkFailures:
+    def test_server_down_blocks_storage(self, system):
+        system.patient.add_record(Category.XRAY, ["xray"], "n",
+                                  system.sserver.address)
+        system.network.set_node_up(system.sserver.address, False)
+        with pytest.raises(NodeUnreachableError):
+            private_phi_storage(system.patient, system.sserver,
+                                system.network)
+        # Nothing was stored: the server state is unchanged.
+        assert system.sserver.collection_count() == 0
+
+    def test_server_recovers(self, system):
+        system.patient.add_record(Category.XRAY, ["xray"], "n",
+                                  system.sserver.address)
+        system.network.set_node_up(system.sserver.address, False)
+        with pytest.raises(NodeUnreachableError):
+            private_phi_storage(system.patient, system.sserver,
+                                system.network)
+        system.network.set_node_up(system.sserver.address, True)
+        result = private_phi_storage(system.patient, system.sserver,
+                                     system.network)
+        assert result.stats.messages == 1
+
+    def test_total_loss_fails_cleanly(self, system):
+        """A fully lossy wireless link exhausts retries with a clear
+        error, not a hang or corruption."""
+        system.patient.add_record(Category.XRAY, ["xray"], "n",
+                                  system.sserver.address)
+        system.network.profiles[LinkClass.WIRELESS] = LinkProfile(
+            link_class=LinkClass.WIRELESS, base_latency_s=0.01,
+            jitter_mean_s=0.0, bandwidth_bytes_per_s=1e6,
+            loss_probability=1.0)
+        with pytest.raises(NetworkError):
+            private_phi_storage(system.patient, system.sserver,
+                                system.network)
+        assert system.sserver.collection_count() == 0
+
+    def test_retries_absorb_moderate_loss(self, stored_system):
+        """30% loss: the 3-attempt retransmit almost always succeeds."""
+        stored_system.network.profiles[LinkClass.WIRELESS] = LinkProfile(
+            link_class=LinkClass.WIRELESS, base_latency_s=0.01,
+            jitter_mean_s=0.0, bandwidth_bytes_per_s=1e6,
+            loss_probability=0.3)
+        successes = 0
+        for _ in range(10):
+            try:
+                result = common_case_retrieval(
+                    stored_system.patient, stored_system.sserver,
+                    stored_system.network, ["allergies"])
+                if result.files:
+                    successes += 1
+            except NetworkError:
+                pass
+        assert successes >= 7
+
+
+class TestStaleAndSkewedClocks:
+    def test_stale_request_rejected(self, stored_system):
+        """A request delayed past the skew window is refused server-side."""
+        from repro.core.protocols.messages import pack_fields, seal
+        patient = stored_system.patient
+        server = stored_system.sserver
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(server.identity_key.public, pseudonym)
+        trapdoor = patient.trapdoor("allergies").to_bytes()
+        old_time = stored_system.network.clock.now
+        request = seal(nu, "phi-retrieve", pack_fields(trapdoor), old_time)
+        collection_id = patient.collection_ids[server.address]
+        with pytest.raises(ReplayError):
+            server.handle_search(pseudonym.public, collection_id, request,
+                                 old_time + 3600.0)
+
+    def test_duplicate_request_rejected(self, stored_system):
+        from repro.core.protocols.messages import pack_fields, seal
+        patient = stored_system.patient
+        server = stored_system.sserver
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(server.identity_key.public, pseudonym)
+        trapdoor = patient.trapdoor("allergies").to_bytes()
+        now = stored_system.network.clock.now
+        request = seal(nu, "phi-retrieve", pack_fields(trapdoor), now)
+        collection_id = patient.collection_ids[server.address]
+        server.handle_search(pseudonym.public, collection_id, request,
+                             now + 0.1)
+        with pytest.raises(ReplayError):
+            server.handle_search(pseudonym.public, collection_id, request,
+                                 now + 0.2)
+
+
+class TestCorruptedServerState:
+    def test_corrupted_index_slot_detected(self, stored_system):
+        """The server corrupting an index node is caught during the list
+        walk (node decryption fails)."""
+        server = stored_system.sserver
+        collection = next(iter(server._collections.values()))
+        # Corrupt every slot: any search that touches a node must fail.
+        collection.index.array = [b"\x00" * len(slot)
+                                  for slot in collection.index.array]
+        with pytest.raises((SearchError, StorageError)):
+            common_case_retrieval(stored_system.patient, server,
+                                  stored_system.network, ["allergies"])
+
+    def test_dropped_file_detected(self, stored_system):
+        """Index says the file exists but the blob is gone — a clear
+        server-side integrity error, not a silent empty result."""
+        server = stored_system.sserver
+        collection = next(iter(server._collections.values()))
+        collection.files.clear()
+        with pytest.raises(StorageError):
+            common_case_retrieval(stored_system.patient, server,
+                                  stored_system.network, ["allergies"])

@@ -1,0 +1,101 @@
+"""Envelope / replay-guard tests (data-integrity requirement §III.C)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.protocols.messages import (Envelope, ReplayGuard,
+                                           open_envelope, pack_fields,
+                                           seal, unpack_fields)
+from repro.exceptions import IntegrityError, ParameterError, ReplayError
+
+KEY = b"\x42" * 32
+
+
+class TestPackFields:
+    def test_round_trip(self):
+        fields = [b"", b"a", b"bb" * 100]
+        assert unpack_fields(pack_fields(*fields)) == fields
+
+    def test_empty(self):
+        assert unpack_fields(pack_fields()) == []
+
+    def test_expected_count_enforced(self):
+        payload = pack_fields(b"a", b"b")
+        assert unpack_fields(payload, expected=2) == [b"a", b"b"]
+        with pytest.raises(ParameterError):
+            unpack_fields(payload, expected=3)
+
+    def test_truncated_rejected(self):
+        payload = pack_fields(b"abcdef")
+        with pytest.raises(ParameterError):
+            unpack_fields(payload[:-2])
+        with pytest.raises(ParameterError):
+            unpack_fields(payload[:2])
+
+    def test_unambiguous(self):
+        assert pack_fields(b"ab", b"c") != pack_fields(b"a", b"bc")
+
+
+class TestEnvelope:
+    def test_seal_open(self):
+        env = seal(KEY, "step", b"payload", 100.0)
+        assert open_envelope(KEY, env, 100.5) == b"payload"
+
+    def test_wrong_key_rejected(self):
+        env = seal(KEY, "step", b"payload", 100.0)
+        with pytest.raises(IntegrityError):
+            open_envelope(b"\x43" * 32, env, 100.5)
+
+    def test_tampered_payload_rejected(self):
+        env = seal(KEY, "step", b"payload", 100.0)
+        forged = replace(env, payload=b"qayload")
+        with pytest.raises(IntegrityError):
+            open_envelope(KEY, forged, 100.5)
+
+    def test_tampered_timestamp_rejected(self):
+        env = seal(KEY, "step", b"payload", 100.0)
+        forged = replace(env, timestamp=130.0)
+        with pytest.raises(IntegrityError):
+            open_envelope(KEY, forged, 130.5)
+
+    def test_stale_rejected(self):
+        env = seal(KEY, "step", b"payload", 100.0)
+        with pytest.raises(ReplayError):
+            open_envelope(KEY, env, 100.0 + 61.0)
+
+    def test_future_rejected(self):
+        env = seal(KEY, "step", b"payload", 200.0)
+        with pytest.raises(ReplayError):
+            open_envelope(KEY, env, 100.0)
+
+    def test_custom_skew(self):
+        env = seal(KEY, "step", b"p", 100.0)
+        assert open_envelope(KEY, env, 160.0, max_skew_s=120.0) == b"p"
+
+    def test_size_accounting(self):
+        env = seal(KEY, "step", b"x" * 100, 1.0)
+        assert env.size_bytes() == 100 + 8 + 32
+
+
+class TestReplayGuard:
+    def test_replay_detected(self):
+        guard = ReplayGuard()
+        env = seal(KEY, "step", b"p", 100.0)
+        open_envelope(KEY, env, 100.1, guard)
+        with pytest.raises(ReplayError):
+            open_envelope(KEY, env, 100.2, guard)
+
+    def test_distinct_messages_pass(self):
+        guard = ReplayGuard()
+        for i in range(10):
+            env = seal(KEY, "step", b"p%d" % i, 100.0 + i)
+            open_envelope(KEY, env, 100.0 + i, guard)
+        assert len(guard) == 10
+
+    def test_pruning(self):
+        guard = ReplayGuard(window_s=10.0)
+        env1 = seal(KEY, "a", b"p1", 100.0)
+        open_envelope(KEY, env1, 100.0, guard)
+        env2 = seal(KEY, "b", b"p2", 150.0)
+        open_envelope(KEY, env2, 150.0, guard, max_skew_s=10.0)
+        assert len(guard) == 1  # env1 pruned

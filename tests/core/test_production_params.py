@@ -1,0 +1,59 @@
+"""End-to-end runs at the production SS512 parameters.
+
+Everything else in the suite uses the fast 160-bit test curve; these
+tests confirm the whole stack also works at the security level the paper
+assumes (PBC Type-A, ~1024-bit-RSA equivalent) — including the emergency
+path, whose passcode and signatures exercise IBE/IBS at full size.
+"""
+
+import pytest
+
+from repro.crypto.params import default_params
+from repro.ehr.records import Category
+from repro.core.protocols.emergency import pdevice_emergency_retrieval
+from repro.core.protocols.privilege import assign_privilege
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import build_system
+
+
+@pytest.fixture(scope="module")
+def ss512_system():
+    system = build_system(seed=b"ss512-suite", params=default_params())
+    system.patient.add_record(
+        Category.CARDIOLOGY, ["cardiology"], "MI history (SS512 run).",
+        system.sserver.address)
+    private_phi_storage(system.patient, system.sserver, system.network)
+    return system
+
+
+class TestProductionParameters:
+    def test_parameter_sizes(self):
+        params = default_params()
+        assert params.p.bit_length() == 512
+        assert params.r.bit_length() == 160
+        assert params.r == (1 << 159) + (1 << 107) + 1  # PBC a.param
+
+    def test_store_and_retrieve(self, ss512_system):
+        result = common_case_retrieval(
+            ss512_system.patient, ss512_system.sserver,
+            ss512_system.network, ["cardiology"])
+        assert len(result.files) == 1
+        assert "MI history" in result.files[0].medical_content
+
+    def test_full_emergency_path(self, ss512_system):
+        assign_privilege(ss512_system.patient, ss512_system.pdevice,
+                         ss512_system.sserver, ss512_system.network)
+        physician = ss512_system.any_physician()
+        ss512_system.state.sign_in(physician.hospital,
+                                   physician.physician_id)
+        result = pdevice_emergency_retrieval(
+            physician, ss512_system.pdevice, ss512_system.state,
+            ss512_system.sserver, ss512_system.network, ["cardiology"])
+        assert len(result.files) == 1
+        trace = ss512_system.state.traces[0]
+        assert trace.verify(ss512_system.params,
+                            ss512_system.state.public_key)
+        record = ss512_system.pdevice.records[0]
+        assert record.verify(ss512_system.params,
+                             ss512_system.state.public_key)

@@ -1,0 +1,82 @@
+"""Property-based tests over the full protocol stack.
+
+Hypothesis drives random workloads and query mixes through the real
+store → retrieve pipeline and checks the end-to-end invariants:
+
+* every stored keyword retrieves exactly its files, plaintext-equal;
+* unknown keywords retrieve nothing;
+* the privileged (family) path returns the same answers as the owner path;
+* message accounting matches the §V.B.2 formulas for any workload shape.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.dictionary import canonicalize
+from repro.ehr.records import Category
+from repro.core.protocols.emergency import family_based_retrieval
+from repro.core.protocols.privilege import assign_privilege
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import build_system
+
+# Workload: 1-5 records, each with 1-3 keywords from a small pool and a
+# short unicode-free note (content equality is the oracle).
+_keyword = st.sampled_from(
+    ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"])
+_record = st.tuples(
+    st.lists(_keyword, min_size=1, max_size=3, unique=True),
+    st.text(alphabet="abcdefghij ", min_size=1, max_size=40))
+_workload = st.lists(_record, min_size=1, max_size=5)
+
+
+def _store_workload(workload, seed):
+    system = build_system(seed=seed)
+    expected: dict[str, list[str]] = {}
+    for keywords, note in workload:
+        phi = system.patient.add_record(Category.DIAGNOSES, list(keywords),
+                                        note, system.sserver.address)
+        for kw in phi.keywords:
+            expected.setdefault(kw, []).append(note)
+    private_phi_storage(system.patient, system.sserver, system.network)
+    return system, expected
+
+
+class TestProtocolProperties:
+    @given(_workload)
+    @settings(max_examples=10, deadline=None)
+    def test_owner_retrieval_matches_workload(self, workload):
+        system, expected = _store_workload(workload, b"prop-owner")
+        for keyword, notes in expected.items():
+            result = common_case_retrieval(
+                system.patient, system.sserver, system.network, [keyword])
+            assert sorted(f.medical_content for f in result.files) \
+                == sorted(notes)
+            assert result.stats.messages == 2
+
+    @given(_workload, _keyword)
+    @settings(max_examples=10, deadline=None)
+    def test_unindexed_keyword_empty(self, workload, probe):
+        system, expected = _store_workload(workload, b"prop-empty")
+        canonical = canonicalize(probe)
+        if canonical in expected:
+            return
+        system.patient.dictionary.add(canonical)
+        result = common_case_retrieval(system.patient, system.sserver,
+                                       system.network, [canonical])
+        assert result.files == []
+
+    @given(_workload)
+    @settings(max_examples=8, deadline=None)
+    def test_family_path_agrees_with_owner_path(self, workload):
+        system, expected = _store_workload(workload, b"prop-family")
+        assign_privilege(system.patient, system.family, system.sserver,
+                         system.network)
+        for keyword, notes in expected.items():
+            owner = common_case_retrieval(system.patient, system.sserver,
+                                          system.network, [keyword])
+            family = family_based_retrieval(system.family, system.sserver,
+                                            system.network, [keyword])
+            assert sorted(f.medical_content for f in owner.files) \
+                == sorted(f.medical_content for f in family.files)
+            assert family.stats.messages == 4

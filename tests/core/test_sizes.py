@@ -1,0 +1,83 @@
+"""Storage/size claims of §V.B.1 — experiment E6's test-level checks."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.phi import generate_workload
+from repro.sse.scheme import Sse1Scheme, keygen
+
+
+class TestPatientSideStorage:
+    def test_sse_keys_constant(self):
+        """O(1) patient storage: the SSE secret is a fixed few hundred
+        bytes regardless of collection size."""
+        keys = keygen(HmacDrbg(b"k"))
+        assert keys.size_bytes() == 5 * 32  # 160 bytes, constant
+
+    def test_key_material_few_hundred_bytes(self, params, pkg, rng):
+        """§V.B.1: TP_p/Γ_p (2 |G1| elements) + shared keys — 'in total
+        several hundred bytes'."""
+        from repro.crypto.pseudonym import issue_temporary_pair
+        pair = issue_temporary_pair(params, pkg.master_secret, rng)
+        pair_bytes = (len(pair.public.to_bytes())
+                      + len(pair.private.to_bytes()))
+        shared_keys = 3 * 32  # ν with a few servers
+        total = pair_bytes + shared_keys + keygen(rng).size_bytes()
+        assert total < 1024  # "several hundred bytes"
+
+    def test_patient_storage_independent_of_collection(self):
+        """The retrieval-related secret does not grow with N files."""
+        small_keys = keygen(HmacDrbg(b"a"))
+        large_keys = keygen(HmacDrbg(b"b"))
+        # Same fixed size whether indexing 10 or 10,000 files:
+        assert small_keys.size_bytes() == large_keys.size_bytes()
+
+
+class TestServerSideStorage:
+    @pytest.mark.parametrize("n_files", [10, 40])
+    def test_index_linear_in_pairs(self, n_files):
+        """O(N) server storage: index size tracks the pair count."""
+        rng = HmacDrbg(b"w%d" % n_files)
+        collection = generate_workload(rng, n_files)
+        scheme = Sse1Scheme(keygen(rng))
+        index = scheme.build_index(collection.keyword_map(), rng)
+        pairs = collection.index.pair_count()
+        per_pair = index.size_bytes() / pairs
+        # Each pair costs one encrypted node (+ padding + table overhead);
+        # the constant must be bounded (node is 41B plaintext, ~53B cipher).
+        assert 40 < per_pair < 400
+
+    def test_index_scaling_ratio(self):
+        """Doubling the collection roughly doubles server-side storage."""
+        sizes = {}
+        for n in (20, 40):
+            rng = HmacDrbg(b"scale%d" % n)
+            collection = generate_workload(rng, n)
+            scheme = Sse1Scheme(keygen(rng))
+            index = scheme.build_index(collection.keyword_map(), rng)
+            sizes[n] = (index.size_bytes(),
+                        collection.index.pair_count())
+        ratio_size = sizes[40][0] / sizes[20][0]
+        ratio_pairs = sizes[40][1] / sizes[20][1]
+        assert ratio_size / ratio_pairs == pytest.approx(1.0, rel=0.5)
+
+
+class TestWireSizes:
+    def test_trapdoor_small(self):
+        from repro.sse.index import Trapdoor
+        scheme = Sse1Scheme(keygen(HmacDrbg(b"k")))
+        td = scheme.trapdoor("keyword")
+        assert len(td.to_bytes()) == Trapdoor.WIRE_BYTES == 40
+
+    def test_assign_package_dominated_by_index(self, privileged_system):
+        """The ASSIGN payload is small (keys + KI + dictionary)."""
+        package = privileged_system.family.package
+        size = package.size_bytes(privileged_system.params)
+        assert size < 16 * 1024  # comfortably fits one message
+
+    def test_envelope_overhead_constant(self):
+        from repro.core.protocols.messages import seal
+        small = seal(b"k" * 32, "s", b"x", 0.0)
+        large = seal(b"k" * 32, "s", b"x" * 1000, 0.0)
+        assert (large.size_bytes() - large.payload.__len__()
+                == small.size_bytes() - small.payload.__len__() == 40)

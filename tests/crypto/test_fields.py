@@ -1,0 +1,157 @@
+"""Field-arithmetic tests: F_p and F_p² axioms and edge cases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fields import Fp, Fp2Element
+from repro.exceptions import ParameterError
+
+P = (1 << 127) - 1  # Mersenne prime ≡ 3 (mod 4)
+
+elements = st.integers(min_value=0, max_value=P - 1)
+
+
+class TestFp:
+    def test_add_sub(self):
+        a, b = Fp(10, P), Fp(P - 3, P)
+        assert (a + b).value == 7
+        assert (a - b).value == 13
+
+    def test_mul_pow(self):
+        a = Fp(7, P)
+        assert (a * a).value == 49
+        assert (a ** 3).value == 343
+        assert (a * 2).value == 14  # int multiplication
+
+    def test_inverse(self):
+        a = Fp(12345, P)
+        assert (a * a.inverse()).value == 1
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ParameterError):
+            Fp(0, P).inverse()
+
+    def test_div(self):
+        a, b = Fp(20, P), Fp(4, P)
+        assert (a / b).value == 5
+
+    def test_sqrt(self):
+        a = Fp(9, P)
+        root = a.sqrt()
+        assert (root * root).value == 9
+
+    def test_is_square(self):
+        assert Fp(4, P).is_square()
+        assert Fp(0, P).is_square()
+
+    def test_mixed_modulus_raises(self):
+        with pytest.raises(ParameterError):
+            Fp(1, P) + Fp(1, 7)
+
+    def test_conversions(self):
+        a = Fp(42, P)
+        assert int(a) == 42
+        assert bool(a)
+        assert not bool(Fp(0, P))
+        assert len(a.to_bytes()) == 16
+
+
+class TestFp2Axioms:
+    @given(elements, elements, elements, elements)
+    @settings(max_examples=50)
+    def test_mul_commutative(self, a, b, c, d):
+        x, y = Fp2Element(a, b, P), Fp2Element(c, d, P)
+        assert x * y == y * x
+
+    @given(elements, elements, elements, elements, elements, elements)
+    @settings(max_examples=30)
+    def test_mul_associative(self, a, b, c, d, e, f):
+        x, y, z = (Fp2Element(a, b, P), Fp2Element(c, d, P),
+                   Fp2Element(e, f, P))
+        assert (x * y) * z == x * (y * z)
+
+    @given(elements, elements, elements, elements, elements, elements)
+    @settings(max_examples=30)
+    def test_distributive(self, a, b, c, d, e, f):
+        x, y, z = (Fp2Element(a, b, P), Fp2Element(c, d, P),
+                   Fp2Element(e, f, P))
+        assert x * (y + z) == x * y + x * z
+
+    @given(elements, elements)
+    @settings(max_examples=50)
+    def test_square_matches_mul(self, a, b):
+        x = Fp2Element(a, b, P)
+        assert x.square() == x * x
+
+    @given(elements, elements)
+    @settings(max_examples=50)
+    def test_inverse(self, a, b):
+        x = Fp2Element(a, b, P)
+        if x.is_zero():
+            return
+        assert (x * x.inverse()).is_one()
+
+    @given(elements, elements)
+    @settings(max_examples=30)
+    def test_frobenius_is_p_power(self, a, b):
+        x = Fp2Element(a, b, P)
+        assert x.frobenius() == x ** P
+
+    @given(elements, elements)
+    @settings(max_examples=50)
+    def test_norm_is_conjugate_product(self, x_a, x_b):
+        x = Fp2Element(x_a, x_b, P)
+        product = x * x.conjugate()
+        assert product.b == 0
+        assert product.a == x.norm()
+
+
+class TestFp2Basics:
+    def test_i_squared_is_minus_one(self):
+        i = Fp2Element(0, 1, P)
+        assert i * i == Fp2Element(P - 1, 0, P)
+
+    def test_one_zero(self):
+        assert Fp2Element.one(P).is_one()
+        assert Fp2Element.zero(P).is_zero()
+        assert not Fp2Element.one(P).is_zero()
+
+    def test_from_base(self):
+        x = Fp2Element.from_base(5, P)
+        assert x.a == 5 and x.b == 0
+
+    def test_pow_negative(self):
+        x = Fp2Element(3, 4, P)
+        assert (x ** -2) * (x ** 2) == Fp2Element.one(P)
+
+    def test_pow_zero(self):
+        assert (Fp2Element(3, 4, P) ** 0).is_one()
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ParameterError):
+            Fp2Element.zero(P).inverse()
+
+    def test_requires_p_3_mod_4(self):
+        with pytest.raises(ParameterError):
+            Fp2Element(1, 1, 13)  # 13 ≡ 1 (mod 4)
+
+    def test_bytes_round_trip(self):
+        x = Fp2Element(123456, 654321, P)
+        assert Fp2Element.from_bytes(x.to_bytes(), P) == x
+
+    def test_bad_encoding_length(self):
+        with pytest.raises(ParameterError):
+            Fp2Element.from_bytes(b"\x00" * 3, P)
+
+    def test_division(self):
+        x, y = Fp2Element(5, 7, P), Fp2Element(2, 3, P)
+        assert (x / y) * y == x
+
+    def test_int_scalar_mul(self):
+        x = Fp2Element(5, 7, P)
+        assert x * 3 == x + x + x
+        assert 3 * x == x * 3
+
+    def test_hash_and_eq(self):
+        assert hash(Fp2Element(1, 2, P)) == hash(Fp2Element(1, 2, P))
+        assert Fp2Element(1, 2, P) != Fp2Element(2, 1, P)

@@ -1,0 +1,139 @@
+"""Hierarchical IBC tests: the paper's 3-level tree, encryption, signing."""
+
+import pytest
+
+from repro.crypto.hibc import (HibcRoot, hibe_encrypt, hids_verify,
+                               hids_verify_or_raise, id_tuple_hash)
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import (DecryptionError, ParameterError,
+                              SignatureError)
+
+
+@pytest.fixture()
+def tree(params):
+    """root → federal(level1) → state(level2) → hospital(level3)."""
+    rng = HmacDrbg(b"hibc-tree")
+    root = HibcRoot(params, rng)
+    federal = root.extract_child("federal", rng)
+    state = federal.extract_child("state-TN", rng)
+    hospital = state.extract_child("hospital-0", rng)
+    return root, federal, state, hospital, rng
+
+
+class TestKeyDerivation:
+    def test_depths(self, tree):
+        root, federal, state, hospital, _ = tree
+        assert federal.depth == 1
+        assert state.depth == 2
+        assert hospital.depth == 3
+
+    def test_id_tuples_accumulate(self, tree):
+        _, _, state, hospital, _ = tree
+        assert state.id_tuple == ("federal", "state-TN")
+        assert hospital.id_tuple == ("federal", "state-TN", "hospital-0")
+
+    def test_q_chain_lengths(self, tree):
+        _, federal, state, hospital, _ = tree
+        assert len(federal.q_chain) == 0
+        assert len(state.q_chain) == 1
+        assert len(hospital.q_chain) == 2
+
+    def test_tuple_hash_depth_bounds(self, params):
+        with pytest.raises(ParameterError):
+            id_tuple_hash(params, ("a",), 2)
+        with pytest.raises(ParameterError):
+            id_tuple_hash(params, ("a",), 0)
+
+    def test_sibling_keys_differ(self, tree, params):
+        _, federal, _, _, rng = tree
+        s1 = federal.extract_child("state-TN", rng)
+        s2 = federal.extract_child("state-FL", rng)
+        assert s1.psi != s2.psi
+
+
+class TestHibeEncryption:
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_round_trip_each_level(self, tree, params, level):
+        root, federal, state, hospital, rng = tree
+        node = {1: federal, 2: state, 3: hospital}[level]
+        ct = hibe_encrypt(params, root.root_public, node.id_tuple,
+                          b"cross-domain message", rng)
+        assert node.decrypt(ct) == b"cross-domain message"
+
+    def test_wrong_node_cannot_decrypt(self, tree, params):
+        root, federal, state, hospital, rng = tree
+        other = state.extract_child("hospital-1", rng)
+        ct = hibe_encrypt(params, root.root_public, hospital.id_tuple,
+                          b"secret", rng)
+        result = other.decrypt(ct)
+        assert result != b"secret"
+
+    def test_ancestor_cannot_decrypt_as_child(self, tree, params):
+        """A parent's ψ has wrong depth for a child's ciphertext."""
+        root, _, state, hospital, rng = tree
+        ct = hibe_encrypt(params, root.root_public, hospital.id_tuple,
+                          b"secret", rng)
+        with pytest.raises(DecryptionError):
+            state.decrypt(ct)
+
+    def test_empty_tuple_rejected(self, tree, params):
+        root, _, _, _, rng = tree
+        with pytest.raises(ParameterError):
+            hibe_encrypt(params, root.root_public, (), b"m", rng)
+
+    def test_ciphertext_grows_with_depth(self, tree, params):
+        root, federal, _, hospital, rng = tree
+        shallow = hibe_encrypt(params, root.root_public, federal.id_tuple,
+                               b"m", rng)
+        deep = hibe_encrypt(params, root.root_public, hospital.id_tuple,
+                            b"m", rng)
+        assert deep.size_bytes() > shallow.size_bytes()
+
+
+class TestHidsSignatures:
+    def test_sign_verify_each_level(self, tree, params):
+        root, federal, state, hospital, _ = tree
+        for node in (federal, state, hospital):
+            sig = node.sign(b"roster update")
+            assert hids_verify(params, root.root_public, node.id_tuple,
+                               b"roster update", sig)
+
+    def test_rejects_wrong_message(self, tree, params):
+        root, _, _, hospital, _ = tree
+        sig = hospital.sign(b"m1")
+        assert not hids_verify(params, root.root_public, hospital.id_tuple,
+                               b"m2", sig)
+
+    def test_rejects_wrong_tuple(self, tree, params):
+        root, _, state, hospital, rng = tree
+        other = state.extract_child("hospital-1", rng)
+        sig = hospital.sign(b"m")
+        assert not hids_verify(params, root.root_public, other.id_tuple,
+                               b"m", sig)
+
+    def test_rejects_truncated_q_chain(self, tree, params):
+        from dataclasses import replace
+        root, _, _, hospital, _ = tree
+        sig = hospital.sign(b"m")
+        forged = replace(sig, q_values=sig.q_values[:-1])
+        assert not hids_verify(params, root.root_public, hospital.id_tuple,
+                               b"m", forged)
+
+    def test_verify_or_raise(self, tree, params):
+        root, _, _, hospital, _ = tree
+        sig = hospital.sign(b"m")
+        hids_verify_or_raise(params, root.root_public, hospital.id_tuple,
+                             b"m", sig)
+        with pytest.raises(SignatureError):
+            hids_verify_or_raise(params, root.root_public,
+                                 hospital.id_tuple, b"forged", sig)
+
+    def test_cross_state_verification(self, tree, params):
+        """§V.A availability: any party verifies any domain via Q_0."""
+        root, federal, _, _, rng = tree
+        fl_state = federal.extract_child("state-FL", rng)
+        fl_hospital = fl_state.extract_child("hospital-9", rng)
+        sig = fl_hospital.sign(b"cross-domain auth")
+        # The TN hospital (or anyone) verifies with only public data.
+        assert hids_verify(params, root.root_public, fl_hospital.id_tuple,
+                           b"cross-domain auth", sig)

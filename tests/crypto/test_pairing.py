@@ -1,0 +1,138 @@
+"""Tate-pairing tests: the three properties of paper §II.A, plus edges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fields import Fp2Element
+from repro.crypto.pairing import (final_exponentiation, miller_loop,
+                                  pairing_product, tate_pairing)
+from repro.crypto.params import generate_type_a
+from repro.crypto.params import test_params as _test_params
+from repro.exceptions import ParameterError
+
+PARAMS = _test_params()
+G = PARAMS.generator
+R = PARAMS.r
+
+scalars = st.integers(min_value=1, max_value=R - 1)
+
+
+class TestPairingProperties:
+    def test_non_degenerate(self):
+        """Property 2: ∃ P, Q with e(P, Q) ≠ 1 — true for the generator."""
+        assert not tate_pairing(G, G).is_one()
+
+    def test_output_has_order_r(self):
+        e = tate_pairing(G, G)
+        assert (e ** R).is_one()
+        assert not (e ** 1).is_one()
+
+    @given(scalars, scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_bilinear(self, a, b):
+        """Property 1: e(aP, bQ) = e(P, Q)^{ab}."""
+        assert tate_pairing(G * a, G * b) == tate_pairing(G, G) ** (a * b % R)
+
+    def test_bilinear_left_additivity(self):
+        P1, P2, Q = G * 3, G * 5, G * 7
+        assert (tate_pairing(P1 + P2, Q)
+                == tate_pairing(P1, Q) * tate_pairing(P2, Q))
+
+    def test_bilinear_right_additivity(self):
+        P, Q1, Q2 = G * 3, G * 5, G * 7
+        assert (tate_pairing(P, Q1 + Q2)
+                == tate_pairing(P, Q1) * tate_pairing(P, Q2))
+
+    def test_symmetry(self):
+        """The distortion-map pairing is symmetric: ê(P, Q) = ê(Q, P)."""
+        P, Q = G * 11, G * 13
+        assert tate_pairing(P, Q) == tate_pairing(Q, P)
+
+    def test_negation(self):
+        P, Q = G * 4, G * 9
+        assert tate_pairing(-P, Q) == tate_pairing(P, Q).inverse()
+
+    def test_infinity_inputs_give_one(self):
+        from repro.crypto.ec import Point
+        inf = Point.infinity_point(PARAMS.curve)
+        assert tate_pairing(inf, G).is_one()
+        assert tate_pairing(G, inf).is_one()
+
+    def test_sok_key_agreement(self):
+        """The NIKE identity: ê(aP, bP) = ê(bP, aP) = ê(P,P)^{ab}."""
+        a, b, s = 111, 222, 333
+        pk_a, pk_b = G * a, G * b
+        gamma_a, gamma_b = pk_a * s, pk_b * s
+        assert tate_pairing(gamma_a, pk_b) == tate_pairing(pk_a, gamma_b)
+
+
+class TestPairingInternals:
+    def test_final_exponentiation_unitary(self):
+        """Post-exponentiation values have norm 1 (lie in the order-r
+        cyclotomic subgroup)."""
+        e = tate_pairing(G * 2, G * 3)
+        assert e.norm() == 1
+
+    def test_final_exponentiation_zero_raises(self):
+        with pytest.raises(ParameterError):
+            final_exponentiation(Fp2Element.zero(PARAMS.p), PARAMS.curve)
+
+    def test_miller_plus_final_matches(self):
+        raw = miller_loop(G, G)
+        assert final_exponentiation(raw, PARAMS.curve) == tate_pairing(G, G)
+
+    def test_mixed_curve_raises(self):
+        other = generate_type_a(32, 80, b"other-curve")
+        with pytest.raises(ParameterError):
+            tate_pairing(G, other.generator)
+
+
+class TestPairingProduct:
+    def test_single_matches(self):
+        assert (pairing_product([(G * 2, G * 3)], PARAMS.curve)
+                == tate_pairing(G * 2, G * 3))
+
+    def test_two_products(self):
+        pairs = [(G * 2, G * 3), (G * 5, G * 7)]
+        expected = tate_pairing(G * 2, G * 3) * tate_pairing(G * 5, G * 7)
+        assert pairing_product(pairs, PARAMS.curve) == expected
+
+    def test_ratio_check_true(self):
+        # e(aP, bP) == e(abP, P)
+        assert pairing_product([(G * 6, G * 5), (-(G * 30), G)],
+                               PARAMS.curve).is_one()
+
+    def test_ratio_check_false(self):
+        assert not pairing_product([(G * 6, G * 5), (-(G * 31), G)],
+                                   PARAMS.curve).is_one()
+
+    def test_empty_product_is_one(self):
+        assert pairing_product([], PARAMS.curve).is_one()
+
+    def test_infinity_pairs_skipped(self):
+        from repro.crypto.ec import Point
+        inf = Point.infinity_point(PARAMS.curve)
+        assert (pairing_product([(inf, G), (G * 2, G * 3)], PARAMS.curve)
+                == tate_pairing(G * 2, G * 3))
+
+
+class TestGeneratedParams:
+    def test_fresh_parameters_pair_correctly(self):
+        fresh = generate_type_a(40, 96, b"fresh-test-params")
+        P = fresh.generator
+        e = fresh.pairing(P, P)
+        assert not e.is_one()
+        assert (e ** fresh.r).is_one()
+        assert fresh.pairing(P * 3, P * 4) == e ** 12
+
+    def test_generated_params_deterministic(self):
+        a = generate_type_a(32, 80, b"seed-x")
+        b = generate_type_a(32, 80, b"seed-x")
+        assert a.p == b.p and a.r == b.r
+        assert a.generator == b.generator
+
+    def test_bad_sizes_raise(self):
+        with pytest.raises(ParameterError):
+            generate_type_a(8, 80, b"x")
+        with pytest.raises(ParameterError):
+            generate_type_a(80, 81, b"x")

@@ -1,0 +1,218 @@
+"""PEKS tests: BDOP, Abdalla transform, role PEKS, multi-keyword PECK."""
+
+import pytest
+
+from repro.crypto.peks import (AbdallaPeks, BdopPeks, MultiKeywordPeks,
+                               RolePeks)
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture()
+def receiver(params, rng):
+    return BdopPeks(params, rng)
+
+
+class TestBdopPeks:
+    def test_match(self, receiver, rng):
+        tag = receiver.tag("cardiology", rng)
+        assert receiver.test(tag, receiver.trapdoor("cardiology"))
+
+    def test_no_match(self, receiver, rng):
+        tag = receiver.tag("cardiology", rng)
+        assert not receiver.test(tag, receiver.trapdoor("allergies"))
+
+    def test_consistency_many_keywords(self, receiver, rng):
+        keywords = ["kw-%d" % i for i in range(8)]
+        tags = {kw: receiver.tag(kw, rng) for kw in keywords}
+        for kw in keywords:
+            trapdoor = receiver.trapdoor(kw)
+            for other, tag in tags.items():
+                assert receiver.test(tag, trapdoor) == (kw == other)
+
+    def test_tags_randomized(self, receiver, rng):
+        assert receiver.tag("x", rng).A != receiver.tag("x", rng).A
+
+    def test_wrong_receiver_trapdoor_fails(self, params, rng):
+        r1 = BdopPeks(params, rng)
+        r2 = BdopPeks(params, rng)
+        tag = r1.tag("kw", rng)
+        assert not r1.test(tag, r2.trapdoor("kw"))
+
+    def test_sizes(self, receiver, rng):
+        tag = receiver.tag("kw", rng)
+        assert tag.size_bytes() > 0
+        assert receiver.trapdoor("kw").size_bytes() > 0
+
+
+class TestAbdallaPeks:
+    def test_match(self, params, rng):
+        scheme = AbdallaPeks(params, rng)
+        tag = scheme.tag("glucose", rng)
+        assert scheme.test(tag, scheme.trapdoor("glucose"))
+
+    def test_no_match(self, params, rng):
+        scheme = AbdallaPeks(params, rng)
+        tag = scheme.tag("glucose", rng)
+        assert not scheme.test(tag, scheme.trapdoor("spo2"))
+
+    def test_computational_consistency(self, params, rng):
+        """The property the Abdalla transform exists for: with a random R
+        per tag, a mismatch cannot accidentally verify."""
+        scheme = AbdallaPeks(params, rng)
+        keywords = ["a", "b", "c", "d"]
+        for kw in keywords:
+            tag = scheme.tag(kw, rng)
+            for other in keywords:
+                assert scheme.test(tag, scheme.trapdoor(other)) == (kw == other)
+
+
+class TestRolePeks:
+    ROLE = "role:2026-07-04|emergency|TN"
+
+    def test_match(self, params, pkg, rng):
+        scheme = RolePeks(params, pkg.public_key)
+        role_key = pkg.extract(self.ROLE)
+        tag = scheme.tag(self.ROLE, "2026-07-05", rng)
+        td = RolePeks.trapdoor(role_key.private, params, "2026-07-05")
+        assert scheme.test(tag, td)
+
+    def test_wrong_keyword(self, params, pkg, rng):
+        scheme = RolePeks(params, pkg.public_key)
+        role_key = pkg.extract(self.ROLE)
+        tag = scheme.tag(self.ROLE, "2026-07-05", rng)
+        td = RolePeks.trapdoor(role_key.private, params, "2026-07-06")
+        assert not scheme.test(tag, td)
+
+    def test_wrong_role_key(self, params, pkg, rng):
+        """A key for a different role string cannot search this role's tags
+        — the role-based access control bind."""
+        scheme = RolePeks(params, pkg.public_key)
+        other_key = pkg.extract("role:2026-07-04|emergency|FL")
+        tag = scheme.tag(self.ROLE, "2026-07-05", rng)
+        td = RolePeks.trapdoor(other_key.private, params, "2026-07-05")
+        assert not scheme.test(tag, td)
+
+    def test_tagger_needs_only_public_data(self, params, pkg, rng):
+        """The P-device tags with (role string, P_pub) — no secrets; the
+        scheme object holds no private state."""
+        scheme = RolePeks(params, pkg.public_key)
+        tag = scheme.tag(self.ROLE, "kw", rng)
+        assert tag.A is not None and len(tag.B) == 32
+
+    def test_infinity_role_key_rejected(self, params):
+        from repro.crypto.ec import Point
+        with pytest.raises(ParameterError):
+            RolePeks.trapdoor(Point.infinity_point(params.curve), params,
+                              "kw")
+
+
+class TestMultiKeywordPeks:
+    ROLE = "role:2026-07-04|emergency|TN"
+
+    def test_any_keyword_matches(self, params, pkg, rng):
+        scheme = MultiKeywordPeks(params, pkg.public_key)
+        role_key = pkg.extract(self.ROLE)
+        tag = scheme.tag(self.ROLE, ["d1", "d2", "d3"], rng)
+        for kw in ("d1", "d2", "d3"):
+            td = MultiKeywordPeks.trapdoor(role_key.private, params, kw)
+            assert scheme.test(tag, td)
+
+    def test_absent_keyword_fails(self, params, pkg, rng):
+        scheme = MultiKeywordPeks(params, pkg.public_key)
+        role_key = pkg.extract(self.ROLE)
+        tag = scheme.tag(self.ROLE, ["d1", "d2"], rng)
+        td = MultiKeywordPeks.trapdoor(role_key.private, params, "d9")
+        assert not scheme.test(tag, td)
+
+    def test_conjunctive(self, params, pkg, rng):
+        scheme = MultiKeywordPeks(params, pkg.public_key)
+        role_key = pkg.extract(self.ROLE)
+        tag = scheme.tag(self.ROLE, ["d1", "d2"], rng)
+        both = [MultiKeywordPeks.trapdoor(role_key.private, params, kw)
+                for kw in ("d1", "d2")]
+        mixed = [MultiKeywordPeks.trapdoor(role_key.private, params, kw)
+                 for kw in ("d1", "d9")]
+        assert scheme.test_all(tag, both)
+        assert not scheme.test_all(tag, mixed)
+
+    def test_empty_keywords_rejected(self, params, pkg, rng):
+        scheme = MultiKeywordPeks(params, pkg.public_key)
+        with pytest.raises(ParameterError):
+            scheme.tag(self.ROLE, [], rng)
+
+    def test_size_savings_vs_single_tags(self, params, pkg, rng):
+        """One shared σP across n keywords beats n independent tags."""
+        single = RolePeks(params, pkg.public_key)
+        multi = MultiKeywordPeks(params, pkg.public_key)
+        keywords = ["k%d" % i for i in range(5)]
+        singles = sum(single.tag(self.ROLE, kw, rng).size_bytes()
+                      for kw in keywords)
+        combined = multi.tag(self.ROLE, keywords, rng).size_bytes()
+        assert combined < singles
+
+
+class TestBroadcastEncryption:
+    def test_full_set_single_cover(self, rng):
+        from repro.crypto.broadcast import BroadcastEncryption
+        be = BroadcastEncryption(b"m", 8)
+        ct = be.encrypt(b"payload", frozenset(), rng)
+        assert len(ct.cover) == 1  # root covers everyone
+
+    def test_all_receivers_decrypt(self, rng):
+        from repro.crypto.broadcast import BroadcastEncryption
+        be = BroadcastEncryption(b"m", 8)
+        ct = be.encrypt(b"payload", frozenset(), rng)
+        for leaf in range(8):
+            secret = be.receiver_secret(leaf)
+            assert BroadcastEncryption.decrypt(ct, secret, be.capacity) \
+                == b"payload"
+
+    def test_revoked_cannot_decrypt(self, rng):
+        from repro.crypto.broadcast import BroadcastEncryption
+        from repro.exceptions import RevokedError
+        be = BroadcastEncryption(b"m", 16)
+        revoked = {2, 9, 15}
+        ct = be.encrypt(b"payload", frozenset(revoked), rng)
+        for leaf in range(16):
+            secret = be.receiver_secret(leaf)
+            if leaf in revoked:
+                with pytest.raises(RevokedError):
+                    BroadcastEncryption.decrypt(ct, secret, be.capacity)
+            else:
+                assert BroadcastEncryption.decrypt(
+                    ct, secret, be.capacity) == b"payload"
+
+    def test_cover_size_bound(self, rng):
+        """NNL bound: |cover| <= t·log2(n/t) + t for t revocations."""
+        import math
+        from repro.crypto.broadcast import BroadcastEncryption
+        be = BroadcastEncryption(b"m", 64)
+        for t in (1, 2, 4, 8):
+            revoked = frozenset(range(0, 64, 64 // t))
+            ct = be.encrypt(b"p", revoked, rng)
+            bound = t * max(1, math.ceil(math.log2(64 / t))) + t
+            assert len(ct.cover) <= bound
+
+    def test_capacity_rounds_up(self):
+        from repro.crypto.broadcast import BroadcastEncryption
+        assert BroadcastEncryption(b"m", 5).capacity == 8
+        assert BroadcastEncryption(b"m", 1).capacity == 1
+
+    def test_out_of_range_leaf(self, rng):
+        from repro.crypto.broadcast import BroadcastEncryption
+        be = BroadcastEncryption(b"m", 4)
+        with pytest.raises(ParameterError):
+            be.receiver_secret(4)
+        with pytest.raises(ParameterError):
+            be.encrypt(b"p", frozenset({4}), rng)
+
+    def test_everyone_revoked(self, rng):
+        from repro.crypto.broadcast import BroadcastEncryption
+        from repro.exceptions import RevokedError
+        be = BroadcastEncryption(b"m", 4)
+        ct = be.encrypt(b"p", frozenset(range(4)), rng)
+        assert len(ct.cover) == 0
+        with pytest.raises(RevokedError):
+            BroadcastEncryption.decrypt(ct, be.receiver_secret(0),
+                                        be.capacity)

@@ -1,0 +1,105 @@
+"""PRP tests: bijectivity, invertibility, key separation (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prp import DomainPrp, FeistelPrp
+from repro.exceptions import ParameterError
+
+
+class TestFeistelPrp:
+    def test_is_permutation_small(self):
+        prp = FeistelPrp(b"key", 10)
+        images = {prp.encrypt(x) for x in range(1 << 10)}
+        assert len(images) == 1 << 10
+
+    def test_is_permutation_odd_bits(self):
+        prp = FeistelPrp(b"key", 9)  # unbalanced halves (5/4)
+        images = {prp.encrypt(x) for x in range(1 << 9)}
+        assert len(images) == 1 << 9
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=50)
+    def test_invertible_48bit(self, x):
+        prp = FeistelPrp(b"key", 48)
+        assert prp.decrypt(prp.encrypt(x)) == x
+
+    @given(st.integers(min_value=0, max_value=(1 << 320) - 1))
+    @settings(max_examples=25)
+    def test_invertible_wide_domain(self, x):
+        """The θ wrap domain (β + γ + log₂α bits) is several hundred bits."""
+        prp = FeistelPrp(b"key", 320)
+        assert prp.decrypt(prp.encrypt(x)) == x
+
+    def test_key_separation(self):
+        a, b = FeistelPrp(b"k1", 32), FeistelPrp(b"k2", 32)
+        collisions = sum(1 for x in range(256)
+                         if a.encrypt(x) == b.encrypt(x))
+        assert collisions < 4  # ~256/2^32 expected; allow slack
+
+    def test_domain_bounds(self):
+        prp = FeistelPrp(b"k", 8)
+        with pytest.raises(ParameterError):
+            prp.encrypt(256)
+        with pytest.raises(ParameterError):
+            prp.decrypt(-1)
+
+    def test_too_few_rounds_rejected(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(b"k", 16, rounds=3)
+
+    def test_too_small_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(b"k", 1)
+
+    def test_bytes_interface(self):
+        prp = FeistelPrp(b"k", 64)
+        data = bytes(range(8))
+        assert prp.decrypt_bytes(prp.encrypt_bytes(data)) == data
+
+    def test_bytes_length_mismatch(self):
+        prp = FeistelPrp(b"k", 64)
+        with pytest.raises(ParameterError):
+            prp.encrypt_bytes(b"short")
+
+    def test_bytes_overflow_rejected(self):
+        prp = FeistelPrp(b"k", 15)  # 2 bytes but only 15 bits
+        with pytest.raises(ParameterError):
+            prp.encrypt_bytes(b"\xff\xff")
+
+
+class TestDomainPrp:
+    @pytest.mark.parametrize("size", [2, 3, 10, 100, 1000, 1023, 1025])
+    def test_is_permutation(self, size):
+        prp = DomainPrp(b"key", size)
+        images = sorted(prp.encrypt(x) for x in range(size))
+        assert images == list(range(size))
+
+    @pytest.mark.parametrize("size", [7, 100, 999])
+    def test_invertible(self, size):
+        prp = DomainPrp(b"key", size)
+        assert all(prp.decrypt(prp.encrypt(x)) == x for x in range(size))
+
+    @given(st.integers(min_value=2, max_value=5000),
+           st.binary(min_size=1, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_random_domains_round_trip(self, size, key):
+        prp = DomainPrp(key, size)
+        probes = {0, size - 1, size // 2}
+        for x in probes:
+            assert prp.decrypt(prp.encrypt(x)) == x
+
+    def test_out_of_domain(self):
+        prp = DomainPrp(b"k", 10)
+        with pytest.raises(ParameterError):
+            prp.encrypt(10)
+        with pytest.raises(ParameterError):
+            prp.decrypt(-1)
+
+    def test_size_one_rejected(self):
+        with pytest.raises(ParameterError):
+            DomainPrp(b"k", 1)
+
+    def test_different_keys_differ(self):
+        a, b = DomainPrp(b"k1", 1000), DomainPrp(b"k2", 1000)
+        assert any(a.encrypt(x) != b.encrypt(x) for x in range(50))

@@ -1,0 +1,135 @@
+"""Shamir sharing + threshold PKG tests (the §VI.D split A-server)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.shamir import (Share, ThresholdPkg, lagrange_at_zero,
+                                 reconstruct, split)
+from repro.exceptions import ParameterError
+
+PRIME = (1 << 127) - 1
+
+
+class TestShamir:
+    def test_round_trip(self):
+        rng = HmacDrbg(b"shamir")
+        shares = split(123456789, 3, 5, PRIME, rng)
+        assert len(shares) == 5
+        assert reconstruct(shares[:3], PRIME) == 123456789
+        assert reconstruct(shares[2:], PRIME) == 123456789
+        assert reconstruct(shares, PRIME) == 123456789
+
+    def test_any_subset_of_threshold_size(self):
+        rng = HmacDrbg(b"shamir2")
+        shares = split(42, 2, 4, PRIME, rng)
+        import itertools
+        for subset in itertools.combinations(shares, 2):
+            assert reconstruct(list(subset), PRIME) == 42
+
+    def test_below_threshold_wrong(self):
+        """t−1 shares interpolate to a different value (w.h.p.)."""
+        rng = HmacDrbg(b"shamir3")
+        shares = split(777, 3, 5, PRIME, rng)
+        assert reconstruct(shares[:2], PRIME) != 777
+
+    def test_one_of_one(self):
+        rng = HmacDrbg(b"shamir4")
+        shares = split(99, 1, 1, PRIME, rng)
+        assert shares[0].y == 99
+        assert reconstruct(shares, PRIME) == 99
+
+    def test_bad_params(self):
+        rng = HmacDrbg(b"x")
+        with pytest.raises(ParameterError):
+            split(1, 0, 3, PRIME, rng)
+        with pytest.raises(ParameterError):
+            split(1, 4, 3, PRIME, rng)
+        with pytest.raises(ParameterError):
+            reconstruct([], PRIME)
+        with pytest.raises(ParameterError):
+            lagrange_at_zero([1, 1], PRIME)
+
+    @given(st.integers(min_value=0, max_value=PRIME - 1),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip(self, secret, threshold, extra):
+        n = threshold + extra
+        rng = HmacDrbg(b"prop%d" % (secret % 1000))
+        shares = split(secret, threshold, n, PRIME, rng)
+        assert reconstruct(shares[:threshold], PRIME) == secret
+
+
+class TestThresholdPkg:
+    @pytest.fixture()
+    def pkg3of5(self, params):
+        return ThresholdPkg.setup(params, threshold=3, n_offices=5,
+                                  rng=HmacDrbg(b"tpkg"))
+
+    def test_threshold_extraction(self, pkg3of5):
+        partials = [pkg3of5.partial_extract(i, "dr-house")
+                    for i in pkg3of5.offices[:3]]
+        key = pkg3of5.combine("dr-house", partials)
+        assert pkg3of5.verify_extraction(key)
+
+    def test_any_office_subset(self, pkg3of5):
+        partials = [pkg3of5.partial_extract(i, "dr-house")
+                    for i in (2, 4, 5)]
+        key = pkg3of5.combine("dr-house", partials)
+        assert pkg3of5.verify_extraction(key)
+
+    def test_below_threshold_rejected(self, pkg3of5):
+        partials = [pkg3of5.partial_extract(i, "dr-house") for i in (1, 2)]
+        with pytest.raises(ParameterError):
+            pkg3of5.combine("dr-house", partials)
+
+    def test_below_threshold_key_is_wrong(self, pkg3of5, params):
+        """Even force-combining t−1 partials yields an invalid key."""
+        partials = [pkg3of5.partial_extract(i, "dr-house") for i in (1, 2)]
+        coefficients = lagrange_at_zero([p.share_x for p in partials],
+                                        params.r)
+        forged = partials[0].point * coefficients[0] \
+            + partials[1].point * coefficients[1]
+        from repro.crypto.ibe import IdentityKeyPair
+        from repro.crypto.hashes import h1_identity
+        candidate = IdentityKeyPair(
+            identity="dr-house",
+            public=h1_identity(params, "dr-house"), private=forged)
+        assert not pkg3of5.verify_extraction(candidate)
+
+    def test_extracted_key_works_for_ibe(self, pkg3of5, params, rng):
+        """The threshold-extracted key decrypts like a plain PKG key."""
+        from repro.crypto.ibe import BasicIdent
+        partials = [pkg3of5.partial_extract(i, "dr-house")
+                    for i in pkg3of5.offices[:3]]
+        key = pkg3of5.combine("dr-house", partials)
+        scheme = BasicIdent(params, pkg3of5.public_key)
+        ct = scheme.encrypt("dr-house", b"role key payload", rng)
+        assert scheme.decrypt(key, ct) == b"role key payload"
+
+    def test_extracted_key_signs(self, pkg3of5, params, rng):
+        from repro.crypto import ibs
+        partials = [pkg3of5.partial_extract(i, "dr-house")
+                    for i in pkg3of5.offices[:3]]
+        key = pkg3of5.combine("dr-house", partials)
+        sig = ibs.sign(params, key, b"on-duty attestation", rng)
+        assert ibs.verify(params, pkg3of5.public_key, "dr-house",
+                          b"on-duty attestation", sig)
+
+    def test_unknown_office_rejected(self, pkg3of5):
+        with pytest.raises(ParameterError):
+            pkg3of5.partial_extract(99, "dr-house")
+
+    def test_matches_plain_pkg_semantics(self, params):
+        """Threshold and plain PKGs with the same s0 agree exactly."""
+        from repro.crypto.ibe import PrivateKeyGenerator
+        rng = HmacDrbg(b"agree")
+        secret = params.random_scalar(rng)
+        shares = split(secret, 2, 3, params.r, rng)
+        tpkg = ThresholdPkg(params, shares,
+                            params.generator * secret, threshold=2)
+        plain = PrivateKeyGenerator.from_secret(params, secret)
+        partials = [tpkg.partial_extract(i, "x") for i in (1, 3)]
+        assert tpkg.combine("x", partials).private \
+            == plain.extract("x").private

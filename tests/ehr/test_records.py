@@ -1,0 +1,169 @@
+"""PHI record / dictionary / keyword-index tests."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.ehr.dictionary import (KeywordDictionary, canonicalize,
+                                  is_valid_syntax)
+from repro.ehr.keyindex import KeywordIndex
+from repro.ehr.records import Category, PhiFile, make_phi_file, new_fid
+from repro.exceptions import ParameterError, SearchError
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(b"ehr-tests")
+
+
+class TestPhiFile:
+    def test_round_trip(self, rng):
+        original = make_phi_file(
+            rng, Category.XRAY, ["xray", "fracture"],
+            "Left wrist hairline fracture.",
+            patient_fields={"name": "Alice", "mrn": "MRN000001"},
+            created_at=1234.5)
+        assert PhiFile.from_bytes(original.to_bytes()) == original
+
+    def test_unicode_content(self, rng):
+        original = make_phi_file(rng, Category.DIAGNOSES, ["migraine"],
+                                 "Migraña crónica — seguimiento.")
+        assert PhiFile.from_bytes(original.to_bytes()) == original
+
+    def test_bad_fid_size(self):
+        with pytest.raises(ParameterError):
+            PhiFile(fid=b"short", category=Category.XRAY,
+                    keywords=("xray",))
+
+    def test_keywords_required(self, rng):
+        with pytest.raises(ParameterError):
+            PhiFile(fid=new_fid(rng), category=Category.XRAY, keywords=())
+
+    def test_category_from_string(self):
+        assert Category.from_string("xray") is Category.XRAY
+        with pytest.raises(ParameterError):
+            Category.from_string("nonsense")
+
+    def test_fresh_fids_distinct(self, rng):
+        assert len({new_fid(rng) for _ in range(100)}) == 100
+
+    def test_size_accounting(self, rng):
+        small = make_phi_file(rng, Category.XRAY, ["xray"], "x")
+        large = make_phi_file(rng, Category.XRAY, ["xray"], "x" * 1000)
+        assert large.size_bytes() > small.size_bytes()
+
+
+class TestDictionary:
+    def test_canonicalize(self):
+        assert canonicalize("Drug History") == "drug-history"
+        assert canonicalize("  SpO2 ") == "spo2"
+        assert canonicalize("beta_blocker") == "beta-blocker"
+        assert canonicalize("2026-07-04") == "2026-07-04"
+
+    def test_canonicalize_empty_raises(self):
+        with pytest.raises(ParameterError):
+            canonicalize("!!!")
+
+    def test_syntax_validation(self):
+        assert is_valid_syntax("heart-rate")
+        assert is_valid_syntax("2026-07-04")
+        assert is_valid_syntax("2026-07-01..2026-07-05")
+        assert not is_valid_syntax("Heart Rate")
+        assert not is_valid_syntax("")
+
+    def test_standard_vocabulary_present(self):
+        d = KeywordDictionary()
+        for kw in ("allergies", "heart-rate", "penicillin", "icu"):
+            assert kw in d
+
+    def test_dates_allowed_by_default(self):
+        d = KeywordDictionary()
+        assert "2026-01-31" in d
+        assert "2026-01-01..2026-01-05" in d
+
+    def test_dates_can_be_disabled(self):
+        d = KeywordDictionary(allow_dates=False)
+        assert "2026-01-31" not in d
+
+    def test_unknown_rejected(self):
+        d = KeywordDictionary()
+        assert "quantum-flux" not in d
+
+    def test_validate_gate(self):
+        d = KeywordDictionary()
+        assert d.validate(["Allergies", "heart-rate"]) \
+            == ["allergies", "heart-rate"]
+        with pytest.raises(SearchError):
+            d.validate(["allergies", "not-a-term"])
+
+    def test_add_and_membership(self):
+        d = KeywordDictionary(keywords=())
+        assert len(d) == 0
+        assert d.add("My Custom Term") == "my-custom-term"
+        assert "my-custom-term" in d
+        assert len(d) == 1
+
+    def test_serialization_round_trip(self):
+        d = KeywordDictionary()
+        restored = KeywordDictionary.from_bytes(d.to_bytes())
+        assert restored.words() == d.words()
+
+    def test_garbage_membership_false(self):
+        assert "!!!" not in KeywordDictionary()
+
+
+class TestKeywordIndex:
+    def _file(self, rng, keywords):
+        return make_phi_file(rng, Category.DIAGNOSES, keywords, "note")
+
+    def test_add_and_query(self, rng):
+        index = KeywordIndex()
+        f = self._file(rng, ["diabetes", "hypertension"])
+        index.add_file(f, "sserver://h0")
+        assert index.fids_for("diabetes") == [f.fid]
+        assert index.fids_for("hypertension") == [f.fid]
+        assert index.fids_for("none") == []
+
+    def test_duplicate_rejected(self, rng):
+        index = KeywordIndex()
+        f = self._file(rng, ["diabetes"])
+        index.add_file(f, "s")
+        with pytest.raises(ParameterError):
+            index.add_file(f, "s")
+
+    def test_remove(self, rng):
+        index = KeywordIndex()
+        f = self._file(rng, ["diabetes"])
+        index.add_file(f, "s")
+        index.remove_file(f.fid)
+        assert index.fids_for("diabetes") == []
+        assert index.file_count() == 0
+
+    def test_servers_for_grouping(self, rng):
+        """Cross-hospital: fids grouped per S-server (§IV.D)."""
+        index = KeywordIndex()
+        f1 = self._file(rng, ["diabetes"])
+        f2 = self._file(rng, ["diabetes"])
+        index.add_file(f1, "sserver://h0")
+        index.add_file(f2, "sserver://h1")
+        grouped = index.servers_for("diabetes")
+        assert grouped == {"sserver://h0": [f1.fid],
+                           "sserver://h1": [f2.fid]}
+
+    def test_pair_count(self, rng):
+        index = KeywordIndex()
+        index.add_file(self._file(rng, ["a", "b", "c"]), "s")
+        index.add_file(self._file(rng, ["a"]), "s")
+        assert index.pair_count() == 4
+        assert index.file_count() == 2
+
+    def test_serialization_round_trip(self, rng):
+        index = KeywordIndex()
+        for _ in range(5):
+            index.add_file(self._file(rng, ["a", "b"]), "sserver://h0")
+        restored = KeywordIndex.from_bytes(index.to_bytes())
+        assert restored.keyword_to_fids.keys() == index.keyword_to_fids.keys()
+        assert sorted(restored.fids_for("a")) == sorted(index.fids_for("a"))
+        assert restored.fid_to_server == index.fid_to_server
+
+    def test_empty_serialization(self):
+        assert KeywordIndex.from_bytes(b"").file_count() == 0

@@ -1,0 +1,238 @@
+"""Network substrate tests: clock, links, kernel, topology, onion overlay."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.net.clock import SimClock
+from repro.net.link import DEFAULT_PROFILES, LinkClass, LinkProfile
+from repro.net.onion import OnionOverlay
+from repro.net.sim import EventScheduler, Network
+from repro.exceptions import (LinkDownError, NetworkError,
+                              NodeUnreachableError, ParameterError)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_to(self):
+        clock = SimClock(10.0)
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_no_rewind(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ParameterError):
+            clock.advance(-1)
+        with pytest.raises(ParameterError):
+            clock.advance_to(5.0)
+
+
+class TestLinkProfiles:
+    def test_all_classes_have_profiles(self):
+        assert set(DEFAULT_PROFILES) == set(LinkClass)
+
+    def test_delay_positive_and_size_sensitive(self):
+        rng = HmacDrbg(b"link")
+        profile = DEFAULT_PROFILES[LinkClass.WIRELESS]
+        small = profile.delay(100, rng)
+        big = profile.delay(10_000_000, rng)
+        assert small > 0
+        assert big > small  # serialization delay dominates for large msgs
+
+    def test_wired_faster_than_wireless(self):
+        rng = HmacDrbg(b"link2")
+        wired = sum(DEFAULT_PROFILES[LinkClass.WIRED_LAN].delay(1000, rng)
+                    for _ in range(50))
+        wireless = sum(DEFAULT_PROFILES[LinkClass.WIRELESS].delay(1000, rng)
+                       for _ in range(50))
+        assert wired < wireless
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ParameterError):
+            DEFAULT_PROFILES[LinkClass.WIRELESS].delay(-1, HmacDrbg(b"x"))
+
+    def test_lossy_link_drops(self):
+        profile = LinkProfile(link_class=LinkClass.WIRELESS,
+                              base_latency_s=0.01, jitter_mean_s=0.0,
+                              bandwidth_bytes_per_s=1e6,
+                              loss_probability=1.0)
+        assert profile.drops(HmacDrbg(b"x"))
+
+
+class TestEventScheduler:
+    def test_ordering(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(2.0, lambda: hits.append("b"))
+        sched.schedule(1.0, lambda: hits.append("a"))
+        sched.schedule(3.0, lambda: hits.append("c"))
+        assert sched.run() == 3
+        assert hits == ["a", "b", "c"]
+        assert sched.clock.now == 3.0
+
+    def test_run_until(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(1.0, lambda: hits.append(1))
+        sched.schedule(5.0, lambda: hits.append(5))
+        assert sched.run(until=2.0) == 1
+        assert hits == [1]
+        assert sched.clock.now == 2.0
+        assert sched.pending() == 1
+
+    def test_cascading_events(self):
+        sched = EventScheduler()
+        hits = []
+
+        def first():
+            hits.append("first")
+            sched.schedule(1.0, lambda: hits.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert hits == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+
+@pytest.fixture()
+def net():
+    network = Network(HmacDrbg(b"net-tests"))
+    for node in ("a", "b", "c"):
+        network.add_node(node)
+    network.connect("a", "b", LinkClass.WIRELESS)
+    network.connect("b", "c", LinkClass.WIRED_LAN)
+    return network
+
+
+class TestNetwork:
+    def test_transmit_advances_clock_and_logs(self, net):
+        before = net.clock.now
+        record = net.transmit("a", "b", 1000, label="x")
+        assert net.clock.now > before
+        assert record.latency > 0
+        assert net.log[-1] is record
+
+    def test_no_link_raises(self, net):
+        with pytest.raises(LinkDownError):
+            net.transmit("a", "c", 100)
+
+    def test_unknown_node_rejected(self, net):
+        with pytest.raises(ParameterError):
+            net.connect("a", "ghost", LinkClass.WIRELESS)
+        with pytest.raises(ParameterError):
+            net.set_node_up("ghost", False)
+
+    def test_down_node_unreachable(self, net):
+        net.set_node_up("b", False)
+        with pytest.raises(NodeUnreachableError):
+            net.transmit("a", "b", 100)
+        net.set_node_up("b", True)
+        net.transmit("a", "b", 100)
+
+    def test_down_source_unreachable(self, net):
+        net.set_node_up("a", False)
+        with pytest.raises(NodeUnreachableError):
+            net.transmit("a", "b", 100)
+
+    def test_stats_window(self, net):
+        mark = net.mark()
+        net.transmit("a", "b", 100)
+        net.transmit("b", "c", 200)
+        stats = net.stats_between(mark)
+        assert stats["messages"] == 2
+        assert stats["bytes"] == 300
+        assert stats["latency"] > 0
+
+    def test_empty_stats(self, net):
+        assert net.stats_between(net.mark())["messages"] == 0
+
+    def test_lossy_link_retries_then_fails(self):
+        network = Network(HmacDrbg(b"lossy"))
+        network.add_node("a")
+        network.add_node("b")
+        network.connect("a", "b", LinkClass.WIRELESS)
+        network.profiles[LinkClass.WIRELESS] = LinkProfile(
+            link_class=LinkClass.WIRELESS, base_latency_s=0.01,
+            jitter_mean_s=0.0, bandwidth_bytes_per_s=1e6,
+            loss_probability=1.0)
+        with pytest.raises(NetworkError):
+            network.transmit("a", "b", 100)
+
+
+class TestOnionOverlay:
+    @pytest.fixture()
+    def overlay(self):
+        network = Network(HmacDrbg(b"onion-tests"))
+        for node in ("patient", "server"):
+            network.add_node(node)
+        overlay = OnionOverlay(network,
+                               ["relay-%d" % i for i in range(5)])
+        overlay.connect_full_mesh(["patient", "server"])
+        return overlay
+
+    def test_payload_delivered(self, overlay):
+        rng = HmacDrbg(b"c")
+        circuit = overlay.build_circuit(rng, 3)
+        delivery = overlay.route("patient", circuit, "server",
+                                 b"query payload", rng)
+        assert delivery.payload == b"query payload"
+
+    def test_source_hidden(self, overlay):
+        rng = HmacDrbg(b"c")
+        circuit = overlay.build_circuit(rng, 3)
+        delivery = overlay.route("patient", circuit, "server", b"q", rng)
+        assert delivery.observed_source != "patient"
+        assert delivery.observed_source in overlay.relays
+
+    def test_server_never_sees_patient_address(self, overlay):
+        rng = HmacDrbg(b"c")
+        for _ in range(5):
+            circuit = overlay.build_circuit(rng, 3)
+            overlay.route("patient", circuit, "server", b"q", rng)
+        inbound = [r for r in overlay.network.log if r.dst == "server"]
+        assert inbound
+        assert all(r.src != "patient" for r in inbound)
+
+    def test_circuits_random(self, overlay):
+        rng = HmacDrbg(b"c")
+        paths = {overlay.build_circuit(rng, 3).relays for _ in range(10)}
+        assert len(paths) > 1
+
+    def test_hop_count_bounds(self, overlay):
+        rng = HmacDrbg(b"c")
+        with pytest.raises(ParameterError):
+            overlay.build_circuit(rng, 0)
+        with pytest.raises(ParameterError):
+            overlay.build_circuit(rng, 6)  # only 5 relays
+
+    def test_single_hop(self, overlay):
+        rng = HmacDrbg(b"c")
+        circuit = overlay.build_circuit(rng, 1)
+        delivery = overlay.route("patient", circuit, "server", b"q", rng)
+        assert delivery.payload == b"q"
+
+    def test_layered_encryption_hides_payload(self, overlay):
+        """The entry-hop onion must not reveal the plaintext payload."""
+        rng = HmacDrbg(b"c")
+        circuit = overlay.build_circuit(rng, 3)
+        onion = overlay.wrap(circuit, "server", b"the secret payload", rng)
+        assert b"the secret payload" not in onion
+        assert b"server" not in onion
+
+    def test_latency_grows_with_hops(self, overlay):
+        rng = HmacDrbg(b"c")
+        d1 = overlay.route("patient", overlay.build_circuit(rng, 1),
+                           "server", b"q", rng)
+        d3 = overlay.route("patient", overlay.build_circuit(rng, 3),
+                           "server", b"q", rng)
+        assert d3.total_latency > d1.total_latency
+
+    def test_no_relays_rejected(self, overlay):
+        with pytest.raises(ParameterError):
+            OnionOverlay(overlay.network, [])

@@ -1,0 +1,92 @@
+"""SSE-2 (adaptive) tests: drop-in correctness + max-padding behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import HmacDrbg
+from repro.sse.adaptive import Sse2Scheme
+from repro.exceptions import ParameterError
+
+
+def fid(i: int) -> bytes:
+    return i.to_bytes(16, "big")
+
+
+MAPPING = {
+    "allergies": [fid(1), fid(2)],
+    "xray": [fid(3)],
+    "surgery": [fid(1), fid(4), fid(5)],
+}
+
+
+@pytest.fixture()
+def scheme():
+    return Sse2Scheme.keygen(HmacDrbg(b"sse2"))
+
+
+class TestSse2:
+    def test_search_correct(self, scheme):
+        index = scheme.build_index(MAPPING, HmacDrbg(b"b"))
+        for kw, fids in MAPPING.items():
+            assert scheme.search(index, kw) == fids
+
+    def test_unknown_keyword_empty(self, scheme):
+        index = scheme.build_index(MAPPING, HmacDrbg(b"b"))
+        assert scheme.search(index, "nothing") == []
+
+    def test_padding_hides_counts(self, scheme):
+        """With pad_to, every keyword stores the same number of entries."""
+        index = scheme.build_index(MAPPING, HmacDrbg(b"b"), pad_to=4)
+        assert index.entries == 3 * 4
+        for kw, fids in MAPPING.items():
+            assert scheme.search(index, kw) == fids
+
+    def test_pad_too_small_rejected(self, scheme):
+        with pytest.raises(ParameterError):
+            scheme.build_index(MAPPING, HmacDrbg(b"b"), pad_to=2)
+
+    def test_bad_fid_size_rejected(self, scheme):
+        with pytest.raises(ParameterError):
+            scheme.build_index({"kw": [b"short"]}, HmacDrbg(b"b"))
+
+    def test_trapdoors_keyword_specific(self, scheme):
+        t1 = scheme.trapdoor("a")
+        t2 = scheme.trapdoor("b")
+        assert t1.label_seed != t2.label_seed
+        assert t1.mask_seed != t2.mask_seed
+
+    def test_other_key_finds_nothing(self, scheme):
+        index = scheme.build_index(MAPPING, HmacDrbg(b"b"))
+        other = Sse2Scheme.keygen(HmacDrbg(b"other"))
+        for kw in MAPPING:
+            assert other.search(index, kw) == []
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ParameterError):
+            Sse2Scheme(b"", b"x")
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcde", min_size=1, max_size=5),
+        st.lists(st.integers(min_value=1, max_value=1 << 60).map(fid),
+                 min_size=1, max_size=4, unique=True),
+        min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_mapping(self, mapping):
+        scheme = Sse2Scheme.keygen(HmacDrbg(b"p2"))
+        index = scheme.build_index(mapping, HmacDrbg(b"b"))
+        for kw, fids in mapping.items():
+            assert scheme.search(index, kw) == fids
+
+    def test_agrees_with_sse1(self, scheme):
+        """Drop-in property: SSE-1 and SSE-2 answer queries identically."""
+        from repro.sse.scheme import Sse1Scheme, keygen
+        sse1 = Sse1Scheme(keygen(HmacDrbg(b"s1")))
+        i1 = sse1.build_index(MAPPING, HmacDrbg(b"b1"))
+        i2 = scheme.build_index(MAPPING, HmacDrbg(b"b2"))
+        for kw in list(MAPPING) + ["missing"]:
+            assert sse1.search(i1, kw) == scheme.search(i2, kw)
+
+    def test_zero_fid_rejected(self, scheme):
+        """The all-zero fid is reserved as the padding sentinel."""
+        with pytest.raises(ParameterError):
+            scheme.build_index({"kw": [bytes(16)]}, HmacDrbg(b"b"))

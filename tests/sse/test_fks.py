@@ -1,0 +1,84 @@
+"""FKS perfect-hash table tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import HmacDrbg
+from repro.sse.fks import FksTable, verify_perfect
+
+
+def build(entries):
+    return FksTable.build(entries, HmacDrbg(b"fks"))
+
+
+class TestFksBasics:
+    def test_empty(self):
+        table = build({})
+        assert len(table) == 0
+        assert table.get(42) is None
+        assert 42 not in table
+
+    def test_single(self):
+        table = build({7: b"value"})
+        assert table.get(7) == b"value"
+        assert table.get(8) is None
+
+    def test_many(self):
+        entries = {i * 1000003: b"v%d" % i for i in range(500)}
+        table = build(entries)
+        assert verify_perfect(table, entries)
+        assert len(table) == 500
+
+    def test_adjacent_keys(self):
+        entries = {i: bytes([i % 256]) for i in range(200)}
+        assert verify_perfect(build(entries), entries)
+
+    def test_large_keys(self):
+        entries = {(1 << 127) + i: b"x" for i in range(50)}
+        assert verify_perfect(build(entries), entries)
+
+    def test_space_linear(self):
+        """FKS guarantee: second-level slots < 4n + n."""
+        for n in (10, 100, 400):
+            entries = {i * 7919: b"v" for i in range(n)}
+            table = build(entries)
+            assert table.storage_slots() < 5 * n
+
+    def test_size_bytes_positive(self):
+        table = build({1: b"abc"})
+        assert table.size_bytes() > 0
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=1 << 64),
+                           st.binary(min_size=1, max_size=8),
+                           min_size=1, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_property_perfect(self, entries):
+        assert verify_perfect(build(entries), entries)
+
+    def test_deterministic_from_seed(self):
+        entries = {i: b"v" for i in range(20)}
+        t1 = FksTable.build(entries, HmacDrbg(b"same"))
+        t2 = FksTable.build(entries, HmacDrbg(b"same"))
+        assert all(t1.get(k) == t2.get(k) for k in entries)
+
+
+class TestFksSerialization:
+    def test_round_trip(self):
+        from repro.sse.fks import deserialize_fks, serialize_fks
+        entries = {i * 7919: b"value-%d" % i for i in range(100)}
+        table = build(entries)
+        restored = deserialize_fks(serialize_fks(table))
+        assert verify_perfect(restored, entries)
+
+    def test_empty_round_trip(self):
+        from repro.sse.fks import deserialize_fks, serialize_fks
+        restored = deserialize_fks(serialize_fks(build({})))
+        assert restored.get(1) is None
+
+    def test_truncated_rejected(self):
+        import pytest as _pytest
+        from repro.exceptions import ParameterError
+        from repro.sse.fks import deserialize_fks, serialize_fks
+        blob = serialize_fks(build({1: b"v"}))
+        with _pytest.raises(ParameterError):
+            deserialize_fks(blob[:-3])

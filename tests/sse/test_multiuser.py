@@ -1,0 +1,130 @@
+"""Multi-user SSE tests: wrapping, validation, ASSIGN/REVOKE life cycle."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.sse.multiuser import (PrivilegeManager, WrappedTrapdoor,
+                                 recover_d, unwrap_trapdoor, wrap_trapdoor)
+from repro.sse.scheme import Sse1Scheme, keygen
+from repro.exceptions import AccessDenied, ParameterError, RevokedError
+
+
+@pytest.fixture()
+def scheme():
+    return Sse1Scheme(keygen(HmacDrbg(b"mu-keys")))
+
+
+@pytest.fixture()
+def manager():
+    return PrivilegeManager(8, HmacDrbg(b"mu-pm"))
+
+
+class TestWrapping:
+    def test_wrap_unwrap_round_trip(self, scheme):
+        d = b"\x11" * 32
+        td = scheme.trapdoor("kw")
+        assert unwrap_trapdoor(d, wrap_trapdoor(d, td)) == td
+
+    def test_wrong_d_rejected(self, scheme):
+        td = scheme.trapdoor("kw")
+        wrapped = wrap_trapdoor(b"\x11" * 32, td)
+        with pytest.raises(AccessDenied):
+            unwrap_trapdoor(b"\x22" * 32, wrapped)
+
+    def test_bit_flip_rejected(self, scheme):
+        d = b"\x11" * 32
+        wrapped = wrap_trapdoor(d, scheme.trapdoor("kw"))
+        mutated = bytearray(wrapped.data)
+        mutated[0] ^= 1
+        with pytest.raises(AccessDenied):
+            unwrap_trapdoor(d, WrappedTrapdoor(bytes(mutated)))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ParameterError):
+            unwrap_trapdoor(b"\x11" * 32, WrappedTrapdoor(b"short"))
+
+    def test_wrap_hides_trapdoor(self, scheme):
+        """The wrapped form must not contain the raw trapdoor bytes."""
+        d = b"\x11" * 32
+        td = scheme.trapdoor("kw")
+        assert td.mask not in wrap_trapdoor(d, td).data
+
+
+class TestPrivilegeManager:
+    def test_assign_returns_stable_secret(self, manager):
+        s1 = manager.assign("family")
+        s2 = manager.assign("family")
+        assert s1.leaf == s2.leaf
+
+    def test_distinct_entities_distinct_leaves(self, manager):
+        assert manager.assign("family").leaf != manager.assign("dev").leaf
+
+    def test_capacity_enforced(self):
+        manager = PrivilegeManager(2, HmacDrbg(b"x"))
+        manager.assign("a")
+        manager.assign("b")
+        with pytest.raises(ParameterError):
+            manager.assign("c")
+
+    def test_assigned_can_recover_d(self, manager):
+        secret = manager.assign("family")
+        d = recover_d(manager.broadcast_d(), secret, manager.capacity)
+        assert d == manager.current_d
+
+    def test_unassigned_leaf_cannot_recover(self, manager):
+        from repro.crypto.broadcast import BroadcastEncryption
+        manager.assign("family")
+        broadcast = manager.broadcast_d()
+        # Leaf 5 was never assigned: treated as revoked in the cover.
+        ghost = BroadcastEncryption(b"wrong-master", manager.capacity)
+        with pytest.raises((RevokedError, Exception)):
+            recover_d(broadcast, ghost.receiver_secret(5), manager.capacity)
+
+    def test_revoke_rotates_d(self, manager):
+        manager.assign("family")
+        manager.assign("dev")
+        old_d = manager.current_d
+        manager.revoke("dev")
+        assert manager.current_d != old_d
+        assert manager.is_revoked("dev")
+        assert not manager.is_revoked("family")
+
+    def test_revoke_unknown_raises(self, manager):
+        with pytest.raises(ParameterError):
+            manager.revoke("ghost")
+
+    def test_revoked_excluded_survivor_included(self, manager):
+        fam = manager.assign("family")
+        dev = manager.assign("dev")
+        broadcast = manager.revoke("dev")
+        assert recover_d(broadcast, fam, manager.capacity) \
+            == manager.current_d
+        with pytest.raises(RevokedError):
+            recover_d(broadcast, dev, manager.capacity)
+
+    def test_unknown_entity_counts_as_revoked(self, manager):
+        assert manager.is_revoked("never-assigned")
+
+
+class TestEndToEndMultiUser:
+    def test_full_lifecycle(self, scheme, manager):
+        """ASSIGN → search → REVOKE → stale wrap rejected → survivor OK."""
+        index = scheme.build_index(
+            {"kw": [b"\x01" * 16, b"\x02" * 16]}, HmacDrbg(b"b"))
+        fam = manager.assign("family")
+        dev = manager.assign("dev")
+
+        d = recover_d(manager.broadcast_d(), dev, manager.capacity)
+        td = scheme.trapdoor("kw")
+        unwrapped = unwrap_trapdoor(manager.current_d,
+                                    wrap_trapdoor(d, td))
+        assert index.search(unwrapped) == [b"\x01" * 16, b"\x02" * 16]
+
+        manager.revoke("dev")
+        with pytest.raises(AccessDenied):
+            unwrap_trapdoor(manager.current_d, wrap_trapdoor(d, td))
+
+        d_new = recover_d(manager.broadcast_d(), fam, manager.capacity)
+        unwrapped = unwrap_trapdoor(manager.current_d,
+                                    wrap_trapdoor(d_new, td))
+        assert index.search(unwrapped) == [b"\x01" * 16, b"\x02" * 16]
