@@ -11,7 +11,10 @@ import pytest
 
 from repro.crypto.rng import HmacDrbg
 from repro.sse.fks import FksTable
+from repro.sse.index import SecureIndex, clear_index_cache, load_index_cached
 from repro.sse.scheme import Sse1Scheme, keygen
+
+from conftest import build_stored_system
 
 
 def _uniform_index(n_keywords: int):
@@ -67,3 +70,69 @@ def test_search_cost_tracks_result_size(benchmark):
     fids = benchmark(lambda: index.search(trapdoor))
     assert len(fids) == 50
     benchmark.extra_info["result_files"] = len(fids)
+
+
+def _batch_requests(system, n_requests: int):
+    """Independent sealed search requests against the stored collection."""
+    from repro.core.protocols.messages import pack_fields, seal
+    from repro.core.sserver import SearchRequest
+    server = system.sserver
+    collection_id = system.patient.collection_ids[server.address]
+    keywords = sorted(system.patient.collection.index.keywords())
+    requests = []
+    for i in range(n_requests):
+        pseudonym = system.patient.fresh_pseudonym()
+        nu = system.patient.session_key_with(server.identity_key.public,
+                                             pseudonym)
+        td = system.patient.trapdoor(keywords[i % len(keywords)]).to_bytes()
+        # Distinct timestamps keep the replay guard out of the picture.
+        envelope = seal(nu, "phi-retrieve", pack_fields(td),
+                        1000.0 + i * 0.001)
+        requests.append((SearchRequest(pseudonym=pseudonym.public,
+                                       collection_id=collection_id,
+                                       envelope=envelope),
+                         1000.0 + i * 0.001))
+    return server, requests
+
+
+@pytest.mark.parametrize("mode", ["serial", "parallel"])
+def test_batched_search_modes(benchmark, mode):
+    """8 independent search requests: serial loop vs the worker pool.
+
+    The replies are byte-identical across modes; the benchmark exposes
+    whatever wall-clock win the thread pool extracts (bounded here by the
+    GIL — the pool targets the multi-client serving pattern).
+    """
+    system = build_stored_system(n_files=10, seed=b"bench-batch")
+
+    def run():
+        server, requests = _batch_requests(system, 8)
+        if mode == "serial":
+            return [server.handle_search(req.pseudonym, req.collection_id,
+                                         req.envelope, now)
+                    for req, now in requests]
+        return server.handle_search_batch([req for req, _ in requests],
+                                          requests[0][1])
+
+    replies = benchmark(run)
+    assert len(replies) == 8
+    benchmark.extra_info["mode"] = mode
+
+
+@pytest.mark.parametrize("mode", ["cold", "cached"])
+def test_index_deserialization_cache(benchmark, mode):
+    """`SecureIndex.from_bytes` on every search vs the blob-hash cache."""
+    rng = HmacDrbg(b"bench-index-cache")
+    scheme = Sse1Scheme(keygen(rng))
+    keyword_map = {"kw-%04d" % i: [rng.random_bytes(16)] for i in range(200)}
+    blob = scheme.build_index(keyword_map, rng).to_bytes()
+    clear_index_cache()
+    if mode == "cold":
+        loaded = benchmark(lambda: SecureIndex.from_bytes(blob))
+    else:
+        load_index_cached(blob)  # warm the cache once
+        loaded = benchmark(lambda: load_index_cached(blob))
+    trapdoor = scheme.trapdoor("kw-0100")
+    assert len(loaded.search(trapdoor)) == 1
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["blob_bytes"] = len(blob)

@@ -1,0 +1,254 @@
+"""Standalone before/after benchmark for the hot-path accelerations.
+
+Measures the naive and accelerated variants of the four optimisation
+targets side by side and appends a run entry to a trajectory JSON file
+(default ``BENCH_crypto.json`` at the repo root):
+
+1. fixed-base scalar multiplication — generic NAF ``Point.__mul__`` vs the
+   windowed :class:`~repro.crypto.precompute.PrecomputedPoint` tables,
+2. fixed-first-argument pairing — full ``tate_pairing`` Miller loop vs
+   :class:`~repro.crypto.pairing.PreparedPairing` replay,
+3. Hess IBS verification — per-signature ``verify`` vs the randomized
+   single-final-exponentiation ``batch_verify`` (n = 8),
+4. S-server search serving — serial ``handle_search`` loop vs
+   ``handle_search_batch``, plus index deserialization cold vs cached.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench_crypto.py \
+        --params ss512 --iters 20 --out BENCH_crypto.json
+
+The crypto sections honour ``--params`` (ss512 = production Type-A,
+ss160 = fast test curve); the search sections always run on the fast test
+parameters because their cost is symmetric-crypto-bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.crypto.ibs import batch_verify, sign, verify
+from repro.crypto.ibe import PrivateKeyGenerator
+from repro.crypto.pairing import (PreparedPairing, clear_pairing_cache,
+                                  tate_pairing)
+from repro.crypto.params import default_params, test_params
+from repro.crypto.precompute import PrecomputedPoint
+from repro.crypto.rng import HmacDrbg
+from repro.sse.index import SecureIndex, clear_index_cache, load_index_cached
+from repro.sse.scheme import Sse1Scheme, keygen
+
+IBS_BATCH = 8
+SEARCH_BATCH = 8
+
+
+def _time(fn, iters: int) -> float:
+    """Median seconds per call over ``iters`` calls."""
+    samples = []
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _time_each(fn, args_list) -> float:
+    """Median seconds per call, one distinct argument per call."""
+    samples = []
+    for arg in args_list:
+        t0 = time.perf_counter()
+        fn(arg)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def bench_scalar_mult(params, iters: int) -> dict:
+    G = params.generator
+    rng = HmacDrbg(b"bench-runner-mul")
+    scalars = [params.random_scalar(rng) for _ in range(iters)]
+
+    naive_s = _time_each(lambda k: G * k, scalars)
+    t0 = time.perf_counter()
+    table = PrecomputedPoint(G)
+    build_s = time.perf_counter() - t0
+    fast_s = _time_each(table.multiply, scalars)
+    assert table.multiply(scalars[0]) == G * scalars[0]
+    return {"naive_ms": naive_s * 1e3, "accelerated_ms": fast_s * 1e3,
+            "table_build_ms": build_s * 1e3,
+            "speedup": naive_s / fast_s}
+
+
+def bench_prepared_pairing(params, iters: int) -> dict:
+    P = params.generator * 7
+    rng = HmacDrbg(b"bench-runner-pair")
+    qs = [params.generator * params.random_scalar(rng) for _ in range(iters)]
+
+    clear_pairing_cache()  # distinct Qs anyway; keep the LRU out of it
+    naive_s = _time_each(lambda Q: tate_pairing(P, Q), qs)
+    t0 = time.perf_counter()
+    prep = PreparedPairing(P)
+    build_s = time.perf_counter() - t0
+    fast_s = _time_each(prep.pair, qs)
+    assert prep.pair(qs[0]) == tate_pairing(P, qs[0])
+    return {"naive_ms": naive_s * 1e3, "accelerated_ms": fast_s * 1e3,
+            "prepare_ms": build_s * 1e3, "speedup": naive_s / fast_s}
+
+
+def bench_ibs_batch(params, iters: int) -> dict:
+    rng = HmacDrbg(b"bench-runner-ibs")
+    pkg = PrivateKeyGenerator(params, rng)
+    items = []
+    for i in range(IBS_BATCH):
+        identity = "dr-%d" % i
+        key = pkg.extract(identity)
+        message = b"msg-%d" % i
+        items.append((identity, message, sign(params, key, message, rng)))
+
+    iters = max(1, iters // 4)  # each call is 8 verifications
+    naive_s = _time(lambda: all(verify(params, pkg.public_key, i, m, s)
+                                for i, m, s in items), iters)
+    fast_s = _time(lambda: batch_verify(params, pkg.public_key, items), iters)
+    assert batch_verify(params, pkg.public_key, items)
+    return {"batch_size": IBS_BATCH, "naive_ms": naive_s * 1e3,
+            "accelerated_ms": fast_s * 1e3, "speedup": naive_s / fast_s}
+
+
+def _build_search_system():
+    from repro.core.protocols.storage import private_phi_storage
+    from repro.core.system import build_system
+    from repro.ehr.phi import generate_workload
+    system = build_system(seed=b"bench-runner-search")
+    workload = generate_workload(system.rng.fork("workload"), 10,
+                                 server_address=system.sserver.address)
+    system.patient.import_collection(workload)
+    private_phi_storage(system.patient, system.sserver, system.network)
+    return system
+
+
+def _search_requests(system, count: int, now_base: float):
+    from repro.core.protocols.messages import pack_fields, seal
+    from repro.core.sserver import SearchRequest
+    server = system.sserver
+    collection_id = system.patient.collection_ids[server.address]
+    keywords = sorted(system.patient.collection.index.keywords())
+    requests = []
+    for i in range(count):
+        pseudonym = system.patient.fresh_pseudonym()
+        nu = system.patient.session_key_with(server.identity_key.public,
+                                             pseudonym)
+        td = system.patient.trapdoor(keywords[i % len(keywords)]).to_bytes()
+        requests.append(SearchRequest(
+            pseudonym=pseudonym.public, collection_id=collection_id,
+            envelope=seal(nu, "phi-retrieve", pack_fields(td),
+                          now_base + i * 1e-3)))
+    return server, requests
+
+
+def bench_parallel_search(iters: int) -> dict:
+    system = _build_search_system()
+    iters = max(2, iters // 2)
+
+    def serial(now_base):
+        server, requests = _search_requests(system, SEARCH_BATCH, now_base)
+        return [server.handle_search(r.pseudonym, r.collection_id,
+                                     r.envelope, now_base)
+                for r in requests]
+
+    def batched(now_base):
+        server, requests = _search_requests(system, SEARCH_BATCH, now_base)
+        return server.handle_search_batch(requests, now_base)
+
+    # Fresh timestamps per round keep the replay guard green.
+    serial_s = _time_each(serial, [1e4 + 10.0 * i for i in range(iters)])
+    batch_s = _time_each(batched, [1e6 + 10.0 * i for i in range(iters)])
+    return {"batch_size": SEARCH_BATCH, "serial_ms": serial_s * 1e3,
+            "parallel_ms": batch_s * 1e3, "speedup": serial_s / batch_s}
+
+
+def bench_index_cache(iters: int) -> dict:
+    rng = HmacDrbg(b"bench-runner-cache")
+    scheme = Sse1Scheme(keygen(rng))
+    keyword_map = {"kw-%04d" % i: [rng.random_bytes(16)] for i in range(200)}
+    blob = scheme.build_index(keyword_map, rng).to_bytes()
+    clear_index_cache()
+    cold_s = _time(lambda: SecureIndex.from_bytes(blob), iters)
+    load_index_cached(blob)
+    hot_s = _time(lambda: load_index_cached(blob), iters)
+    return {"blob_bytes": len(blob), "cold_ms": cold_s * 1e3,
+            "cached_ms": hot_s * 1e3, "speedup": cold_s / hot_s}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--params", choices=["ss512", "ss160"],
+                        default="ss512")
+    parser.add_argument("--iters", type=int, default=20,
+                        help="timing samples per measurement (median kept)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_crypto.json")
+    args = parser.parse_args()
+    if args.iters < 1:
+        parser.error("--iters must be at least 1")
+
+    params = default_params() if args.params == "ss512" else test_params()
+    results = {}
+    print("== fixed-base scalar multiplication (%s) ==" % args.params)
+    results["scalar_mult"] = bench_scalar_mult(params, args.iters)
+    print("   naive %.3f ms  accelerated %.3f ms  speedup %.2fx"
+          % (results["scalar_mult"]["naive_ms"],
+             results["scalar_mult"]["accelerated_ms"],
+             results["scalar_mult"]["speedup"]))
+    print("== fixed-argument pairing (%s) ==" % args.params)
+    results["prepared_pairing"] = bench_prepared_pairing(params, args.iters)
+    print("   naive %.3f ms  accelerated %.3f ms  speedup %.2fx"
+          % (results["prepared_pairing"]["naive_ms"],
+             results["prepared_pairing"]["accelerated_ms"],
+             results["prepared_pairing"]["speedup"]))
+    print("== IBS batch verification (%s, n=%d) ==" % (args.params, IBS_BATCH))
+    results["ibs_batch_verify"] = bench_ibs_batch(params, args.iters)
+    print("   serial %.3f ms  batched %.3f ms  speedup %.2fx"
+          % (results["ibs_batch_verify"]["naive_ms"],
+             results["ibs_batch_verify"]["accelerated_ms"],
+             results["ibs_batch_verify"]["speedup"]))
+    print("== S-server batched search (test params, n=%d) ==" % SEARCH_BATCH)
+    results["parallel_search"] = bench_parallel_search(args.iters)
+    print("   serial %.3f ms  pooled %.3f ms  speedup %.2fx"
+          % (results["parallel_search"]["serial_ms"],
+             results["parallel_search"]["parallel_ms"],
+             results["parallel_search"]["speedup"]))
+    print("== index deserialization cache ==")
+    results["index_cache"] = bench_index_cache(args.iters)
+    print("   cold %.3f ms  cached %.4f ms  speedup %.0fx"
+          % (results["index_cache"]["cold_ms"],
+             results["index_cache"]["cached_ms"],
+             results["index_cache"]["speedup"]))
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "params": args.params,
+        "iters": args.iters,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    trajectory = {"runs": []}
+    if args.out.exists():
+        try:
+            trajectory = json.loads(args.out.read_text())
+        except (ValueError, OSError):
+            pass
+        if not isinstance(trajectory.get("runs"), list):
+            trajectory = {"runs": []}
+    trajectory["runs"].append(entry)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print("appended run to %s (%d run(s) recorded)"
+          % (args.out, len(trajectory["runs"])))
+
+
+if __name__ == "__main__":
+    main()

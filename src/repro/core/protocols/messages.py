@@ -17,6 +17,8 @@ sizes measured by the experiments reflect real serialized bytes.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
 
 from repro.crypto.hmac_impl import HMAC_OUTPUT_SIZE, hmac_sha256, verify_hmac
@@ -104,23 +106,31 @@ class ReplayGuard:
     Remembers message tags inside the skew window; a second presentation
     of the same tag raises :class:`ReplayError`.  Entries older than the
     window are pruned lazily so memory stays bounded.
+
+    Thread-safe: the S-server's batched search path checks envelopes from
+    worker threads, so the check-then-insert must be atomic (two threads
+    presenting the same tag concurrently must not both pass).
     """
 
     def __init__(self, window_s: float = DEFAULT_MAX_SKEW_S) -> None:
         self.window_s = window_s
         self._seen: dict[bytes, float] = {}
+        self._lock = threading.Lock()
 
     def check_and_remember(self, envelope: Envelope) -> None:
-        self._prune(envelope.timestamp)
-        if envelope.tag in self._seen:
-            raise ReplayError("replayed message %r" % envelope.label)
-        self._seen[envelope.tag] = envelope.timestamp
+        with self._lock:
+            self._prune(envelope.timestamp)
+            if envelope.tag in self._seen:
+                raise ReplayError("replayed message %r" % envelope.label)
+            self._seen[envelope.tag] = envelope.timestamp
 
     def _prune(self, now: float) -> None:
+        # Caller holds self._lock.
         horizon = now - self.window_s
         stale = [tag for tag, ts in self._seen.items() if ts < horizon]
         for tag in stale:
             del self._seen[tag]
 
     def __len__(self) -> int:
-        return len(self._seen)
+        with self._lock:
+            return len(self._seen)

@@ -24,7 +24,9 @@ experiments mine this log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 from repro.crypto.broadcast import BroadcastCiphertext
 from repro.crypto.ec import Point
@@ -35,7 +37,7 @@ from repro.crypto.nike import shared_key_from_points
 from repro.crypto.params import DomainParams
 from repro.crypto.peks import MultiKeywordPeks, MultiKeywordTag, PeksTrapdoor
 from repro.crypto.rng import HmacDrbg
-from repro.sse.index import SecureIndex, Trapdoor
+from repro.sse.index import SecureIndex, Trapdoor, load_index_cached
 from repro.sse.multiuser import WrappedTrapdoor, unwrap_trapdoor
 from repro.core.protocols.messages import (Envelope, ReplayGuard,
                                            open_envelope, pack_fields, seal,
@@ -45,16 +47,36 @@ from repro.exceptions import ParameterError, StorageError
 
 @dataclass
 class StoredCollection:
-    """One pseudonymous PHI collection as the server sees it."""
+    """One pseudonymous PHI collection as the server sees it.
+
+    A collection holds its index either live (``index``) or as the
+    serialized blob the client uploaded (``index_blob``); blob-backed
+    collections are deserialized on demand through the bounded
+    :func:`repro.sse.index.load_index_cached` cache, so hot collections
+    pay the parse once and cold ones cost no deserialized memory.
+    """
 
     collection_id: bytes
-    index: SecureIndex
+    index: SecureIndex | None
     files: dict[bytes, bytes]            # fid -> E′_s ciphertext
     group_secret_d: bytes                # current d (server-side copy)
     broadcast_d: BroadcastCiphertext     # BE_U(d) for privileged entities
+    index_blob: bytes | None = field(default=None, repr=False)
+
+    def resolve_index(self) -> SecureIndex:
+        """The live :class:`SecureIndex` for this collection."""
+        if self.index is not None:
+            return self.index
+        if self.index_blob is None:
+            raise StorageError("collection has neither index nor blob")
+        return load_index_cached(self.index_blob)
 
     def storage_bytes(self) -> int:
-        return (self.index.size_bytes()
+        if self.index_blob is not None:
+            index_bytes = len(self.index_blob)
+        else:
+            index_bytes = self.index.size_bytes()
+        return (index_bytes
                 + sum(len(ct) for ct in self.files.values())
                 + len(self.group_secret_d) + self.broadcast_d.size_bytes())
 
@@ -66,6 +88,15 @@ class StoredMhi:
     role_identity: str
     ciphertext: IbeCiphertext
     tag: MultiKeywordTag
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One client search request, as queued for the batched handler."""
+
+    pseudonym: Point
+    collection_id: bytes
+    envelope: Envelope
 
 
 @dataclass(frozen=True)
@@ -93,6 +124,7 @@ class StorageServer:
         self._mhi: list[StoredMhi] = []
         self._guard = ReplayGuard()
         self.observations: list[Observation] = []
+        self._observe_lock = threading.Lock()
         self.deleted_abnormal = 0  # DoS countermeasure counter (§VI.D)
 
     # -- key derivation -----------------------------------------------------
@@ -102,9 +134,10 @@ class StorageServer:
 
     def _observe(self, kind: str, pseudonym: bytes, collection_id: bytes,
                  detail: bytes, now: float) -> None:
-        self.observations.append(Observation(
-            kind=kind, pseudonym=pseudonym, collection_id=collection_id,
-            detail=detail, timestamp=now))
+        with self._observe_lock:
+            self.observations.append(Observation(
+                kind=kind, pseudonym=pseudonym, collection_id=collection_id,
+                detail=detail, timestamp=now))
 
     # -- private PHI storage (§IV.B) -------------------------------------
     def handle_store(self, pseudonym: Point, envelope: Envelope,
@@ -123,6 +156,29 @@ class StorageServer:
         self._collections[collection_id] = StoredCollection(
             collection_id=collection_id, index=index, files=dict(files),
             group_secret_d=group_secret_d, broadcast_d=broadcast_d)
+        self._observe("store", pseudonym.to_bytes(), collection_id,
+                      b"files=%d" % len(files), now)
+        return collection_id
+
+    def handle_store_serialized(self, pseudonym: Point, envelope: Envelope,
+                                index_blob: bytes, files: dict[bytes, bytes],
+                                group_secret_d: bytes,
+                                broadcast_d: BroadcastCiphertext,
+                                now: float) -> bytes:
+        """Accept an upload whose SI travels in serialized form.
+
+        The server keeps the blob verbatim (what it would persist to disk)
+        and deserializes lazily through the index cache at search time.
+        Search results are identical to :meth:`handle_store` with
+        ``SecureIndex.from_bytes(index_blob)``.
+        """
+        key = self.session_key(pseudonym)
+        open_envelope(key, envelope, now, self._guard)
+        collection_id = self._rng.random_bytes(16)
+        self._collections[collection_id] = StoredCollection(
+            collection_id=collection_id, index=None, files=dict(files),
+            group_secret_d=group_secret_d, broadcast_d=broadcast_d,
+            index_blob=index_blob)
         self._observe("store", pseudonym.to_bytes(), collection_id,
                       b"files=%d" % len(files), now)
         return collection_id
@@ -158,17 +214,82 @@ class StorageServer:
                          collection_id: bytes, envelope: Envelope,
                          now: float) -> Envelope:
         payload = open_envelope(key, envelope, now, self._guard)
+        results = self._run_trapdoors(observed_client, collection_id,
+                                      unpack_fields(payload), now)
+        return seal(key, "phi-results", pack_fields(*results), now)
+
+    def _run_trapdoors(self, observed_client: bytes, collection_id: bytes,
+                       raw_trapdoors: list[bytes], now: float) -> list[bytes]:
+        """SEARCH each trapdoor against one collection; fid‖ct results."""
         collection = self._collection(collection_id)
+        index = collection.resolve_index()
         results: list[bytes] = []
-        for raw in unpack_fields(payload):
+        for raw in raw_trapdoors:
             trapdoor = Trapdoor.from_bytes(raw)
             self._observe("search", observed_client, collection_id,
                           trapdoor.address.to_bytes(16, "big"), now)
-            for fid in collection.index.search(trapdoor):
+            for fid in index.search(trapdoor):
                 ciphertext = collection.files.get(fid)
                 if ciphertext is None:
                     raise StorageError("index references a missing file")
                 results.append(fid + ciphertext)
+        return results
+
+    def handle_search_batch(self, requests: "list[SearchRequest]",
+                            now: float,
+                            max_workers: int | None = None) -> list[Envelope]:
+        """Serve many independent search requests on a worker pool.
+
+        Equivalent to calling :meth:`handle_search` once per request, in
+        request order — the returned envelopes are byte-identical to the
+        serial ones (sealing is deterministic given key, payload, and
+        ``now``).  Replay checking stays sound: :class:`ReplayGuard` is
+        atomic, so a duplicated envelope fails in exactly one worker.
+
+        A failing request raises after all workers finish (first failure
+        by request order), matching the serial all-or-nothing contract of
+        one request — callers wanting per-request errors should submit
+        singleton batches.
+        """
+        if len(requests) <= 1:
+            return [self.handle_search(req.pseudonym, req.collection_id,
+                                       req.envelope, now)
+                    for req in requests]
+        workers = max_workers or min(8, len(requests))
+
+        def run(req: "SearchRequest") -> Envelope:
+            return self.handle_search(req.pseudonym, req.collection_id,
+                                      req.envelope, now)
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run, requests))
+
+    def handle_search_multi(self, pseudonym: Point,
+                            collection_ids: list[bytes], envelope: Envelope,
+                            now: float,
+                            max_workers: int | None = None) -> Envelope:
+        """One trapdoor set searched across several collections.
+
+        Single envelope, single HMAC/replay check; the same trapdoors run
+        against every listed collection (worker pool across collections)
+        and the results concatenate in the caller's collection order — so
+        the reply is byte-identical to a serial loop over the ids.
+        """
+        key = self.session_key(pseudonym)
+        payload = open_envelope(key, envelope, now, self._guard)
+        raw_trapdoors = unpack_fields(payload)
+        observed = pseudonym.to_bytes()
+        if len(collection_ids) <= 1:
+            chunks = [self._run_trapdoors(observed, cid, raw_trapdoors, now)
+                      for cid in collection_ids]
+        else:
+            workers = max_workers or min(8, len(collection_ids))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                chunks = list(pool.map(
+                    lambda cid: self._run_trapdoors(observed, cid,
+                                                    raw_trapdoors, now),
+                    collection_ids))
+        results = [item for chunk in chunks for item in chunk]
         return seal(key, "phi-results", pack_fields(*results), now)
 
     # -- family / P-device retrieval (§IV.E.1) ---------------------------------
@@ -199,7 +320,7 @@ class StorageServer:
             self._observe("search-wrapped", pseudonym.to_bytes(),
                           collection_id,
                           trapdoor.address.to_bytes(16, "big"), now)
-            for fid in collection.index.search(trapdoor):
+            for fid in collection.resolve_index().search(trapdoor):
                 ciphertext = collection.files.get(fid)
                 if ciphertext is None:
                     raise StorageError("index references a missing file")

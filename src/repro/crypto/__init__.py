@@ -14,7 +14,12 @@ Everything HCPP's protocols need, implemented from scratch:
 * group management (:mod:`~repro.crypto.broadcast`)
 """
 
+from repro.crypto.pairing import PreparedPairing, prepared
 from repro.crypto.params import DomainParams, default_params, test_params
+from repro.crypto.precompute import (PrecomputedPoint, fixed_base_mul,
+                                     precomputed)
 from repro.crypto.rng import HmacDrbg
 
-__all__ = ["DomainParams", "default_params", "test_params", "HmacDrbg"]
+__all__ = ["DomainParams", "default_params", "test_params", "HmacDrbg",
+           "PrecomputedPoint", "precomputed", "fixed_base_mul",
+           "PreparedPairing", "prepared"]

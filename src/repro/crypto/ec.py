@@ -142,7 +142,17 @@ class Point:
         return self + (-other)
 
     def double(self) -> "Point":
-        return self + self
+        """Double via the tangent formula directly (no generic-add dispatch)."""
+        if self._infinity:
+            return self
+        p = self.curve.p
+        if self.y == 0:
+            # The tangent is vertical: 2P = O.
+            return Point.infinity_point(self.curve)
+        slope = (3 * self.x * self.x + 1) * mathutil.inv_mod(2 * self.y, p) % p
+        x3 = (slope * slope - 2 * self.x) % p
+        y3 = (slope * (self.x - x3) - self.y) % p
+        return Point(x3, y3, self.curve, check=False)
 
     def __mul__(self, scalar: int) -> "Point":
         """Scalar multiplication via Jacobian coordinates with NAF."""
@@ -252,6 +262,34 @@ def jacobian_add(p1: Jacobian, p2: Jacobian, p: int) -> Jacobian:
     nx = (r * r - hcu - 2 * u1hsq) % p
     ny = (r * (u1hsq - nx) - s1 * hcu) % p
     nz = h * z1 * z2 % p
+    return (nx, ny, nz)
+
+
+def jacobian_add_affine(p1: Jacobian, x2: int, y2: int, p: int) -> Jacobian:
+    """Mixed addition of a Jacobian point and an affine point (Z2 = 1).
+
+    Specialising :func:`jacobian_add` to a unit second Z saves four field
+    multiplications per addition — the common case when accumulating
+    precomputed table entries, which are stored in affine form.
+    """
+    x1, y1, z1 = p1
+    if z1 == 0:
+        return (x2, y2, 1)
+    z1sq = z1 * z1 % p
+    u2 = x2 * z1sq % p
+    s2 = y2 * z1sq * z1 % p
+    if x1 == u2:
+        if (y1 - s2) % p != 0:
+            return (1, 1, 0)
+        return jacobian_double(p1, p)
+    h = (u2 - x1) % p
+    r = (s2 - y1) % p
+    hsq = h * h % p
+    hcu = hsq * h % p
+    u1hsq = x1 * hsq % p
+    nx = (r * r - hcu - 2 * u1hsq) % p
+    ny = (r * (u1hsq - nx) - y1 * hcu) % p
+    nz = h * z1 % p
     return (nx, ny, nz)
 
 

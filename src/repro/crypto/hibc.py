@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from repro.crypto.ec import Point
 from repro.crypto.hashes import h1_identity, h_g2_to_bytes
 from repro.crypto.mathutil import xor_bytes
-from repro.crypto.pairing import miller_loop, final_exponentiation, tate_pairing
+from repro.crypto.pairing import final_exponentiation, miller_loop, prepared
 from repro.crypto.params import DomainParams
 from repro.crypto.rng import HmacDrbg
 from repro.exceptions import DecryptionError, ParameterError, SignatureError
@@ -84,7 +84,7 @@ class HibcRoot:
     def __init__(self, params: DomainParams, rng: HmacDrbg) -> None:
         self.params = params
         self._s0 = params.random_scalar(rng)
-        self.root_public = params.generator * self._s0  # Q_0
+        self.root_public = params.point_mul_generator(self._s0)  # Q_0
 
     def extract_child(self, identity: str, rng: HmacDrbg) -> "HibcNode":
         """Issue a level-1 entity (e.g. the federal A-server's own entity
@@ -119,7 +119,7 @@ class HibcNode:
     @property
     def own_q(self) -> Point:
         """Q_j = s_j·P for this node (published to children / verifiers)."""
-        return self.params.generator * self.own_secret
+        return self.params.point_mul_generator(self.own_secret)
 
     def extract_child(self, identity: str, rng: HmacDrbg) -> "HibcNode":
         """Level-(j+1) setup: ψ_{j+1} = ψ_j + s_j·K_{j+1}, hand down Q's."""
@@ -142,7 +142,10 @@ class HibcNode:
         t = self.depth
         if len(ciphertext.Us) != max(0, t - 1):
             raise DecryptionError("ciphertext depth does not match this node")
-        acc = miller_loop(ciphertext.U0, self.psi)
+        # ψ_j is this node's long-lived point: prepared slot (symmetry of
+        # ê and multiplicativity of the final exponentiation keep the
+        # mask value unchanged).
+        acc = prepared(self.psi).miller(ciphertext.U0)
         for l in range(2, t + 1):
             q_prev = self.q_chain[l - 2]  # Q_{l−1}
             u_l = ciphertext.Us[l - 2]
@@ -176,10 +179,10 @@ def hibe_encrypt(params: DomainParams, root_public: Point,
         raise ParameterError("empty identity tuple")
     t = len(id_tuple)
     r = params.random_scalar(rng)
-    U0 = params.generator * r
+    U0 = params.point_mul_generator(r)
     Us = tuple(id_tuple_hash(params, id_tuple, l) * r for l in range(2, t + 1))
     k1 = id_tuple_hash(params, id_tuple, 1)
-    mask_source = tate_pairing(root_public, k1) ** r
+    mask_source = prepared(root_public).pair(k1) ** r
     V = xor_bytes(message, h_g2_to_bytes(mask_source, len(message)))
     return HibeCiphertext(U0=U0, Us=Us, V=V)
 
@@ -199,8 +202,9 @@ def hids_verify(params: DomainParams, root_public: Point,
     if signature.sig.is_infinity:
         return False
     p_m = _message_point(params, id_tuple, message)
-    acc = miller_loop(-signature.sig, params.generator)
-    acc = acc * miller_loop(root_public, id_tuple_hash(params, id_tuple, 1))
+    acc = prepared(params.generator).miller(-signature.sig)
+    acc = acc * prepared(root_public).miller(
+        id_tuple_hash(params, id_tuple, 1))
     for l in range(2, t + 1):
         acc = acc * miller_loop(signature.q_values[l - 2],
                                 id_tuple_hash(params, id_tuple, l))

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.crypto.ec import Point
 from repro.crypto.hashes import h1_identity, h_g2_to_bytes, h_to_scalar
 from repro.crypto.mathutil import xor_bytes
-from repro.crypto.pairing import tate_pairing
+from repro.crypto.pairing import prepared, tate_pairing
 from repro.crypto.params import DomainParams
 from repro.crypto.rng import HmacDrbg
 from repro.exceptions import DecryptionError, ParameterError
@@ -68,7 +68,7 @@ class PrivateKeyGenerator:
     def __init__(self, params: DomainParams, rng: HmacDrbg) -> None:
         self.params = params
         self._master_secret = params.random_scalar(rng)
-        self.public_key = params.generator * self._master_secret  # P_pub
+        self.public_key = params.point_mul_generator(self._master_secret)  # P_pub
 
     @classmethod
     def from_secret(cls, params: DomainParams, secret: int) -> "PrivateKeyGenerator":
@@ -78,7 +78,7 @@ class PrivateKeyGenerator:
         pkg._master_secret = secret % params.r
         if pkg._master_secret == 0:
             raise ParameterError("master secret must be nonzero mod r")
-        pkg.public_key = params.generator * pkg._master_secret
+        pkg.public_key = params.point_mul_generator(pkg._master_secret)
         return pkg
 
     def extract(self, identity: str) -> IdentityKeyPair:
@@ -102,8 +102,10 @@ class BasicIdent:
 
     def encrypt(self, identity: str, message: bytes, rng: HmacDrbg) -> IbeCiphertext:
         r = self.params.random_scalar(rng)
-        U = self.params.generator * r
-        g_id = tate_pairing(h1_identity(self.params, identity), self.pkg_public)
+        U = self.params.point_mul_generator(r)
+        # Fixed-argument pairing: P_pub never changes, the identity does —
+        # the symmetric pairing lets the prepared side take the first slot.
+        g_id = prepared(self.pkg_public).pair(h1_identity(self.params, identity))
         mask = h_g2_to_bytes(g_id ** r, len(message))
         return IbeCiphertext(U=U, V=xor_bytes(message, mask))
 
@@ -144,8 +146,8 @@ class FullIdent:
     def encrypt(self, identity: str, message: bytes, rng: HmacDrbg) -> IbeCiphertext:
         sigma = rng.random_bytes(self.SIGMA_BYTES)
         r = self._h4(sigma, message)
-        U = self.params.generator * r
-        g_id = tate_pairing(h1_identity(self.params, identity), self.pkg_public)
+        U = self.params.point_mul_generator(r)
+        g_id = prepared(self.pkg_public).pair(h1_identity(self.params, identity))
         V = xor_bytes(sigma, h_g2_to_bytes(g_id ** r, self.SIGMA_BYTES))
         W = xor_bytes(message, self._h5(sigma, len(message)))
         return IbeCiphertext(U=U, V=V, W=W)
@@ -159,7 +161,7 @@ class FullIdent:
                           self.SIGMA_BYTES))
         message = xor_bytes(ciphertext.W, self._h5(sigma, len(ciphertext.W)))
         r = self._h4(sigma, message)
-        if self.params.generator * r != ciphertext.U:
+        if self.params.point_mul_generator(r) != ciphertext.U:
             raise DecryptionError("FullIdent FO check failed: ciphertext "
                                   "tampered or wrong identity key")
         return message
@@ -179,8 +181,8 @@ def encrypt_to_point(params: DomainParams, pkg_public: Point,
     if public_point.is_infinity:
         raise ParameterError("cannot encrypt to the infinity point")
     r = params.random_scalar(rng)
-    U = params.generator * r
-    mask = h_g2_to_bytes(tate_pairing(public_point, pkg_public) ** r,
+    U = params.point_mul_generator(r)
+    mask = h_g2_to_bytes(prepared(pkg_public).pair(public_point) ** r,
                          len(message))
     return IbeCiphertext(U=U, V=xor_bytes(message, mask))
 

@@ -18,7 +18,7 @@ import hashlib
 
 from repro.crypto.ec import Point
 from repro.crypto.ibe import IdentityKeyPair
-from repro.crypto.pairing import tate_pairing
+from repro.crypto.pairing import prepared
 from repro.exceptions import ParameterError
 
 __all__ = ["shared_key", "shared_key_from_points", "SHARED_KEY_SIZE"]
@@ -27,10 +27,14 @@ SHARED_KEY_SIZE = 32
 
 
 def shared_key_from_points(my_private: Point, their_public: Point) -> bytes:
-    """Derive the SOK shared key ê(my_private, their_public) → 32 bytes."""
+    """Derive the SOK shared key ê(my_private, their_public) → 32 bytes.
+
+    The caller's own private key is the long-lived side (the S-server pairs
+    its fixed Γ_S against every client), so it takes the prepared slot.
+    """
     if my_private.is_infinity or their_public.is_infinity:
         raise ParameterError("NIKE inputs must be non-infinity points")
-    value = tate_pairing(my_private, their_public)
+    value = prepared(my_private).pair(their_public)
     return hashlib.sha256(b"HCPP-NIKE:" + value.to_bytes()).digest()[:SHARED_KEY_SIZE]
 
 

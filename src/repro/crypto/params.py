@@ -96,8 +96,14 @@ class DomainParams:
         return rng.randint(1, self.r - 1)
 
     def point_mul_generator(self, scalar: int) -> Point:
-        """scalar · P for the domain generator."""
-        return self.generator * scalar
+        """scalar · P for the domain generator, via the fixed-base tables.
+
+        Identical output to ``self.generator * scalar``; the first call
+        builds (and registers) the generator's windowed table, every later
+        call is addition-only.
+        """
+        from repro.crypto.precompute import fixed_base_mul
+        return fixed_base_mul(self.generator, scalar)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "DomainParams(%s, |p|=%d bits, |r|=%d bits)" % (

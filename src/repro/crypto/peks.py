@@ -35,7 +35,7 @@ from repro.crypto.ec import Point
 from repro.crypto.hashes import (h1_identity, h2_keyword_point,
                                  h2_keyword_scalar, h3_pairing_to_bytes)
 from repro.crypto.ibe import BasicIdent, IbeCiphertext, PrivateKeyGenerator
-from repro.crypto.pairing import tate_pairing
+from repro.crypto.pairing import prepared
 from repro.crypto.params import DomainParams
 from repro.crypto.rng import HmacDrbg
 from repro.exceptions import ParameterError
@@ -73,14 +73,16 @@ class BdopPeks:
     def __init__(self, params: DomainParams, rng: HmacDrbg) -> None:
         self.params = params
         self._alpha = params.random_scalar(rng)
-        self.public_key = params.generator * self._alpha
+        self.public_key = params.point_mul_generator(self._alpha)
 
     def tag(self, keyword: str, rng: HmacDrbg) -> PeksTag:
         """Sender-side: PEKS(pk, W) = (σP, H3(ê(H2(W), αP)^σ))."""
         sigma = self.params.random_scalar(rng)
-        A = self.params.generator * sigma
-        value = tate_pairing(h2_keyword_point(self.params, keyword),
-                             self.public_key) ** sigma
+        A = self.params.point_mul_generator(sigma)
+        # The receiver key is the fixed argument across every tag; by
+        # symmetry of the pairing it can take the prepared slot.
+        value = prepared(self.public_key).pair(
+            h2_keyword_point(self.params, keyword)) ** sigma
         return PeksTag(A=A, B=h3_pairing_to_bytes(value, _TOKEN_BYTES))
 
     def trapdoor(self, keyword: str) -> PeksTrapdoor:
@@ -89,7 +91,8 @@ class BdopPeks:
 
     def test(self, tag: PeksTag, trapdoor: PeksTrapdoor) -> bool:
         """Server-side: H3(ê(T_W, A)) == B."""
-        value = tate_pairing(trapdoor.point, tag.A)
+        # One trapdoor is tested against many stored tags; prepare it.
+        value = prepared(trapdoor.point).pair(tag.A)
         return h3_pairing_to_bytes(value, _TOKEN_BYTES) == tag.B
 
 
@@ -131,7 +134,7 @@ class AbdallaPeks:
         # Decrypt with the keyword key and compare against the shipped R.
         from repro.crypto.hashes import h_g2_to_bytes
         from repro.crypto.mathutil import xor_bytes
-        mask = h_g2_to_bytes(tate_pairing(trapdoor.point, tag.ciphertext.U),
+        mask = h_g2_to_bytes(prepared(trapdoor.point).pair(tag.ciphertext.U),
                              len(tag.ciphertext.V))
         return xor_bytes(tag.ciphertext.V, mask) == tag.reference
 
@@ -152,9 +155,9 @@ class RolePeks:
     def tag(self, role_identity: str, keyword: str, rng: HmacDrbg) -> PeksTag:
         """PEKS_σ(ID_r, kw) = (σP, H3(ê(H1(ID_r), P_pub)^{σ·h2(kw)}))."""
         sigma = self.params.random_scalar(rng)
-        A = self.params.generator * sigma
-        base = tate_pairing(h1_identity(self.params, role_identity),
-                            self.pkg_public)
+        A = self.params.point_mul_generator(sigma)
+        base = prepared(self.pkg_public).pair(
+            h1_identity(self.params, role_identity))
         exponent = sigma * h2_keyword_scalar(self.params, keyword) % self.params.r
         return PeksTag(A=A, B=h3_pairing_to_bytes(base ** exponent,
                                                   _TOKEN_BYTES))
@@ -169,7 +172,7 @@ class RolePeks:
 
     def test(self, tag: PeksTag, trapdoor: PeksTrapdoor) -> bool:
         """S-server-side: H3(ê(TD, A)) == B."""
-        value = tate_pairing(trapdoor.point, tag.A)
+        value = prepared(trapdoor.point).pair(tag.A)
         return h3_pairing_to_bytes(value, _TOKEN_BYTES) == tag.B
 
 
@@ -201,9 +204,9 @@ class MultiKeywordPeks:
         if not keywords:
             raise ParameterError("need at least one keyword")
         sigma = self.params.random_scalar(rng)
-        A = self.params.generator * sigma
-        base = tate_pairing(h1_identity(self.params, role_identity),
-                            self._single.pkg_public)
+        A = self.params.point_mul_generator(sigma)
+        base = prepared(self._single.pkg_public).pair(
+            h1_identity(self.params, role_identity))
         tokens = []
         for kw in keywords:
             exponent = sigma * h2_keyword_scalar(self.params, kw) % self.params.r
@@ -217,7 +220,7 @@ class MultiKeywordPeks:
 
     def test(self, tag: MultiKeywordTag, trapdoor: PeksTrapdoor) -> bool:
         """True when the trapdoor keyword matches *any* keyword in the tag."""
-        token = h3_pairing_to_bytes(tate_pairing(trapdoor.point, tag.A),
+        token = h3_pairing_to_bytes(prepared(trapdoor.point).pair(tag.A),
                                     _TOKEN_BYTES)
         return token in tag.tokens
 

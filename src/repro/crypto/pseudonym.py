@@ -51,7 +51,7 @@ def issue_temporary_pair(params: DomainParams, master_secret: int,
                          rng: HmacDrbg) -> TemporaryKeyPair:
     """A-server-side issuance of one pool pair: TP = t·P, Γ = s0·TP."""
     t = params.random_scalar(rng)
-    public = params.generator * t
+    public = params.point_mul_generator(t)
     private = public * master_secret
     return TemporaryKeyPair(public=public, private=private)
 

@@ -27,6 +27,9 @@ marks the tail of a list.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.crypto.modes import SemanticCipher
@@ -103,12 +106,21 @@ class SecureIndex:
         return sum(len(slot) for slot in self.array) + self.table.size_bytes()
 
     def digest(self) -> bytes:
-        """SHA-256 over the array contents — the 'SI' the upload HMAC binds."""
-        import hashlib
+        """SHA-256 over SI = (A, T) — the value the upload HMAC binds.
+
+        Binds *both* components: the array A and the serialized FKS lookup
+        table T.  (T carries the masked list heads; leaving it out of the
+        digest would let the storage server swap lookup tables between
+        collections without the integrity check noticing.)
+        """
+        from repro.sse.fks import serialize_fks
         hasher = hashlib.sha256(b"secure-index:")
         hasher.update(self.array_size.to_bytes(8, "big"))
         for slot in self.array:
             hasher.update(slot)
+        table_blob = serialize_fks(self.table)
+        hasher.update(len(table_blob).to_bytes(8, "big"))
+        hasher.update(table_blob)
         return hasher.digest()
 
     def to_bytes(self) -> bytes:
@@ -246,3 +258,48 @@ def build_secure_index(
     table = FksTable.build(table_entries, rng)
     return SecureIndex(array=array, table=table,  # type: ignore[arg-type]
                        array_size=array_size)
+
+
+# ---------------------------------------------------------------------------
+# Deserialization cache: the S-server persists indexes as blobs and pays a
+# full `from_bytes` (FKS rebuild included) on every search of a blob-backed
+# collection.  Cache the deserialized object per blob hash so repeated
+# searches of hot collections skip the parse entirely.
+# ---------------------------------------------------------------------------
+
+_INDEX_CACHE_CAPACITY = 32
+_index_cache: "OrderedDict[bytes, SecureIndex]" = OrderedDict()
+_index_cache_lock = threading.Lock()
+index_cache_stats = {"hits": 0, "misses": 0}
+
+
+def load_index_cached(blob: bytes) -> SecureIndex:
+    """``SecureIndex.from_bytes(blob)``, memoised by SHA-256 of the blob.
+
+    Callers must treat the returned index as read-only — it is shared
+    between every caller that presents the same blob (including concurrent
+    search workers; :meth:`SecureIndex.search` never mutates the index).
+    """
+    key = hashlib.sha256(blob).digest()
+    with _index_cache_lock:
+        hit = _index_cache.get(key)
+        if hit is not None:
+            _index_cache.move_to_end(key)
+            index_cache_stats["hits"] += 1
+            return hit
+        index_cache_stats["misses"] += 1
+    loaded = SecureIndex.from_bytes(blob)
+    with _index_cache_lock:
+        _index_cache[key] = loaded
+        _index_cache.move_to_end(key)
+        while len(_index_cache) > _INDEX_CACHE_CAPACITY:
+            _index_cache.popitem(last=False)
+    return loaded
+
+
+def clear_index_cache() -> None:
+    """Drop all cached indexes and reset the hit/miss counters."""
+    with _index_cache_lock:
+        _index_cache.clear()
+        index_cache_stats["hits"] = 0
+        index_cache_stats["misses"] = 0

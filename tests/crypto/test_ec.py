@@ -55,6 +55,20 @@ class TestPointBasics:
     def test_double_equals_add(self):
         assert G.double() == G + G
 
+    def test_double_many_points(self):
+        for k in (2, 3, 7, 1234, CURVE.r - 1):
+            P = G * k
+            assert P.double() == P + P == G * (2 * k)
+
+    def test_double_infinity(self):
+        assert Point.infinity_point(CURVE).double().is_infinity
+
+    def test_double_two_torsion_gives_infinity(self):
+        # On y² = x³ + x, the point (0, 0) has order 2: vertical tangent.
+        two_torsion = Point(0, 0, CURVE)
+        assert two_torsion.double().is_infinity
+        assert (two_torsion + two_torsion).is_infinity
+
     def test_from_x_lifts(self):
         lifted = Point.from_x(G.x, CURVE, parity=G.y % 2)
         assert lifted == G

@@ -1,0 +1,135 @@
+"""Randomized IBS batch verification: equal to per-signature verify."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.ibe import PrivateKeyGenerator
+from repro.crypto.ibs import IbsSignature, batch_verify, sign, verify
+from repro.crypto.params import test_params as _test_params
+from repro.crypto.rng import HmacDrbg
+
+PARAMS = _test_params()
+
+
+@pytest.fixture()
+def pkg():
+    return PrivateKeyGenerator(PARAMS, HmacDrbg(b"ibs-batch-pkg"))
+
+
+def _make_items(pkg, count, seed=b"ibs-batch"):
+    rng = HmacDrbg(seed)
+    items = []
+    for i in range(count):
+        identity = "physician-%d" % i
+        key = pkg.extract(identity)
+        message = b"passcode-request-%d" % i
+        items.append((identity, message, sign(PARAMS, key, message, rng)))
+    return items
+
+
+def _strip_hint(signature: IbsSignature) -> IbsSignature:
+    """A wire-roundtripped signature: same (u, v), no r_value."""
+    return dataclasses.replace(signature, r_value=None)
+
+
+class TestBatchVerify:
+    def test_valid_batch_accepts(self, pkg):
+        items = _make_items(pkg, 6)
+        assert all(verify(PARAMS, pkg.public_key, i, m, s)
+                   for i, m, s in items)
+        assert batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_empty_batch_accepts(self, pkg):
+        assert batch_verify(PARAMS, pkg.public_key, [])
+
+    def test_single_element_batch(self, pkg):
+        items = _make_items(pkg, 1)
+        assert batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_tampered_message_rejected(self, pkg):
+        items = _make_items(pkg, 4)
+        identity, _, signature = items[2]
+        items[2] = (identity, b"forged-message", signature)
+        assert not batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_tampered_u_rejected(self, pkg):
+        items = _make_items(pkg, 4)
+        identity, message, signature = items[1]
+        bad = dataclasses.replace(signature, u=signature.u * 2)
+        items[1] = (identity, message, bad)
+        assert not batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_tampered_v_rejected(self, pkg):
+        items = _make_items(pkg, 4)
+        identity, message, signature = items[3]
+        bad = dataclasses.replace(signature, v=(signature.v + 1) % PARAMS.r)
+        items[3] = (identity, message, bad)
+        assert not batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_wrong_identity_rejected(self, pkg):
+        items = _make_items(pkg, 3)
+        _, message, signature = items[0]
+        items[0] = ("someone-else", message, signature)
+        assert not batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_forged_r_hint_rejected(self, pkg):
+        """A lying r_value that matches v's hash must fail the product
+        check — this is exactly the case step 1 alone cannot catch."""
+        items = _make_items(pkg, 3)
+        identity, _, signature = items[1]
+        # Craft (message', v') consistent with a bogus commitment r*: the
+        # hash check passes, but the pairing relation doesn't hold.
+        from repro.crypto.hashes import h_to_scalar
+        fake_r = signature.r_value ** 2
+        fake_message = b"crafted"
+        fake_v = h_to_scalar(PARAMS, b"hess-ibs", fake_message,
+                             fake_r.to_bytes())
+        forged = IbsSignature(u=signature.u, v=fake_v, r_value=fake_r)
+        items[1] = (identity, fake_message, forged)
+        assert not verify(PARAMS, pkg.public_key, identity, fake_message,
+                          forged)
+        assert not batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_stripped_hints_fall_back_to_recompute(self, pkg):
+        items = [(i, m, _strip_hint(s)) for i, m, s in _make_items(pkg, 4)]
+        assert batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_stripped_hints_still_reject_forgeries(self, pkg):
+        items = [(i, m, _strip_hint(s)) for i, m, s in _make_items(pkg, 4)]
+        identity, _, signature = items[0]
+        items[0] = (identity, b"other", signature)
+        assert not batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_mixed_hinted_and_stripped(self, pkg):
+        items = _make_items(pkg, 4)
+        items[1] = (items[1][0], items[1][1], _strip_hint(items[1][2]))
+        items[3] = (items[3][0], items[3][1], _strip_hint(items[3][2]))
+        assert batch_verify(PARAMS, pkg.public_key, items)
+
+    def test_explicit_rng_for_deltas(self, pkg):
+        items = _make_items(pkg, 3)
+        assert batch_verify(PARAMS, pkg.public_key, items,
+                            rng=HmacDrbg(b"deltas"))
+
+    def test_matches_serial_verify_on_mixed_batch(self, pkg):
+        """Equivalence: batch result == all(verify(...)) on good and bad."""
+        good = _make_items(pkg, 3)
+        bad = _make_items(pkg, 2, seed=b"ibs-batch-2")
+        bad[0] = (bad[0][0], b"tampered", bad[0][2])
+        for items in (good, bad, good + bad):
+            expected = all(verify(PARAMS, pkg.public_key, i, m, s)
+                           for i, m, s in items)
+            assert batch_verify(PARAMS, pkg.public_key, items) == expected
+
+
+class TestSignatureHint:
+    def test_wire_format_unchanged_by_hint(self, pkg):
+        items = _make_items(pkg, 1)
+        _, _, signature = items[0]
+        assert signature.r_value is not None
+        assert _strip_hint(signature).to_bytes() == signature.to_bytes()
+
+    def test_equality_ignores_hint(self, pkg):
+        _, _, signature = _make_items(pkg, 1)[0]
+        assert _strip_hint(signature) == signature

@@ -4,8 +4,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.fields import Fp2Element
-from repro.crypto.pairing import (final_exponentiation, miller_loop,
-                                  pairing_product, tate_pairing)
+from repro.crypto.pairing import (PreparedPairing, clear_pairing_cache,
+                                  final_exponentiation, miller_loop,
+                                  pairing_product, prepared, tate_pairing)
 from repro.crypto.params import generate_type_a
 from repro.crypto.params import test_params as _test_params
 from repro.exceptions import ParameterError
@@ -114,6 +115,94 @@ class TestPairingProduct:
         inf = Point.infinity_point(PARAMS.curve)
         assert (pairing_product([(inf, G), (G * 2, G * 3)], PARAMS.curve)
                 == tate_pairing(G * 2, G * 3))
+
+    def test_infinity_on_either_side_skipped(self):
+        from repro.crypto.ec import Point
+        inf = Point.infinity_point(PARAMS.curve)
+        assert pairing_product([(G * 2, inf)], PARAMS.curve).is_one()
+        assert pairing_product([(inf, inf)], PARAMS.curve).is_one()
+
+    @given(st.lists(st.tuples(scalars, scalars), min_size=1, max_size=4))
+    @settings(max_examples=10, deadline=None)
+    def test_bilinearity_of_product(self, coeffs):
+        """∏ ê(a_iP, b_iP) == ê(P, P)^Σ a_i·b_i."""
+        pairs = [(G * a, G * b) for a, b in coeffs]
+        exponent = sum(a * b for a, b in coeffs) % R
+        assert (pairing_product(pairs, PARAMS.curve)
+                == tate_pairing(G, G) ** exponent)
+
+    def test_matches_product_of_individual_pairings(self):
+        pairs = [(G * 2, G * 3), (G * 5, G * 7), (G * 11, G * 13),
+                 (G * 17, G * 19)]
+        expected = Fp2Element.one(PARAMS.p)
+        for P, Q in pairs:
+            expected = expected * tate_pairing(P, Q)
+        assert pairing_product(pairs, PARAMS.curve) == expected
+
+
+class TestPreparedPairing:
+    def test_miller_matches_miller_loop(self):
+        P = G * 9
+        prep = PreparedPairing(P)
+        for k in (1, 2, 17, R - 1):
+            assert prep.miller(G * k) == miller_loop(P, G * k)
+
+    def test_pair_matches_tate_both_orders(self):
+        P, Q = G * 21, G * 34
+        prep = PreparedPairing(P)
+        clear_pairing_cache()
+        assert prep.pair(Q) == tate_pairing(P, Q)
+        clear_pairing_cache()
+        assert prep.pair(Q) == tate_pairing(Q, P)
+
+    def test_pair_infinity_is_one(self):
+        from repro.crypto.ec import Point
+        prep = PreparedPairing(G)
+        assert prep.pair(Point.infinity_point(PARAMS.curve)).is_one()
+
+    def test_infinity_base_rejected(self):
+        from repro.crypto.ec import Point
+        with pytest.raises(ParameterError):
+            PreparedPairing(Point.infinity_point(PARAMS.curve))
+
+    def test_curve_mismatch_rejected(self):
+        other = generate_type_a(32, 80, b"other-prepared")
+        prep = PreparedPairing(G)
+        with pytest.raises(ParameterError):
+            prep.pair(other.generator)
+
+    def test_registry_identity(self):
+        clear_pairing_cache()
+        assert prepared(G * 3) is prepared(G * 3)
+        assert prepared(G * 3) is not prepared(G * 4)
+
+    def test_bilinearity_through_prepared(self):
+        prep = PreparedPairing(G * 6)
+        clear_pairing_cache()
+        assert prep.pair(G * 7) == tate_pairing(G, G) ** 42
+
+
+class TestTateCache:
+    def test_cache_returns_identical_object(self):
+        clear_pairing_cache()
+        first = tate_pairing(G * 5, G * 8)
+        assert tate_pairing(G * 5, G * 8) is first
+        # Symmetric canonical key: the swapped call hits the same entry.
+        assert tate_pairing(G * 8, G * 5) is first
+
+    def test_cached_value_is_correct(self):
+        clear_pairing_cache()
+        warm = tate_pairing(G * 4, G * 6)
+        clear_pairing_cache()
+        assert tate_pairing(G * 4, G * 6) == warm
+
+    def test_cache_capacity_bounded(self):
+        from repro.crypto import pairing as pairing_mod
+        clear_pairing_cache()
+        for i in range(1, pairing_mod._TATE_CACHE_CAPACITY + 20):
+            tate_pairing(G, G * i)
+        assert len(pairing_mod._tate_cache) <= pairing_mod._TATE_CACHE_CAPACITY
+        clear_pairing_cache()
 
 
 class TestGeneratedParams:

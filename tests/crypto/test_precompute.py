@@ -1,0 +1,115 @@
+"""Fixed-base precomputation: byte-identical to generic scalar mult."""
+
+import pytest
+
+from repro.crypto.ec import Point
+from repro.crypto.params import test_params as _test_params
+from repro.crypto.precompute import (DEFAULT_WINDOW, PrecomputedPoint,
+                                     clear_registry, fixed_base_mul,
+                                     precomputed)
+from repro.exceptions import ParameterError
+
+PARAMS = _test_params()
+G = PARAMS.generator
+R = PARAMS.r
+P_FIELD = PARAMS.p
+
+EDGE_SCALARS = [0, 1, 2, 3, 7, 15, 16, 17, 255, 1234567,
+                R - 2, R - 1, R, R + 1, R + 5, 3 * R + 17,
+                P_FIELD + 1, P_FIELD + 12345, (1 << 200) + 9]
+
+
+class TestPrecomputedPoint:
+    def test_matches_generic_mul_on_edge_scalars(self):
+        table = PrecomputedPoint(G)
+        for k in EDGE_SCALARS:
+            expected = G * k
+            got = table.multiply(k)
+            assert got == expected, "k=%d" % k
+            if not expected.is_infinity:
+                assert got.to_bytes() == expected.to_bytes()
+
+    @pytest.mark.parametrize("window", [2, 3, 4, 5, 6])
+    def test_all_window_widths_agree(self, window):
+        table = PrecomputedPoint(G, window=window)
+        for k in (1, 37, R - 1, R + 2, (1 << 90) + 3):
+            assert table.multiply(k) == G * k
+
+    def test_non_generator_base(self):
+        base = G * 987654321
+        table = PrecomputedPoint(base)
+        for k in (1, 2, R - 1, 55555):
+            assert table.multiply(k) == base * k
+
+    def test_non_subgroup_point_uses_full_order(self):
+        # A curve point outside G1 (not cofactor-cleared): scalars must
+        # reduce mod r·h, exactly as Point.__mul__ does.
+        raw = None
+        x = 2
+        while raw is None:
+            raw = Point.from_x(x, PARAMS.curve, parity=0)
+            x += 1
+        if raw.is_in_subgroup():  # pragma: no cover - seed-dependent
+            pytest.skip("hit a subgroup point by chance")
+        table = PrecomputedPoint(raw)
+        assert table.order == PARAMS.curve.r * PARAMS.curve.h
+        for k in (1, R, R + 7, PARAMS.curve.h, (1 << 170) + 11):
+            assert table.multiply(k) == raw * k
+
+    def test_zero_and_order_multiples_give_infinity(self):
+        table = PrecomputedPoint(G)
+        assert table.multiply(0).is_infinity
+        assert table.multiply(R).is_infinity
+        assert table.multiply(5 * R).is_infinity
+
+    def test_infinity_base_rejected(self):
+        with pytest.raises(ParameterError):
+            PrecomputedPoint(Point.infinity_point(PARAMS.curve))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ParameterError):
+            PrecomputedPoint(G, window=1)
+        with pytest.raises(ParameterError):
+            PrecomputedPoint(G, window=9)
+
+    def test_table_size(self):
+        table = PrecomputedPoint(G, window=4)
+        windows = -(-R.bit_length() // 4)
+        assert table.table_entries() == windows * 15
+
+
+class TestRegistry:
+    def test_same_point_returns_same_table(self):
+        clear_registry()
+        a = precomputed(G)
+        b = precomputed(G)
+        assert a is b
+
+    def test_equal_points_share_table(self):
+        clear_registry()
+        assert precomputed(G * 5) is precomputed(G * 5)
+
+    def test_different_windows_distinct(self):
+        clear_registry()
+        assert precomputed(G, window=3) is not precomputed(G, window=4)
+
+    def test_fixed_base_mul_matches(self):
+        for k in (1, 123, R - 1, R + 9):
+            assert fixed_base_mul(G, k) == G * k
+
+    def test_capacity_bounded(self):
+        from repro.crypto import precompute
+        clear_registry()
+        for i in range(1, precompute._REGISTRY_CAPACITY + 10):
+            precomputed(G * i, window=2)
+        assert len(precompute._registry) <= precompute._REGISTRY_CAPACITY
+        clear_registry()
+
+
+class TestParamsWiring:
+    def test_point_mul_generator_matches_naive(self):
+        for k in (1, 42, R - 1, R + 3, (1 << 100) + 77):
+            assert PARAMS.point_mul_generator(k) == G * k
+
+    def test_default_window_sane(self):
+        assert 2 <= DEFAULT_WINDOW <= 8

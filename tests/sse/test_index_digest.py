@@ -1,0 +1,76 @@
+"""SecureIndex.digest must bind both components of SI = (A, T)."""
+
+from repro.crypto.rng import HmacDrbg
+from repro.sse.fks import FksTable
+from repro.sse.index import SecureIndex, clear_index_cache, load_index_cached
+from repro.sse.scheme import Sse1Scheme, keygen
+
+
+def _build_index(seed=b"digest-test"):
+    rng = HmacDrbg(seed)
+    scheme = Sse1Scheme(keygen(rng))
+    keyword_map = {"kw-%d" % i: [rng.random_bytes(16)] for i in range(12)}
+    return scheme.build_index(keyword_map, rng)
+
+
+class TestDigestBindsTable:
+    def test_digest_deterministic(self):
+        index = _build_index()
+        assert index.digest() == index.digest()
+
+    def test_digest_changes_with_array(self):
+        index = _build_index()
+        baseline = index.digest()
+        tampered = SecureIndex(array=[index.array[0]] + index.array[1:][::-1],
+                               table=index.table,
+                               array_size=index.array_size)
+        assert tampered.digest() != baseline
+
+    def test_digest_changes_with_table_only(self):
+        """Swapping T while keeping A intact must change the digest —
+        the table carries the masked list heads the trapdoors unlock."""
+        index = _build_index()
+        baseline = index.digest()
+        rng = HmacDrbg(b"other-table")
+        other_table = FksTable.build(
+            {i: rng.random_bytes(24) for i in range(10)}, rng)
+        swapped = SecureIndex(array=index.array, table=other_table,
+                              array_size=index.array_size)
+        assert swapped.digest() != baseline
+
+    def test_digest_survives_serialization_round_trip(self):
+        index = _build_index()
+        restored = SecureIndex.from_bytes(index.to_bytes())
+        assert restored.digest() == index.digest()
+
+
+class TestIndexCache:
+    def test_cached_load_equals_from_bytes(self):
+        clear_index_cache()
+        index = _build_index(seed=b"cache-equiv")
+        blob = index.to_bytes()
+        direct = SecureIndex.from_bytes(blob)
+        cached = load_index_cached(blob)
+        assert cached.digest() == direct.digest()
+        assert cached.array == direct.array
+        assert cached.array_size == direct.array_size
+
+    def test_same_blob_returns_same_object(self):
+        clear_index_cache()
+        blob = _build_index(seed=b"cache-ident").to_bytes()
+        assert load_index_cached(blob) is load_index_cached(blob)
+
+    def test_distinct_blobs_distinct_entries(self):
+        clear_index_cache()
+        a = load_index_cached(_build_index(seed=b"cache-a").to_bytes())
+        b = load_index_cached(_build_index(seed=b"cache-b").to_bytes())
+        assert a is not b
+        clear_index_cache()
+
+    def test_capacity_bounded(self):
+        from repro.sse import index as index_mod
+        clear_index_cache()
+        for i in range(index_mod._INDEX_CACHE_CAPACITY + 5):
+            load_index_cached(_build_index(seed=b"cap-%d" % i).to_bytes())
+        assert len(index_mod._index_cache) <= index_mod._INDEX_CACHE_CAPACITY
+        clear_index_cache()
