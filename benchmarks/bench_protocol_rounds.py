@@ -98,6 +98,54 @@ def test_revoke_rounds(benchmark):
     benchmark.extra_info["paper_claim"] = "one transmission to S-server"
 
 
+def test_mhi_store_rounds(benchmark):
+    from repro.core.protocols.mhi import mhi_store, role_identity_for
+
+    def run():
+        system = build_privileged_system(10, seed=b"e4-mhi-store")
+        window = system.pdevice.vitals.generate_day("2026-07-01")
+        role = role_identity_for("2026-07-01")
+        return mhi_store(system.pdevice, system.sserver,
+                         system.state.public_key, system.network, window,
+                         role)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.messages == 1
+    benchmark.extra_info["messages"] = result.stats.messages
+    benchmark.extra_info["bytes"] = result.stats.bytes_total
+    benchmark.extra_info["paper_claim"] = ("one transmission, "
+                                           "offline-precomputable")
+
+
+def test_mhi_retrieve_rounds(benchmark):
+    from repro.core.protocols.emergency import pdevice_emergency_retrieval
+    from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                          role_identity_for)
+    system = build_privileged_system(10, seed=b"e4-mhi-retrieve")
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    window = system.pdevice.vitals.generate_day("2026-07-01")
+    role = role_identity_for("2026-07-01")
+    mhi_store(system.pdevice, system.sserver, system.state.public_key,
+              system.network, window, role)
+    keyword = system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+    # The role key is gated on an authenticated emergency session.
+    pdevice_emergency_retrieval(physician, system.pdevice, system.state,
+                                system.sserver, system.network, [keyword])
+
+    result = benchmark(lambda: mhi_retrieve(
+        physician, system.state, system.sserver, system.network, role,
+        "2026-07-03"))
+    # role-key round (2) + search round (2)
+    assert result.stats.messages == 4
+    assert len(result.windows) == 1
+    benchmark.extra_info["messages"] = result.stats.messages
+    benchmark.extra_info["bytes"] = result.stats.bytes_total
+    benchmark.extra_info["paper_claim"] = ("one Γ_r round + the standard "
+                                           "retrieval round")
+
+
 def test_cross_domain_rounds(benchmark, params):
     """§IV.D note: the cross-domain variant costs exactly one extra
     message (the HIBC handshake) on top of the one-round retrieval."""

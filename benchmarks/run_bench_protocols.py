@@ -1,0 +1,217 @@
+"""Standalone E4/E8 snapshot: per-protocol frames, bytes, and wall time.
+
+Runs every HCPP protocol over the simulated-network transport, records
+its message count, byte total, and median wall-clock serving time, and
+compares one retrieval across the three transport backends (loopback /
+simulator / sockets) to price the dispatch boundary itself.  Appends a
+run entry to a trajectory JSON file (default ``BENCH_protocols.json`` at
+the repo root).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench_protocols.py \
+        --iters 5 --out BENCH_protocols.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.protocols.emergency import (family_based_retrieval,
+                                            pdevice_emergency_retrieval)
+from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                      role_identity_for)
+from repro.core.protocols.privilege import (assign_privilege,
+                                            revoke_privilege)
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import build_system
+from repro.ehr.phi import generate_workload
+from repro.net.transport import LoopbackTransport, SocketTransport
+
+WORKLOAD_FILES = 10
+
+
+def _fresh_system(seed: bytes, privileged: bool = False,
+                  net=None):
+    system = build_system(seed=seed)
+    workload = generate_workload(system.rng.fork("workload"),
+                                 WORKLOAD_FILES,
+                                 server_address=system.sserver.address)
+    system.patient.import_collection(workload)
+    carrier = net if net is not None else system.network
+    private_phi_storage(system.patient, system.sserver, carrier)
+    if privileged:
+        assign_privilege(system.patient, system.family, system.sserver,
+                         carrier)
+        assign_privilege(system.patient, system.pdevice, system.sserver,
+                         carrier)
+    return system
+
+
+def _median_ms(fn, iters: int) -> tuple[float, object]:
+    samples, result = [], None
+    for _ in range(iters):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples) * 1e3, result
+
+
+def _entry(stats, wall_ms: float) -> dict:
+    return {"messages": stats.messages, "bytes": stats.bytes_total,
+            "sim_latency_s": round(stats.latency_s, 6),
+            "wall_ms": round(wall_ms, 3)}
+
+
+def bench_protocols(iters: int) -> dict:
+    results: dict[str, dict] = {}
+
+    # storage: a fresh deployment per sample (uploads are one-shot).
+    samples, last = [], None
+    for i in range(iters):
+        system = build_system(seed=b"bench-proto-store-%d" % i)
+        workload = generate_workload(system.rng.fork("workload"),
+                                     WORKLOAD_FILES,
+                                     server_address=system.sserver.address)
+        system.patient.import_collection(workload)
+        t0 = time.perf_counter()
+        last = private_phi_storage(system.patient, system.sserver,
+                                   system.network)
+        samples.append(time.perf_counter() - t0)
+    results["storage"] = _entry(last.stats, statistics.median(samples) * 1e3)
+
+    system = _fresh_system(b"bench-proto-retrieve")
+    keyword = system.patient.collection.index.keywords()[0]
+    wall, rt = _median_ms(lambda: common_case_retrieval(
+        system.patient, system.sserver, system.network, [keyword]), iters)
+    results["retrieval"] = _entry(rt.stats, wall)
+
+    system = _fresh_system(b"bench-proto-family", privileged=True)
+    keyword = system.patient.collection.index.keywords()[0]
+    wall, fam = _median_ms(lambda: family_based_retrieval(
+        system.family, system.sserver, system.network, [keyword]), iters)
+    results["family_emergency"] = _entry(fam.stats, wall)
+
+    system = _fresh_system(b"bench-proto-pdevice", privileged=True)
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    keyword = system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+    wall, pd = _median_ms(lambda: pdevice_emergency_retrieval(
+        physician, system.pdevice, system.state, system.sserver,
+        system.network, [keyword]), iters)
+    results["pdevice_emergency"] = _entry(pd.stats, wall)
+
+    samples, last = [], None
+    for i in range(iters):
+        system = _fresh_system(b"bench-proto-revoke-%d" % i)
+        assign_privilege(system.patient, system.pdevice, system.sserver,
+                         system.network)
+        t0 = time.perf_counter()
+        last = revoke_privilege(system.patient, system.pdevice.name,
+                                system.sserver, system.network)
+        samples.append(time.perf_counter() - t0)
+    results["revoke"] = _entry(last.stats, statistics.median(samples) * 1e3)
+
+    system = _fresh_system(b"bench-proto-mhi", privileged=True)
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    role = role_identity_for("2026-07-01")
+    window = system.pdevice.vitals.generate_day("2026-07-01")
+    wall, ms = _median_ms(lambda: mhi_store(
+        system.pdevice, system.sserver, system.state.public_key,
+        system.network, window, role), 1)
+    results["mhi_store"] = _entry(ms.stats, wall)
+    keyword = system.patient.collection.index.keywords()[0]
+    system.patient.dictionary.add(keyword)
+    pdevice_emergency_retrieval(physician, system.pdevice, system.state,
+                                system.sserver, system.network, [keyword])
+    wall, mr = _median_ms(lambda: mhi_retrieve(
+        physician, system.state, system.sserver, system.network, role,
+        "2026-07-03"), iters)
+    results["mhi_retrieve"] = _entry(mr.stats, wall)
+    return results
+
+
+def bench_backends(iters: int) -> dict:
+    """One retrieval, three carriers: what does each transport cost?"""
+    out = {}
+    for backend in ("loopback", "sim", "socket"):
+        system = build_system(seed=b"bench-proto-backends")
+        workload = generate_workload(system.rng.fork("workload"),
+                                     WORKLOAD_FILES,
+                                     server_address=system.sserver.address)
+        system.patient.import_collection(workload)
+        if backend == "loopback":
+            net = LoopbackTransport()
+        elif backend == "socket":
+            net = SocketTransport()
+        else:
+            net = system.network
+        try:
+            private_phi_storage(system.patient, system.sserver, net)
+            keyword = system.patient.collection.index.keywords()[0]
+            wall, rt = _median_ms(lambda: common_case_retrieval(
+                system.patient, system.sserver, net, [keyword]), iters)
+            out[backend] = {"wall_ms": round(wall, 3),
+                            "messages": rt.stats.messages,
+                            "bytes": rt.stats.bytes_total}
+        finally:
+            if isinstance(net, SocketTransport):
+                net.close()
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iters", type=int, default=5,
+                        help="timing samples per protocol (median kept)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_protocols.json")
+    args = parser.parse_args()
+    if args.iters < 1:
+        parser.error("--iters must be at least 1")
+
+    print("== protocol rounds over the simulated network ==")
+    protocols = bench_protocols(args.iters)
+    for name, row in protocols.items():
+        print("   %-18s %2d msg  %7d B  %8.2f ms wall"
+              % (name, row["messages"], row["bytes"], row["wall_ms"]))
+
+    print("== one retrieval across transport backends ==")
+    backends = bench_backends(args.iters)
+    for name, row in backends.items():
+        print("   %-9s %2d msg  %6d B  %8.2f ms wall"
+              % (name, row["messages"], row["bytes"], row["wall_ms"]))
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "iters": args.iters,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "protocols": protocols,
+        "transport_backends": backends,
+    }
+    trajectory = {"runs": []}
+    if args.out.exists():
+        try:
+            trajectory = json.loads(args.out.read_text())
+        except (ValueError, OSError):
+            pass
+        if not isinstance(trajectory.get("runs"), list):
+            trajectory = {"runs": []}
+    trajectory["runs"].append(entry)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print("appended run to %s (%d run(s) recorded)"
+          % (args.out, len(trajectory["runs"])))
+
+
+if __name__ == "__main__":
+    main()

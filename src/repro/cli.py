@@ -24,6 +24,20 @@ from repro.core.system import build_system
 from repro.ehr.phi import generate_workload
 
 
+def _net(args, system):
+    """The carrier for protocol frames: the discrete-event simulator by
+    default, or a plain in-process loopback with ``--transport loopback``
+    (same frames, no simulated links — one instance cached per run)."""
+    if getattr(args, "transport", "sim") != "loopback":
+        return system.network
+    transport = getattr(args, "_loopback", None)
+    if transport is None:
+        from repro.net.transport import LoopbackTransport
+        transport = LoopbackTransport()
+        args._loopback = transport
+    return transport
+
+
 def _prepared_system(args, with_privileges: bool = False):
     from repro.core.protocols.privilege import assign_privilege
     from repro.core.protocols.storage import private_phi_storage
@@ -32,13 +46,11 @@ def _prepared_system(args, with_privileges: bool = False):
                                  args.files,
                                  server_address=system.sserver.address)
     system.patient.import_collection(workload)
-    result = private_phi_storage(system.patient, system.sserver,
-                                 system.network)
+    net = _net(args, system)
+    result = private_phi_storage(system.patient, system.sserver, net)
     if with_privileges:
-        assign_privilege(system.patient, system.family, system.sserver,
-                         system.network)
-        assign_privilege(system.patient, system.pdevice, system.sserver,
-                         system.network)
+        assign_privilege(system.patient, system.family, system.sserver, net)
+        assign_privilege(system.patient, system.pdevice, system.sserver, net)
     return system, result
 
 
@@ -65,7 +77,7 @@ def cmd_search(args) -> int:
               % (keyword, ", ".join(keywords[:10])))
         return 1
     result = common_case_retrieval(system.patient, system.sserver,
-                                   system.network, [keyword])
+                                   _net(args, system), [keyword])
     print("Search %r: %d file(s), %d messages, %d B, %.3f s simulated"
           % (keyword, len(result.files), result.stats.messages,
              result.stats.bytes_total, result.stats.latency_s))
@@ -84,7 +96,7 @@ def cmd_emergency(args) -> int:
     system.patient.dictionary.add(keyword)
     result = pdevice_emergency_retrieval(
         physician, system.pdevice, system.state, system.sserver,
-        system.network, [keyword])
+        _net(args, system), [keyword])
     print("Break-glass by %s: %d file(s), %d messages, %.1f s simulated"
           % (physician.physician_id, len(result.files),
              result.stats.messages, result.stats.latency_s))
@@ -108,11 +120,11 @@ def cmd_demo(args) -> int:
     print("[1] storage: %d B, %d msg" % (store_result.stats.bytes_total,
                                          store_result.stats.messages))
     retrieval = common_case_retrieval(system.patient, system.sserver,
-                                      system.network, [keyword])
+                                      _net(args, system), [keyword])
     print("[2] common-case %r: %d file(s), %d msg"
           % (keyword, len(retrieval.files), retrieval.stats.messages))
     family = family_based_retrieval(system.family, system.sserver,
-                                    system.network, [keyword])
+                                    _net(args, system), [keyword])
     print("[3] family emergency: %d file(s), %d msg"
           % (len(family.files), family.stats.messages))
     return cmd_emergency_tail(system, args)
@@ -126,7 +138,7 @@ def cmd_emergency_tail(system, args) -> int:
     keyword = system.patient.collection.index.keywords()[0]
     result = pdevice_emergency_retrieval(
         physician, system.pdevice, system.state, system.sserver,
-        system.network, [keyword])
+        _net(args, system), [keyword])
     print("[4] P-device emergency: %d file(s), %d msg"
           % (len(result.files), result.stats.messages))
     auditor = AccountabilityAuditor(system.params, system.state.public_key)
@@ -145,15 +157,14 @@ def cmd_attacks(args) -> int:
     keyword = system.patient.collection.index.keywords()[0]
     knowledge = AdversaryKnowledge(sserver=system.sserver,
                                    compromised_pdevice=system.pdevice)
-    outcomes = coalition_matrix(knowledge, system.sserver, system.network,
-                                keyword)
+    net = _net(args, system)
+    outcomes = coalition_matrix(knowledge, system.sserver, net, keyword)
     wins = sum(o.recovered_phi for o in outcomes)
     print("Collusion: %d/%d coalitions recover PHI (all via the stolen "
           "P-device)" % (wins, len(outcomes)))
     revoke_privilege(system.patient, system.pdevice.name, system.sserver,
-                     system.network)
-    after = coalition_matrix(knowledge, system.sserver, system.network,
-                             keyword)
+                     net)
+    after = coalition_matrix(knowledge, system.sserver, net, keyword)
     print("After REVOKE: %d/%d succeed"
           % (sum(o.recovered_phi for o in after), len(after)))
     return 0
@@ -203,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--seed", default="cli", help="deployment seed")
     common.add_argument("--files", type=int, default=12,
                         help="synthetic PHI files to generate")
+    common.add_argument("--transport", choices=["sim", "loopback"],
+                        default="sim",
+                        help="frame carrier: discrete-event simulator "
+                             "(default) or in-process loopback")
     parser = argparse.ArgumentParser(
         prog="repro-hcpp",
         description="Drive an in-process HCPP (ICDCS'11) deployment.")

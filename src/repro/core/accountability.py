@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.crypto.ec import Point
 from repro.crypto.ibs import IbsSignature, verify as ibs_verify
 from repro.crypto.params import DomainParams
-from repro.core.protocols.messages import pack_fields
+from repro.core.protocols.messages import pack_fields, ts_ms
 from repro.exceptions import SignatureError
 
 __all__ = ["TraceRecord", "DeviceRecord", "ComplaintEvidence",
@@ -41,7 +41,7 @@ def tr_message(physician_id: str, request: bytes, t_request: float) -> bytes:
     annotations on the trace, not part of the physician's signature.
     """
     return pack_fields(physician_id.encode(), request,
-                       int(t_request * 1000).to_bytes(8, "big"))
+                       ts_ms(t_request).to_bytes(8, "big"))
 
 
 def rd_message(physician_id: str, patient_pseudonym: bytes,
@@ -56,7 +56,7 @@ def rd_message(physician_id: str, patient_pseudonym: bytes,
     searches").
     """
     return (b"HCPP-RD|" + physician_id.encode() + b"|" + patient_pseudonym
-            + b"|" + int(t_issue * 1000).to_bytes(8, "big"))
+            + b"|" + ts_ms(t_issue).to_bytes(8, "big"))
 
 
 @dataclass(frozen=True)
@@ -82,8 +82,8 @@ class TraceRecord:
             self.physician_id.encode(),
             self.patient_pseudonym,
             self.request,
-            int(self.t_request * 1000).to_bytes(8, "big"),
-            int(self.t_issue * 1000).to_bytes(8, "big"),
+            ts_ms(self.t_request).to_bytes(8, "big"),
+            ts_ms(self.t_issue).to_bytes(8, "big"),
             self.physician_signature.to_bytes(),
         )
 

@@ -31,7 +31,7 @@ from repro.crypto.pseudonym import TemporaryKeyPair, issue_temporary_pair
 from repro.crypto.rng import HmacDrbg
 from repro.core.accountability import TraceRecord, rd_message
 from repro.core.auditlog import AuditLog
-from repro.core.protocols.messages import pack_fields
+from repro.core.protocols.messages import pack_fields, ts_ms
 from repro.exceptions import (AccessDenied, AuthenticationError,
                               ParameterError)
 
@@ -132,8 +132,13 @@ class StateAServer:
         P-device registration.  On success, generates the nounce, prepares
         both responses, and records the TR.
         """
+        # Quantize to the millisecond wire resolution: every signed/stored
+        # artifact then derives from the exact double a remote decoder
+        # reconstructs, so signatures survive serialization.
+        t_request = ts_ms(t_request) / 1000.0
+        now = ts_ms(now) / 1000.0
         message = pack_fields(physician_id.encode(), request,
-                              int(t_request * 1000).to_bytes(8, "big"))
+                              ts_ms(t_request).to_bytes(8, "big"))
         if not ibs_verify(self.params, self.public_key, physician_id,
                           message, signature):
             raise AuthenticationError(
@@ -158,14 +163,14 @@ class StateAServer:
         sig_phys = ibs_sign(
             self.params, self.identity_key,
             pack_fields(physician_id.encode(), pd_key, encrypted,
-                        int(now * 1000).to_bytes(8, "big")),
+                        ts_ms(now).to_bytes(8, "big")),
             self._rng)
 
         # Step 3: IBE_TPp(ID_i ‖ nounce ‖ t11) to the P-device.  The IBS on
         # the transaction (ID_i, TP_p, t11) doubles as the RD signature the
         # P-device stores as evidence (§IV.E.2).
         plaintext = pack_fields(physician_id.encode(), nounce,
-                                int(now * 1000).to_bytes(8, "big"))
+                                ts_ms(now).to_bytes(8, "big"))
         ciphertext = encrypt_to_point(self.params, self.public_key,
                                       pdevice_pseudonym, plaintext, self._rng)
         sig_pd = ibs_sign(self.params, self.identity_key,
@@ -204,6 +209,20 @@ class StateAServer:
         if not self.is_on_duty(physician_id):
             raise AccessDenied("physician %r went off duty" % physician_id)
         return self._pkg.extract(role_identity)
+
+    def seal_role_key(self, physician_id: str, role_identity: str) -> bytes:
+        """Γ_r wrapped for the wire: E′_ϖ(Γ_r) under the SOK key ϖ.
+
+        The dispatch layer serves this to an authenticated physician; only
+        the holder of Γ_i can derive ϖ = ê(Γ_A, PK_i) = ê(PK_A, Γ_i) and
+        unwrap the role private point.
+        """
+        role_key = self.extract_role_key(physician_id, role_identity)
+        physician_public = self._pkg.extract(physician_id).public
+        omega = shared_key_from_points(self.identity_key.private,
+                                       physician_public)
+        return AuthenticatedCipher(omega).encrypt(
+            role_key.private.to_bytes(), self._rng)
 
     def traces_for(self, patient_pseudonym: bytes) -> list[TraceRecord]:
         """The patient's post-emergency TR request (§V.A accountability)."""

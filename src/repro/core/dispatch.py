@@ -1,0 +1,352 @@
+"""Server-side dispatch: every remote party serves ``handle_frame``.
+
+One :class:`Endpoint` wraps one entity (S-server, A-server, or a
+privileged family member / P-device) and routes typed opcodes — parsed
+exclusively with the :mod:`repro.core.wire` codecs — to the entity's
+handlers.  Protocol code never touches a remote party's methods
+directly; it builds a frame, hands it to a transport, and parses the
+response.  That boundary is what lets the same protocol run unchanged
+over in-process dispatch, the discrete-event simulator, or real TCP
+between OS processes (and is enforced by ``tools/check_layering.py``).
+
+Server-side :class:`~repro.exceptions.ReproError` exceptions serialize
+into error responses and re-raise client-side as the same class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+from repro.crypto.ec import Point
+from repro.crypto.hibc import HibeCiphertext, HidsSignature
+from repro.crypto.ibe import IbeCiphertext, decrypt_with_point
+from repro.crypto.ibs import IbsSignature
+from repro.crypto.modes import AuthenticatedCipher
+from repro.crypto.peks import MultiKeywordTag, PeksTrapdoor
+from repro.sse.index import SecureIndex
+from repro.core import wire
+from repro.core.aserver import StateAServer
+from repro.core.entities import AssignPackage, PDevice, _PrivilegedEntity
+from repro.core.protocols.messages import (Envelope, ReplayGuard,
+                                           open_envelope, pack_fields,
+                                           unpack_fields)
+from repro.core.sserver import StorageServer, _deserialize_broadcast
+from repro.exceptions import (AccessDenied, AuthenticationError,
+                              IntegrityError, ParameterError, ReproError,
+                              TransportError)
+
+__all__ = ["Endpoint", "SServerEndpoint", "AServerEndpoint",
+           "EntityEndpoint", "bind_sserver", "bind_aserver", "bind_entity"]
+
+
+class Endpoint:
+    """Opcode routing + error serialization around one served entity."""
+
+    def __init__(self) -> None:
+        self._transport = None
+        self._ops: dict[bytes, Callable[[list[bytes]], bytes]] = {}
+
+    def attach(self, transport) -> None:
+        """Called by ``Transport.bind``: gives the endpoint its clock and
+        the ability to originate frames (e.g. the A-server's step-3 push)."""
+        self._transport = transport
+
+    @property
+    def now(self) -> float:
+        if self._transport is None:
+            raise TransportError("endpoint is not attached to a transport")
+        return self._transport.now
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        try:
+            opcode, fields = wire.parse_frame(frame)
+            handler = self._ops.get(opcode)
+            if handler is None:
+                raise TransportError("unknown opcode %r" % opcode)
+            return wire.ok_response(handler(fields))
+        except ReproError as exc:
+            return wire.error_response(exc)
+        except Exception as exc:  # defensive: never kill a server thread
+            return wire.error_response(exc)
+
+    @staticmethod
+    def _expect(fields: list[bytes], count: int) -> list[bytes]:
+        if len(fields) != count:
+            raise ParameterError("expected %d frame fields, got %d"
+                                 % (count, len(fields)))
+        return fields
+
+
+class SServerEndpoint(Endpoint):
+    """The S-server's wire surface: storage, search, emergency, MHI, and
+    (when it holds an HIBC credential) cross-domain sessions."""
+
+    def __init__(self, server: StorageServer, hibc_node=None,
+                 root_public: Point | None = None) -> None:
+        super().__init__()
+        self.server = server
+        self.hibc_node = hibc_node
+        self.root_public = root_public
+        # Established cross-domain session keys, by transcript handle.
+        self._sessions: dict[bytes, bytes] = {}
+        self._ops = {
+            wire.OP_STORE: self._op_store,
+            wire.OP_SEARCH: self._op_search,
+            wire.OP_GET_BROADCAST: self._op_get_broadcast,
+            wire.OP_SEARCH_WRAPPED: self._op_search_wrapped,
+            wire.OP_GROUP_UPDATE: self._op_group_update,
+            wire.OP_MHI_STORE: self._op_mhi_store,
+            wire.OP_MHI_SEARCH: self._op_mhi_search,
+            wire.OP_XD_HANDSHAKE: self._op_xd_handshake,
+            wire.OP_XD_SEARCH: self._op_xd_search,
+        }
+
+    @property
+    def _curve(self):
+        return self.server.params.curve
+
+    # -- §IV.B storage -------------------------------------------------------
+    def _op_store(self, fields: list[bytes]) -> bytes:
+        (pseud_b, env_b, index_blob, files_blob, group_d,
+         broadcast_b) = self._expect(fields, 6)
+        envelope = Envelope.from_bytes(env_b)
+        index = SecureIndex.from_bytes(index_blob)
+        files = wire.decode_files(files_blob)
+        # Recompute the SI/Λ digests over what actually arrived and match
+        # them against the MACed payload summary (§III.C data integrity).
+        summary = pack_fields(pseud_b, index.digest(),
+                              wire.files_digest(files))
+        if summary != envelope.payload:
+            raise IntegrityError("SI/Λ digest mismatch on upload")
+        return self.server.handle_store(
+            Point.from_bytes(pseud_b, self._curve), envelope, index, files,
+            group_d, _deserialize_broadcast(broadcast_b), self.now)
+
+    # -- §IV.D retrieval -----------------------------------------------------
+    def _op_search(self, fields: list[bytes]) -> bytes:
+        pseud_b, collection_id, env_b = self._expect(fields, 3)
+        reply = self.server.handle_search(
+            Point.from_bytes(pseud_b, self._curve), collection_id,
+            Envelope.from_bytes(env_b), self.now)
+        return reply.to_bytes()
+
+    # -- §IV.E.1 family-style emergency --------------------------------------
+    def _op_get_broadcast(self, fields: list[bytes]) -> bytes:
+        pseud_b, collection_id, env_b = self._expect(fields, 3)
+        reply = self.server.handle_get_broadcast(
+            Point.from_bytes(pseud_b, self._curve), collection_id,
+            Envelope.from_bytes(env_b), self.now)
+        return reply.to_bytes()
+
+    def _op_search_wrapped(self, fields: list[bytes]) -> bytes:
+        pseud_b, collection_id, env_b = self._expect(fields, 3)
+        reply = self.server.handle_search_wrapped(
+            Point.from_bytes(pseud_b, self._curve), collection_id,
+            Envelope.from_bytes(env_b), self.now)
+        return reply.to_bytes()
+
+    # -- §IV.C group-state update (ASSIGN push / REVOKE) ---------------------
+    def _op_group_update(self, fields: list[bytes]) -> bytes:
+        pseud_b, collection_id, env_b = self._expect(fields, 3)
+        self.server.handle_revoke(
+            Point.from_bytes(pseud_b, self._curve), collection_id,
+            Envelope.from_bytes(env_b), self.now)
+        return b""
+
+    # -- §IV.E.2 MHI ---------------------------------------------------------
+    def _op_mhi_store(self, fields: list[bytes]) -> bytes:
+        pseud_b, env_b, role_b, ct_b, tag_b = self._expect(fields, 5)
+        envelope = Envelope.from_bytes(env_b)
+        summary = pack_fields(role_b, hashlib.sha256(ct_b).digest(),
+                              hashlib.sha256(tag_b).digest())
+        if summary != envelope.payload:
+            raise IntegrityError("MHI ciphertext/tag digest mismatch")
+        self.server.handle_mhi_store(
+            Point.from_bytes(pseud_b, self._curve), envelope,
+            role_b.decode(), IbeCiphertext.from_bytes(ct_b, self._curve),
+            MultiKeywordTag.from_bytes(tag_b, self._curve), self.now)
+        return b""
+
+    def _op_mhi_search(self, fields: list[bytes]) -> bytes:
+        role_b, env_b, trapdoor_b, pkg_public_b = self._expect(fields, 4)
+        reply, _matches = self.server.handle_mhi_search(
+            role_b.decode(), Envelope.from_bytes(env_b),
+            PeksTrapdoor.from_bytes(trapdoor_b, self._curve),
+            Point.from_bytes(pkg_public_b, self._curve), self.now)
+        return reply.to_bytes()
+
+    # -- §V.A cross-domain ---------------------------------------------------
+    def _op_xd_handshake(self, fields: list[bytes]) -> bytes:
+        from repro.core.protocols import crossdomain
+        if self.hibc_node is None or self.root_public is None:
+            raise AuthenticationError(
+                "this S-server holds no HIBC credential")
+        tuple_b, ct_b, sig_b = self._expect(fields, 3)
+        patient_tuple = tuple(tuple_b.decode().split("\x1f"))
+        ciphertext = HibeCiphertext.from_bytes(ct_b, self._curve)
+        handshake = crossdomain.CrossDomainHandshake(
+            patient_tuple=patient_tuple, ciphertext=ciphertext,
+            signature=HidsSignature.from_bytes(sig_b, self._curve))
+        session_key = crossdomain.accept_session(
+            self.hibc_node, handshake, self.server.params, self.root_public)
+        handle = crossdomain.session_handle(
+            patient_tuple, self.hibc_node.id_tuple, ciphertext)
+        self._sessions[handle] = session_key
+        return b""
+
+    def _op_xd_search(self, fields: list[bytes]) -> bytes:
+        handle, collection_id, env_b = self._expect(fields, 3)
+        session_key = self._sessions.get(handle)
+        if session_key is None:
+            raise AuthenticationError("unknown cross-domain session")
+        reply = self.server.handle_search_session(
+            session_key, collection_id, Envelope.from_bytes(env_b), self.now)
+        return reply.to_bytes()
+
+
+class AServerEndpoint(Endpoint):
+    """The state A-server's wire surface (emergency auth, role keys)."""
+
+    def __init__(self, aserver: StateAServer) -> None:
+        super().__init__()
+        self.aserver = aserver
+        # Registered P-devices' network addresses, for the step-3 push.
+        self._pdevice_addresses: dict[bytes, str] = {}
+        self._ops = {
+            wire.OP_REGISTER_PDEVICE: self._op_register,
+            wire.OP_EMERGENCY_AUTH: self._op_emergency_auth,
+            wire.OP_ROLE_KEY: self._op_role_key,
+        }
+
+    def _op_register(self, fields: list[bytes]) -> bytes:
+        pseud_b, address_b = self._expect(fields, 2)
+        self.aserver.register_pdevice(
+            Point.from_bytes(pseud_b, self.aserver.params.curve))
+        self._pdevice_addresses[pseud_b] = address_b.decode()
+        return b""
+
+    def _op_emergency_auth(self, fields: list[bytes]) -> bytes:
+        pid_b, request, t_req_b, sig_b, pd_b = self._expect(fields, 5)
+        curve = self.aserver.params.curve
+        issue = self.aserver.authenticate_emergency(
+            pid_b.decode(), request, wire.ts_from_bytes(t_req_b),
+            IbsSignature.from_bytes(sig_b, curve),
+            Point.from_bytes(pd_b, curve), self.now)
+        # Step 3 rides to the registered P-device "simultaneously" with
+        # the step-2 reply — one transmission over the wireless link.
+        pd_address = self._pdevice_addresses.get(pd_b)
+        if pd_address is None:
+            raise AuthenticationError(
+                "P-device registered no network address")
+        passcode_frame = wire.make_frame(
+            wire.OP_PASSCODE,
+            issue.pdevice_ciphertext.to_bytes(),
+            issue.pdevice_signature.to_bytes(),
+            wire.ts_to_bytes(issue.t_issue))
+        if self._transport is None:
+            raise TransportError("endpoint is not attached to a transport")
+        wire.parse_response(self._transport.notify(
+            self.aserver.address, pd_address, passcode_frame,
+            label="emergency/ibe-passcode"))
+        return pack_fields(issue.encrypted_for_physician,
+                           issue.physician_signature.to_bytes(),
+                           wire.ts_to_bytes(issue.t_issue))
+
+    def _op_role_key(self, fields: list[bytes]) -> bytes:
+        pid_b, role_b = self._expect(fields, 2)
+        return self.aserver.seal_role_key(pid_b.decode(), role_b.decode())
+
+
+class EntityEndpoint(Endpoint):
+    """A privileged entity's wire surface: ASSIGN delivery, and for
+    P-devices the step-3 IBE passcode push."""
+
+    def __init__(self, entity: _PrivilegedEntity, params,
+                 preshared_key: bytes | None = None) -> None:
+        super().__init__()
+        self.entity = entity
+        self.params = params
+        self._mu = preshared_key
+        self._guard = ReplayGuard()
+        self._ops = {wire.OP_ASSIGN: self._op_assign}
+        if isinstance(entity, PDevice):
+            self._ops[wire.OP_PASSCODE] = self._op_passcode
+
+    def rekey(self, preshared_key: bytes) -> None:
+        self._mu = preshared_key
+
+    def _op_assign(self, fields: list[bytes]) -> bytes:
+        (env_b,) = self._expect(fields, 1)
+        if self._mu is None:
+            raise AccessDenied(
+                "%s shares no pre-established key μ" % self.entity.name)
+        envelope = Envelope.from_bytes(env_b)
+        payload = open_envelope(self._mu, envelope, self.now, self._guard,
+                                expected_label="assign")
+        plaintext = AuthenticatedCipher(self._mu).decrypt(payload)
+        self.entity.receive_assign(
+            AssignPackage.from_bytes(plaintext, self.params))
+        return b""
+
+    def _op_passcode(self, fields: list[bytes]) -> bytes:
+        ct_b, sig_b, t_issue_b = self._expect(fields, 3)
+        package = self.entity.package
+        if package is None:
+            raise AccessDenied("P-device holds no ASSIGN package")
+        plaintext = decrypt_with_point(
+            package.pseudonym.private,
+            IbeCiphertext.from_bytes(ct_b, self.params.curve))
+        pid_b, nounce, _t11 = unpack_fields(plaintext, expected=3)
+        self.entity.receive_passcode(
+            pid_b.decode(), nounce,
+            t_issue=wire.ts_from_bytes(t_issue_b),
+            signature=IbsSignature.from_bytes(sig_b, self.params.curve))
+        return b""
+
+
+# -- binding helpers ---------------------------------------------------------
+def bind_sserver(transport, server: StorageServer, hibc_node=None,
+                 root_public: Point | None = None):
+    """Ensure an :class:`SServerEndpoint` serves ``server.address``.
+
+    When the transport already routes the address to another process
+    (static socket routes), nothing is bound locally and None returns.
+    """
+    endpoint = transport.endpoint_at(server.address)
+    if endpoint is None:
+        if transport.has_route(server.address):
+            return None
+        endpoint = SServerEndpoint(server, hibc_node=hibc_node,
+                                   root_public=root_public)
+        transport.bind(server.address, endpoint)
+        return endpoint
+    if hibc_node is not None:
+        endpoint.hibc_node = hibc_node
+        endpoint.root_public = root_public
+    return endpoint
+
+
+def bind_aserver(transport, aserver: StateAServer):
+    endpoint = transport.endpoint_at(aserver.address)
+    if endpoint is None:
+        if transport.has_route(aserver.address):
+            return None
+        endpoint = AServerEndpoint(aserver)
+        transport.bind(aserver.address, endpoint)
+    return endpoint
+
+
+def bind_entity(transport, entity: _PrivilegedEntity, params,
+                preshared_key: bytes | None = None):
+    endpoint = transport.endpoint_at(entity.address)
+    if endpoint is None:
+        if transport.has_route(entity.address):
+            return None
+        endpoint = EntityEndpoint(entity, params,
+                                  preshared_key=preshared_key)
+        transport.bind(entity.address, endpoint)
+        return endpoint
+    if preshared_key is not None:
+        endpoint.rekey(preshared_key)
+    return endpoint

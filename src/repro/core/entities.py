@@ -40,7 +40,7 @@ from repro.sse.multiuser import (PrivilegeManager, WrappedTrapdoor,
                                  recover_d, wrap_trapdoor)
 from repro.sse.scheme import Sse1Scheme, SseKeys, keygen
 from repro.core.accountability import DeviceRecord
-from repro.core.protocols.messages import pack_fields
+from repro.core.protocols.messages import ReplayGuard, pack_fields, ts_ms
 from repro.exceptions import AccessDenied, ParameterError, SearchError
 
 PRIVILEGE_CAPACITY = 8  # family members + devices per patient
@@ -135,6 +135,9 @@ class Patient:
         self.collection_ids: dict[str, bytes] = {}
         # The pseudonym currently bound to each stored collection.
         self.upload_pseudonyms: dict[str, TemporaryKeyPair] = {}
+        # Client-side freshness window over server replies (§IV.B applies
+        # to both directions: a recorded reply must not be replayable).
+        self.replay_guard = ReplayGuard()
 
     # -- pseudonyms -----------------------------------------------------------
     def fresh_pseudonym(self) -> TemporaryKeyPair:
@@ -285,6 +288,11 @@ class PDevice(_PrivilegedEntity):
         self.vitals = VitalsGenerator(rng.fork("vitals"))
         self._expected_nounce: bytes | None = None
         self._alert_log: list[str] = []  # §VI.A countermeasure: cell alerts
+        # Step-3 delivery state (who the pending passcode was issued for,
+        # plus the A-server's RD signature evidence).
+        self.expected_physician: str | None = None
+        self.pending_t_issue: float | None = None
+        self.pending_signature: IbsSignature | None = None
 
     def enter_emergency_mode(self) -> None:
         """The paper's emergency button."""
@@ -293,9 +301,24 @@ class PDevice(_PrivilegedEntity):
     def exit_emergency_mode(self) -> None:
         self.emergency_mode = False
         self._expected_nounce = None
+        self.expected_physician = None
+        self.pending_t_issue = None
+        self.pending_signature = None
 
     def expect_nounce(self, nounce: bytes) -> None:
         self._expected_nounce = nounce
+
+    def receive_passcode(self, physician_id: str, nounce: bytes,
+                         t_issue: float, signature: IbsSignature) -> None:
+        """Step 3 lands (§IV.E.2): the decrypted IBE passcode delivery.
+
+        The device remembers which physician the passcode was issued for;
+        the signature becomes the RD evidence once the transaction runs.
+        """
+        self.expected_physician = physician_id
+        self._expected_nounce = nounce
+        self.pending_t_issue = t_issue
+        self.pending_signature = signature
 
     def check_passcode(self, entered: bytes) -> bool:
         """Constant-size comparison of the physician-entered passcode."""
@@ -340,7 +363,7 @@ class Physician:
                               t_request: float) -> IbsSignature:
         """Step 1 of §IV.E.2: IBS_Γi(ID_i ‖ m′ ‖ t10)."""
         message = pack_fields(self.physician_id.encode(), request,
-                              int(t_request * 1000).to_bytes(8, "big"))
+                              ts_ms(t_request).to_bytes(8, "big"))
         return ibs_sign(self.params, self.identity_key, message, self.rng)
 
     def session_key_with(self, other_public: Point) -> bytes:

@@ -1,16 +1,18 @@
 """Shared protocol-run bookkeeping.
 
 Every protocol function returns a result object embedding a
-:class:`ProtocolStats`, read off the network log — these are the raw rows
-of the communication-cost experiments (E4) and the end-to-end latency
-experiment (E8).
+:class:`ProtocolStats`, read off the transport's frame log — these are
+the raw rows of the communication-cost experiments (E4) and the
+end-to-end latency experiment (E8).  The stats are backend-agnostic:
+the same capture works over the loopback transport, the discrete-event
+simulator, or real sockets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.net.sim import Network
+from repro.net.transport import as_transport
 
 
 @dataclass(frozen=True)
@@ -23,12 +25,13 @@ class ProtocolStats:
     latency_s: float
 
     @staticmethod
-    def capture(protocol: str, network: Network, mark: int,
+    def capture(protocol: str, network, mark: int,
                 started_at: float) -> "ProtocolStats":
-        window = network.log[mark:]
+        transport = as_transport(network)
+        window = transport.records_since(mark)
         return ProtocolStats(
             protocol=protocol,
             messages=len(window),
             bytes_total=sum(r.nbytes for r in window),
-            latency_s=network.clock.now - started_at,
+            latency_s=transport.now - started_at,
         )

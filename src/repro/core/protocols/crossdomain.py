@@ -20,12 +20,14 @@ HIBC tree supplies the replacement:
 3. The server verifies the signature against the patient's (pseudonymous)
    tuple using only the federal root key Q_0, decrypts k with its ψ, and
    both sides use k exactly where ν would have been — the §IV.D message
-   flow is otherwise byte-identical (the S-server exposes a
-   session-keyed search entry point for this).
+   flow is otherwise byte-identical (the S-server's endpoint keys the
+   established session by a transcript-derived handle, and the retrieval
+   frame names that handle instead of a pseudonym).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.crypto.ec import Point
@@ -34,10 +36,12 @@ from repro.crypto.hibc import (HibcNode, HibeCiphertext, HidsSignature,
 from repro.crypto.params import DomainParams
 from repro.crypto.rng import HmacDrbg
 from repro.ehr.records import PhiFile
-from repro.net.sim import Network
+from repro.net.transport import as_transport
+from repro.core import dispatch, wire
 from repro.core.entities import Patient
 from repro.core.protocols.base import ProtocolStats
-from repro.core.protocols.messages import pack_fields, seal, open_envelope, unpack_fields
+from repro.core.protocols.messages import (Envelope, open_envelope,
+                                           pack_fields, seal, unpack_fields)
 from repro.core.sserver import StorageServer
 from repro.exceptions import AuthenticationError
 
@@ -105,6 +109,16 @@ def _transcript(patient_tuple: tuple[str, ...],
     )
 
 
+def session_handle(patient_tuple: tuple[str, ...],
+                   server_tuple: tuple[str, ...],
+                   ciphertext: HibeCiphertext) -> bytes:
+    """Public identifier of an established session, derived by both sides
+    from the handshake transcript (never from the secret key k)."""
+    return hashlib.sha256(
+        b"hcpp-xd-session:"
+        + _transcript(patient_tuple, server_tuple, ciphertext)).digest()
+
+
 @dataclass(frozen=True)
 class CrossDomainResult:
     keywords: tuple[str, ...]
@@ -114,7 +128,7 @@ class CrossDomainResult:
 
 def cross_domain_retrieval(patient: Patient, patient_node: HibcNode,
                            server: StorageServer, server_node: HibcNode,
-                           root_public: Point, network: Network,
+                           root_public: Point, network,
                            keywords: list[str]) -> CrossDomainResult:
     """The §IV.D flow against a foreign-state S-server.
 
@@ -122,32 +136,42 @@ def cross_domain_retrieval(patient: Patient, patient_node: HibcNode,
     the retrieval round itself is identical to the same-domain protocol,
     with the session key standing in for ν.
     """
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server, hibc_node=server_node,
+                          root_public=root_public)
+    started_at = transport.now
+    mark = transport.mark()
 
     session_key, handshake = initiate_session(
         patient_node, server_node.id_tuple, patient.params, root_public,
         patient.rng)
-    network.transmit(patient.address, server.address,
-                     handshake.size_bytes(), label="crossdomain/handshake")
-    server_key = accept_session(server_node, handshake, patient.params,
-                                root_public)
-    assert server_key == session_key  # both sides now hold k
+    frame = wire.make_frame(
+        wire.OP_XD_HANDSHAKE,
+        "\x1f".join(handshake.patient_tuple).encode(),
+        handshake.ciphertext.to_bytes(),
+        handshake.signature.to_bytes())
+    wire.parse_response(transport.notify(
+        patient.address, server.address, frame,
+        label="crossdomain/handshake"))
+    handle = session_handle(patient_node.id_tuple, server_node.id_tuple,
+                            handshake.ciphertext)
 
     collection_id = patient.collection_ids[server.address]
     trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
     request = seal(session_key, "crossdomain/retrieve",
-                   pack_fields(*trapdoors), network.clock.now)
-    network.transmit(patient.address, server.address, request.size_bytes(),
-                     label="crossdomain/request")
-    reply = server.handle_search_session(session_key, collection_id,
-                                         request, network.clock.now)
-    network.transmit(server.address, patient.address, reply.size_bytes(),
-                     label="crossdomain/response")
-    payload = open_envelope(session_key, reply, network.clock.now)
+                   pack_fields(*trapdoors), transport.now)
+    frame = wire.make_frame(wire.OP_XD_SEARCH, handle, collection_id,
+                            request.to_bytes())
+    response = transport.request(patient.address, server.address, frame,
+                                 label="crossdomain/request",
+                                 reply_label="crossdomain/response")
+    reply = Envelope.from_bytes(wire.parse_response(response))
+    payload = open_envelope(session_key, reply, transport.now,
+                            patient.replay_guard,
+                            expected_label="phi-results")
     files = patient.decrypt_results(unpack_fields(payload))
     return CrossDomainResult(
         keywords=tuple(keywords),
         files=files,
-        stats=ProtocolStats.capture("cross-domain-retrieval", network,
+        stats=ProtocolStats.capture("cross-domain-retrieval", transport,
                                     mark, started_at))

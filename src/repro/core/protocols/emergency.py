@@ -22,22 +22,26 @@ then enters ID + nounce on the device (physical contact), the device
 checks the passcode and the keyword dictionary, performs the family-style
 retrieval with the S-server, and returns plaintext PHI.  The A-server logs
 the TR; the P-device logs the RD — the accountability evidence.
+
+Steps 2 and 3 both originate at the A-server: its dispatch endpoint
+pushes the IBE passcode frame to the registered P-device while answering
+the physician's authenticated request.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.ibe import decrypt_with_point
 from repro.crypto.modes import AuthenticatedCipher
 from repro.ehr.records import PhiFile
-from repro.net.sim import Network
+from repro.net.transport import as_transport
+from repro.core import dispatch, wire
 from repro.core.accountability import DeviceRecord
 from repro.core.aserver import StateAServer
 from repro.core.entities import Family, PDevice, Physician, _PrivilegedEntity
 from repro.core.protocols.base import ProtocolStats
-from repro.core.protocols.messages import (open_envelope, pack_fields, seal,
-                                           unpack_fields)
+from repro.core.protocols.messages import (Envelope, open_envelope,
+                                           pack_fields, seal, unpack_fields)
 from repro.core.sserver import StorageServer, _deserialize_broadcast
 from repro.exceptions import AccessDenied, AuthenticationError
 
@@ -51,47 +55,48 @@ class EmergencyResult:
 
 
 def _privileged_retrieval(entity: _PrivilegedEntity, entity_address: str,
-                          server: StorageServer, network: Network,
+                          server: StorageServer, network,
                           keywords: list[str]) -> list[PhiFile]:
     """The shared 4-message family-style exchange (steps 1–4 above)."""
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server)
     package = entity.package
     if package is None:
         raise AccessDenied("%s holds no ASSIGN package" % entity.name)
     nu = package.nu
-    pseudonym = package.pseudonym
+    pseud_b = package.pseudonym.public.to_bytes()
     collection_id = package.collection_id
 
-    # Step 1: request the current broadcast.
+    # Steps 1–2: request the current broadcast, get BE_U(d) back.
     request = seal(nu, "emergency/get-d", b"m:request-broadcast",
-                   network.clock.now)
-    network.transmit(entity_address, server.address,
-                     request.size_bytes() + len(pseudonym.public.to_bytes()),
-                     label="emergency/get-d")
-    # Step 2: BE_U(d).
-    reply = server.handle_get_broadcast(pseudonym.public, collection_id,
-                                        request, network.clock.now)
-    network.transmit(server.address, entity_address, reply.size_bytes(),
-                     label="emergency/broadcast-d")
-    blob = open_envelope(nu, reply, network.clock.now)
+                   transport.now)
+    frame = wire.make_frame(wire.OP_GET_BROADCAST, pseud_b, collection_id,
+                            request.to_bytes())
+    response = transport.request(entity_address, server.address, frame,
+                                 label="emergency/get-d",
+                                 reply_label="emergency/broadcast-d")
+    reply = Envelope.from_bytes(wire.parse_response(response))
+    blob = open_envelope(nu, reply, transport.now,
+                         expected_label="broadcast-d")
     d_current = entity.recover_group_secret(_deserialize_broadcast(blob))
 
-    # Step 3: θ_d-wrapped trapdoors.
+    # Steps 3–4: θ_d-wrapped trapdoors out, Λ(kw) back.
     wrapped = [entity.wrapped_trapdoor(kw, d_current).data for kw in keywords]
     search = seal(nu, "emergency/search", pack_fields(*wrapped),
-                  network.clock.now)
-    network.transmit(entity_address, server.address, search.size_bytes(),
-                     label="emergency/search")
-    # Step 4: Λ(kw).
-    results = server.handle_search_wrapped(pseudonym.public, collection_id,
-                                           search, network.clock.now)
-    network.transmit(server.address, entity_address, results.size_bytes(),
-                     label="emergency/results")
-    payload = open_envelope(nu, results, network.clock.now)
+                  transport.now)
+    frame = wire.make_frame(wire.OP_SEARCH_WRAPPED, pseud_b, collection_id,
+                            search.to_bytes())
+    response = transport.request(entity_address, server.address, frame,
+                                 label="emergency/search",
+                                 reply_label="emergency/results")
+    results = Envelope.from_bytes(wire.parse_response(response))
+    payload = open_envelope(nu, results, transport.now,
+                            expected_label="phi-results")
     return entity.decrypt_results(unpack_fields(payload))
 
 
 def family_based_retrieval(family: Family, server: StorageServer,
-                           network: Network, keywords: list[str],
+                           network, keywords: list[str],
                            physician: Physician | None = None,
                            physician_on_duty: bool = True
                            ) -> EmergencyResult:
@@ -101,114 +106,119 @@ def family_based_retrieval(family: Family, server: StorageServer,
     requesting physician does not look legitimate, the family refuses
     (:class:`AccessDenied`) — no crypto needed, exactly the paper's point.
     """
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    started_at = transport.now
+    mark = transport.mark()
 
     if physician is not None and not family.approves(
             physician.physician_id, physician_on_duty):
         raise AccessDenied(
             "family refused PHI access for %r" % physician.physician_id)
 
-    files = _privileged_retrieval(family, family.address, server, network,
+    files = _privileged_retrieval(family, family.address, server, transport,
                                   keywords)
     if physician is not None:
-        network.transmit(family.address, physician.address,
-                         sum(f.size_bytes() for f in files),
-                         label="emergency/handover")
+        transport.deliver(family.address, physician.address,
+                          sum(f.size_bytes() for f in files),
+                          label="emergency/handover")
         physician.received_phi.extend(files)
     return EmergencyResult(
         approach="family",
         keywords=tuple(keywords),
         files=files,
-        stats=ProtocolStats.capture("family-emergency-retrieval", network,
+        stats=ProtocolStats.capture("family-emergency-retrieval", transport,
                                     mark, started_at))
 
 
 def pdevice_emergency_retrieval(physician: Physician, pdevice: PDevice,
                                 aserver: StateAServer,
-                                server: StorageServer, network: Network,
+                                server: StorageServer, network,
                                 keywords: list[str]) -> EmergencyResult:
     """§IV.E.2: the full P-device break-glass flow with accountability."""
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server)
+    dispatch.bind_aserver(transport, aserver)
+    dispatch.bind_entity(transport, pdevice, pdevice.params)
+    started_at = transport.now
+    mark = transport.mark()
     package = pdevice.package
     if package is None:
         raise AccessDenied("P-device holds no ASSIGN package")
 
     # The physician pushes the emergency button; the device connects to the
-    # A-server over wireless access and registers its pseudonym.
+    # A-server over wireless access and registers its pseudonym + address.
     pdevice.enter_emergency_mode()
     pd_public = package.pseudonym.public
-    network.transmit(pdevice.address, aserver.address,
-                     len(pd_public.to_bytes()), label="emergency/register")
-    aserver.register_pdevice(pd_public)
+    frame = wire.make_frame(wire.OP_REGISTER_PDEVICE, pd_public.to_bytes(),
+                            pdevice.address.encode())
+    wire.parse_response(transport.notify(
+        pdevice.address, aserver.address, frame, label="emergency/register"))
 
-    # Step 1: signed passcode request.
+    # Step 1: signed passcode request.  Steps 2 and 3 "take place
+    # simultaneously and only after the physician successfully
+    # authenticates himself as the emergency caregiver on duty" — the
+    # A-server endpoint pushes the IBE passcode to the device while the
+    # step-2 reply returns to the physician.
     request = b"m':one-time-passcode"
-    t_request = network.clock.now
+    t_request = transport.now
     signature = physician.sign_passcode_request(request, t_request)
-    network.transmit(physician.address, aserver.address,
-                     len(request) + signature.size_bytes(),
-                     label="emergency/auth-request")
+    frame = wire.make_frame(wire.OP_EMERGENCY_AUTH,
+                            physician.physician_id.encode(), request,
+                            wire.ts_to_bytes(t_request),
+                            signature.to_bytes(), pd_public.to_bytes())
+    response = transport.request(physician.address, aserver.address, frame,
+                                 label="emergency/auth-request",
+                                 reply_label="emergency/passcode")
+    enc_for_physician, _aserver_sig_b, t_issue_b = unpack_fields(
+        wire.parse_response(response), expected=3)
+    t_issue = wire.ts_from_bytes(t_issue_b)
 
-    # Steps 2 and 3 "take place simultaneously and only after the physician
-    # successfully authenticates himself as the emergency caregiver on duty."
-    issue = aserver.authenticate_emergency(
-        physician.physician_id, request, t_request, signature, pd_public,
-        network.clock.now)
-    network.transmit(aserver.address, physician.address,
-                     issue.size_to_physician(), label="emergency/passcode")
-    network.transmit(aserver.address, pdevice.address,
-                     issue.size_to_pdevice(), label="emergency/ibe-passcode")
-
-    # The physician recovers the nounce under ϖ; the P-device under Γ_p.
+    # The physician recovers the nounce under ϖ; the P-device's endpoint
+    # already opened the step-3 push under Γ_p and armed the device.
     omega = physician.session_key_with(aserver.identity_key.public)
-    nounce_physician = AuthenticatedCipher(omega).decrypt(
-        issue.encrypted_for_physician)
-    pd_plain = decrypt_with_point(package.pseudonym.private,
-                                  issue.pdevice_ciphertext)
-    physician_id_bytes, nounce_device, _t11 = unpack_fields(pd_plain,
-                                                            expected=3)
-    if physician_id_bytes.decode() != physician.physician_id:
+    nounce_physician = AuthenticatedCipher(omega).decrypt(enc_for_physician)
+    if pdevice.expected_physician != physician.physician_id:
         raise AuthenticationError("P-device: passcode issued for a "
                                   "different physician")
-    pdevice.expect_nounce(nounce_device)
 
     # Physical contact: the physician types ID + passcode on the device.
-    network.transmit(physician.address, pdevice.address,
-                     len(physician.physician_id) + len(nounce_physician),
-                     label="emergency/passcode-entry")
+    transport.deliver(physician.address, pdevice.address,
+                      len(physician.physician_id) + len(nounce_physician),
+                      label="emergency/passcode-entry")
     if not pdevice.check_passcode(nounce_physician):
         raise AuthenticationError("invalid one-time passcode")
 
     # Keyword entry + dictionary gate.
     canonical = pdevice.validate_keywords(keywords)
-    network.transmit(physician.address, pdevice.address,
-                     sum(len(kw) for kw in canonical),
-                     label="emergency/keywords")
+    transport.deliver(physician.address, pdevice.address,
+                      sum(len(kw) for kw in canonical),
+                      label="emergency/keywords")
 
     # The device now runs the family-style retrieval with the S-server.
-    files = _privileged_retrieval(pdevice, pdevice.address, server, network,
-                                  canonical)
+    files = _privileged_retrieval(pdevice, pdevice.address, server,
+                                  transport, canonical)
 
     # RD = (ID_i, TP_p, KW, t11, IBS_ΓA-server), stored on the device.
+    if pdevice.pending_t_issue is None or pdevice.pending_signature is None:
+        raise AuthenticationError("P-device never received the passcode "
+                                  "push")
     pdevice.record_transaction(DeviceRecord(
         physician_id=physician.physician_id,
         patient_pseudonym=pd_public.to_bytes(),
         keywords=tuple(canonical),
-        t_issue=issue.t_issue,
+        t_issue=t_issue,
         aserver_id=aserver.identity_key.identity,
-        aserver_signature=issue.pdevice_signature))
+        aserver_signature=pdevice.pending_signature))
 
     # Plaintext PHI handed to the physician on the spot.
-    network.transmit(pdevice.address, physician.address,
-                     sum(f.size_bytes() for f in files),
-                     label="emergency/handover")
+    transport.deliver(pdevice.address, physician.address,
+                      sum(f.size_bytes() for f in files),
+                      label="emergency/handover")
     physician.received_phi.extend(files)
     pdevice.exit_emergency_mode()
     return EmergencyResult(
         approach="p-device",
         keywords=tuple(canonical),
         files=files,
-        stats=ProtocolStats.capture("pdevice-emergency-retrieval", network,
+        stats=ProtocolStats.capture("pdevice-emergency-retrieval", transport,
                                     mark, started_at))

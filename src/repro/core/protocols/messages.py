@@ -28,6 +28,17 @@ _TS_BYTES = 8
 DEFAULT_MAX_SKEW_S = 60.0
 
 
+def ts_ms(timestamp: float) -> int:
+    """Canonical millisecond quantization for MACed/signed timestamps.
+
+    Rounding (not truncation) makes the float→ms→float wire round trip
+    exact: ``round(ms/1000*1000) == ms`` for any realistic clock value,
+    so a receiver that re-derives the MAC/signature input from a decoded
+    timestamp reproduces the sender's bytes bit-for-bit.
+    """
+    return int(round(timestamp * 1000))
+
+
 def pack_fields(*fields: bytes) -> bytes:
     """Length-prefixed concatenation (unambiguous, order-preserving)."""
     out = bytearray()
@@ -61,7 +72,7 @@ def unpack_fields(payload: bytes, expected: int | None = None) -> list[bytes]:
 class Envelope:
     """payload ‖ t ‖ HMAC_key(payload ‖ t) — one HCPP wire message."""
 
-    label: str          # which protocol step this is (accounting only)
+    label: str          # which protocol step this envelope belongs to
     payload: bytes
     timestamp: float
     tag: bytes
@@ -71,25 +82,56 @@ class Envelope:
         return len(self.payload) + _TS_BYTES + HMAC_OUTPUT_SIZE
 
     @staticmethod
-    def _mac_input(payload: bytes, timestamp: float) -> bytes:
-        return payload + int(timestamp * 1000).to_bytes(_TS_BYTES, "big")
+    def _mac_input(label: str, payload: bytes, timestamp: float) -> bytes:
+        # The label is length-prefixed and MACed: an envelope sealed for
+        # one protocol step cannot be replayed as a different step inside
+        # the skew window (the tag would not verify under the new label).
+        encoded = label.encode()
+        return (len(encoded).to_bytes(2, "big") + encoded + payload
+                + ts_ms(timestamp).to_bytes(_TS_BYTES, "big"))
+
+    def to_bytes(self) -> bytes:
+        """Wire form: the frame field carrying one envelope."""
+        return pack_fields(self.label.encode(), self.payload,
+                           ts_ms(self.timestamp).to_bytes(_TS_BYTES, "big"),
+                           self.tag)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Envelope":
+        label, payload, ts, tag = unpack_fields(data, expected=4)
+        return cls(label=label.decode(), payload=payload,
+                   timestamp=int.from_bytes(ts, "big") / 1000.0, tag=tag)
 
 
 def seal(key: bytes, label: str, payload: bytes, now: float) -> Envelope:
     """Build an authenticated envelope stamped with the current time."""
-    tag = hmac_sha256(key, Envelope._mac_input(payload, now))
+    tag = hmac_sha256(key, Envelope._mac_input(label, payload, now))
     return Envelope(label=label, payload=payload, timestamp=now, tag=tag)
 
 
 def open_envelope(key: bytes, envelope: Envelope, now: float,
                   guard: "ReplayGuard | None" = None,
-                  max_skew_s: float = DEFAULT_MAX_SKEW_S) -> bytes:
+                  max_skew_s: float = DEFAULT_MAX_SKEW_S,
+                  expected_label: "str | tuple[str, ...] | None" = None
+                  ) -> bytes:
     """Verify integrity + freshness; return the payload.
 
     Raises :class:`IntegrityError` on a bad MAC and :class:`ReplayError`
-    on stale or duplicated timestamps.
+    on stale or duplicated timestamps.  When ``expected_label`` is given
+    (one label or a tuple of acceptable ones), an envelope whose label is
+    anything else is rejected before the MAC is even checked — a receiver
+    states which protocol step it is serving.
     """
-    verify_hmac(key, Envelope._mac_input(envelope.payload, envelope.timestamp),
+    if expected_label is not None:
+        accepted = ((expected_label,) if isinstance(expected_label, str)
+                    else expected_label)
+        if envelope.label not in accepted:
+            raise IntegrityError(
+                "envelope label %r does not match expected %r"
+                % (envelope.label, accepted))
+    verify_hmac(key,
+                Envelope._mac_input(envelope.label, envelope.payload,
+                                    envelope.timestamp),
                 envelope.tag)
     if abs(now - envelope.timestamp) > max_skew_s:
         raise ReplayError(

@@ -12,6 +12,10 @@ REVOKE (patient → S-server, to rotate the group secret):
 After REVOKE, the revoked entity can neither recover d′ from the new
 broadcast (its leaf is outside the NNL cover) nor have θ_{d_old}-wrapped
 trapdoors accepted (the validity tag fails under d′).
+
+Both messages travel as wire frames: the entity's
+:class:`~repro.core.dispatch.EntityEndpoint` opens E′_μ and installs the
+package; the S-server's endpoint routes the group-state update.
 """
 
 from __future__ import annotations
@@ -19,12 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.crypto.modes import AuthenticatedCipher
-from repro.net.sim import Network
+from repro.net.transport import as_transport
+from repro.core import dispatch, wire
 from repro.core.entities import Patient, _PrivilegedEntity
 from repro.core.protocols.base import ProtocolStats
-from repro.core.protocols.messages import open_envelope, pack_fields, seal
+from repro.core.protocols.messages import pack_fields, seal
 from repro.core.sserver import StorageServer, _serialize_broadcast
-
 
 
 @dataclass(frozen=True)
@@ -41,35 +45,50 @@ class RevokeResult:
     stats: ProtocolStats
 
 
-def push_group_state(patient: Patient, server: StorageServer,
-                     network: Network) -> int:
-    """Send the current (d, BE_U(d)) to the S-server under E′_ν.
-
-    §IV.C: *"the interactions … between patient and S-server (i.e.,
-    sending θ, d, BE_U(d)) take the same secure procedures"* — ASSIGN and
-    REVOKE both end with this one-message update.  Returns wire bytes.
-    """
+def _send_group_state(patient: Patient, server: StorageServer, transport,
+                      envelope_label: str, wire_label: str) -> int:
+    """One E′_ν(d ‖ BE_U(d)) frame to the S-server; returns frame bytes."""
     broadcast = patient.privileges.broadcast_d()
     pseudonym = patient.fresh_pseudonym()
     nu = patient.session_key_with(server.identity_key.public, pseudonym)
     plaintext = pack_fields(patient.privileges.current_d,
                             _serialize_broadcast(broadcast))
     body = AuthenticatedCipher(nu).encrypt(plaintext, patient.rng)
-    envelope = seal(nu, "group-update", body, network.clock.now)
-    network.transmit(patient.address, server.address, envelope.size_bytes(),
-                     label="assign/group-update")
+    envelope = seal(nu, envelope_label, body, transport.now)
     collection_id = patient.collection_ids[server.address]
-    server.handle_revoke(pseudonym.public, collection_id, envelope,
-                         network.clock.now)
-    return envelope.size_bytes()
+    frame = wire.make_frame(wire.OP_GROUP_UPDATE,
+                            pseudonym.public.to_bytes(), collection_id,
+                            envelope.to_bytes())
+    wire.parse_response(transport.notify(
+        patient.address, server.address, frame, label=wire_label))
+    return len(frame)
+
+
+def push_group_state(patient: Patient, server: StorageServer,
+                     network) -> int:
+    """Send the current (d, BE_U(d)) to the S-server under E′_ν.
+
+    §IV.C: *"the interactions … between patient and S-server (i.e.,
+    sending θ, d, BE_U(d)) take the same secure procedures"* — ASSIGN and
+    REVOKE both end with this one-message update.  Returns wire bytes.
+    """
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server)
+    return _send_group_state(patient, server, transport,
+                             envelope_label="group-update",
+                             wire_label="assign/group-update")
 
 
 def assign_privilege(patient: Patient, entity: _PrivilegedEntity,
                      server: StorageServer,
-                     network: Network) -> AssignResult:
+                     network) -> AssignResult:
     """Run ASSIGN: ship the package to one family member / P-device."""
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    mu = patient.preshared_key(entity.name)
+    dispatch.bind_entity(transport, entity, patient.params,
+                         preshared_key=mu)
+    started_at = transport.now
+    mark = transport.mark()
 
     package = patient.make_assign_package(entity.name, server.address)
     # ν for the entity's own pseudonym pair, derived patient-side (the
@@ -78,55 +97,40 @@ def assign_privilege(patient: Patient, entity: _PrivilegedEntity,
                                   package.pseudonym)
     package = replace(package, nu=nu)
 
-    mu = patient.preshared_key(entity.name)
     body = AuthenticatedCipher(mu).encrypt(package.to_bytes(patient.params),
                                            patient.rng)
-    envelope = seal(mu, "assign", body, network.clock.now)
-    network.transmit(patient.address, entity.address,
-                     envelope.size_bytes(), label="assign")
-
-    # Entity side: verify HMAC_μ, decrypt E′_μ, parse and install the
-    # package from its actual wire bytes.
-    payload = open_envelope(mu, envelope, network.clock.now)
-    plaintext = AuthenticatedCipher(mu).decrypt(payload)
-    from repro.core.entities import AssignPackage
-    received = AssignPackage.from_bytes(plaintext, patient.params)
-    entity.receive_assign(received)
+    envelope = seal(mu, "assign", body, transport.now)
+    frame = wire.make_frame(wire.OP_ASSIGN, envelope.to_bytes())
+    # The entity's endpoint verifies HMAC_μ, decrypts E′_μ, and installs
+    # the package parsed from its actual wire bytes.
+    wire.parse_response(transport.notify(
+        patient.address, entity.address, frame, label="assign"))
 
     # The new entity's leaf must enter the server-side broadcast cover.
-    push_group_state(patient, server, network)
+    push_group_state(patient, server, transport)
 
     return AssignResult(
         entity_name=entity.name,
         package_bytes=package.size_bytes(patient.params),
-        stats=ProtocolStats.capture("privilege-assign", network, mark,
+        stats=ProtocolStats.capture("privilege-assign", transport, mark,
                                     started_at))
 
 
 def revoke_privilege(patient: Patient, entity_name: str,
                      server: StorageServer,
-                     network: Network) -> RevokeResult:
+                     network) -> RevokeResult:
     """Run REVOKE: rotate d and install BE_U′(d′) at the S-server."""
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server)
+    started_at = transport.now
+    mark = transport.mark()
 
     broadcast = patient.privileges.revoke(entity_name)
-    d_new = patient.privileges.current_d
-
-    pseudonym = patient.fresh_pseudonym()
-    nu = patient.session_key_with(server.identity_key.public, pseudonym)
-    plaintext = pack_fields(d_new, _serialize_broadcast(broadcast))
-    body = AuthenticatedCipher(nu).encrypt(plaintext, patient.rng)
-    envelope = seal(nu, "revoke", body, network.clock.now)
-    network.transmit(patient.address, server.address,
-                     envelope.size_bytes(), label="revoke")
-
-    collection_id = patient.collection_ids[server.address]
-    server.handle_revoke(pseudonym.public, collection_id, envelope,
-                         network.clock.now)
+    _send_group_state(patient, server, transport,
+                      envelope_label="revoke", wire_label="revoke")
 
     return RevokeResult(
         revoked_entity=entity_name,
         broadcast_bytes=broadcast.size_bytes(),
-        stats=ProtocolStats.capture("privilege-revoke", network, mark,
+        stats=ProtocolStats.capture("privilege-revoke", transport, mark,
                                     started_at))

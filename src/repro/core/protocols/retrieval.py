@@ -20,12 +20,14 @@ from dataclasses import dataclass
 
 from repro.ehr.records import PhiFile
 from repro.net.onion import OnionOverlay
-from repro.net.sim import Network
+from repro.net.transport import as_transport
+from repro.core import dispatch, wire
 from repro.core.entities import Patient, Physician
 from repro.core.protocols.base import ProtocolStats
-from repro.core.protocols.messages import (open_envelope, pack_fields, seal,
-                                           unpack_fields)
+from repro.core.protocols.messages import (Envelope, open_envelope,
+                                           pack_fields, seal, unpack_fields)
 from repro.core.sserver import StorageServer
+from repro.exceptions import TransportError
 
 
 @dataclass(frozen=True)
@@ -37,20 +39,22 @@ class RetrievalResult:
 
 
 def common_case_retrieval(patient: Patient, server: StorageServer,
-                          network: Network, keywords: list[str],
+                          network, keywords: list[str],
                           physician: Physician | None = None,
                           onion: OnionOverlay | None = None
                           ) -> RetrievalResult:
     """Run the two-message retrieval; optionally hand PHI to a physician.
 
     When ``onion`` is given (the §VI.B category-2 countermeasure), the
-    request travels through a fresh 3-hop circuit so the S-server's uplink
-    never carries the patient's network address; the response returns via
-    the exit relay.  Trades the extra hop latency for origin anonymity —
-    measured by experiment E10.
+    request frame travels through a fresh 3-hop circuit so the S-server's
+    uplink never carries the patient's network address; the response
+    returns via the exit relay.  Trades the extra hop latency for origin
+    anonymity — measured by experiment E10.
     """
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server)
+    started_at = transport.now
+    mark = transport.mark()
 
     pseudonym = patient.fresh_pseudonym()
     nu = patient.session_key_with(server.identity_key.public, pseudonym)
@@ -59,48 +63,41 @@ def common_case_retrieval(patient: Patient, server: StorageServer,
     # Step 1: TP_p, collection handle, TD(kw₁..kwₙ) under HMAC_ν.
     trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
     request = seal(nu, "phi-retrieve", pack_fields(*trapdoors),
-                   network.clock.now)
-    request_bytes = (request.size_bytes()
-                     + len(pseudonym.public.to_bytes())
-                     + len(collection_id))
-    exit_relay = None
+                   transport.now)
+    frame = wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                            collection_id, request.to_bytes())
+    anonymized = False
     if onion is not None:
-        circuit = onion.build_circuit(patient.rng, hops=3)
-        delivery = onion.route(patient.address, circuit, server.address,
-                               b"\x00" * request_bytes, patient.rng,
-                               label="retrieval/request")
-        exit_relay = delivery.observed_source
+        route = getattr(transport, "request_via_onion", None)
+        if route is None:
+            raise TransportError(
+                "onion routing needs the simulated network transport")
+        response, _exit_relay = route(
+            onion, patient.address, server.address, frame, patient.rng,
+            label="retrieval/request", reply_label="retrieval/response")
+        anonymized = True
     else:
-        network.transmit(patient.address, server.address, request_bytes,
-                         label="retrieval/request")
-
-    # Server: SEARCH and reply.
-    reply = server.handle_search(pseudonym.public, collection_id, request,
-                                 network.clock.now)
+        response = transport.request(
+            patient.address, server.address, frame,
+            label="retrieval/request", reply_label="retrieval/response")
 
     # Step 2: Λ(kw) under HMAC_ν — back via the exit relay when onioned
     # (the server only ever talks to the relay, never the patient).
-    if exit_relay is not None:
-        network.transmit(server.address, exit_relay, reply.size_bytes(),
-                         label="retrieval/response")
-        network.transmit(exit_relay, patient.address, reply.size_bytes(),
-                         label="retrieval/response-relay")
-    else:
-        network.transmit(server.address, patient.address,
-                         reply.size_bytes(), label="retrieval/response")
-    payload = open_envelope(nu, reply, network.clock.now)
+    reply = Envelope.from_bytes(wire.parse_response(response))
+    payload = open_envelope(nu, reply, transport.now, patient.replay_guard,
+                            expected_label="phi-results")
     files = patient.decrypt_results(unpack_fields(payload))
 
     # Hand the plaintext PHI to the physician at the point of care.
     if physician is not None:
-        plaintext_bytes = sum(f.size_bytes() for f in files)
-        network.transmit(patient.address, physician.address,
-                         plaintext_bytes, label="retrieval/handover")
+        transport.deliver(patient.address, physician.address,
+                          sum(f.size_bytes() for f in files),
+                          label="retrieval/handover")
         physician.received_phi.extend(files)
 
     return RetrievalResult(
         keywords=tuple(keywords),
         files=files,
-        stats=ProtocolStats.capture("common-case-retrieval", network, mark,
+        stats=ProtocolStats.capture("common-case-retrieval", transport, mark,
                                     started_at),
-        anonymized=exit_relay is not None)
+        anonymized=anonymized)

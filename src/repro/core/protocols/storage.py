@@ -8,23 +8,26 @@ a freshly self-generated pseudonym, and uploads.  The initial multi-user
 material (d, BE_U(d)) rides along, as §IV.C notes ("the interactions …
 take the same secure procedures").
 
-The envelope's HMAC binds TP_p and SHA-256 digests of SI and Λ, and the
-server recomputes the digests over what it received — any in-flight
+The envelope's HMAC binds TP_p and SHA-256 digests of SI and Λ; the
+server side (:class:`~repro.core.dispatch.SServerEndpoint`) recomputes
+the digests over the bytes it actually received — any in-flight
 modification is detected (data-integrity requirement, §III.C).
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 from repro.crypto.pseudonym import TemporaryKeyPair
-from repro.net.sim import Network
+from repro.core import dispatch, wire
 from repro.core.entities import Patient
 from repro.core.protocols.base import ProtocolStats
 from repro.core.protocols.messages import pack_fields, seal
-from repro.core.sserver import StorageServer
-from repro.exceptions import IntegrityError
+from repro.core.sserver import StorageServer, _serialize_broadcast
+from repro.core.wire import files_digest
+from repro.net.transport import as_transport
+
+__all__ = ["StorageResult", "files_digest", "private_phi_storage"]
 
 
 @dataclass(frozen=True)
@@ -36,20 +39,13 @@ class StorageResult:
     stats: ProtocolStats
 
 
-def files_digest(files: dict[bytes, bytes]) -> bytes:
-    """Order-independent digest of the encrypted collection Λ."""
-    hasher = hashlib.sha256(b"encrypted-collection:")
-    for fid in sorted(files):
-        hasher.update(fid)
-        hasher.update(hashlib.sha256(files[fid]).digest())
-    return hasher.digest()
-
-
 def private_phi_storage(patient: Patient, server: StorageServer,
-                        network: Network) -> StorageResult:
+                        network) -> StorageResult:
     """Run the one-message upload; returns the new collection handle."""
-    started_at = network.clock.now
-    mark = network.mark()
+    transport = as_transport(network)
+    dispatch.bind_sserver(transport, server)
+    started_at = transport.now
+    mark = transport.mark()
 
     pseudonym = patient.fresh_pseudonym()
     index, files = patient.build_upload()
@@ -59,22 +55,14 @@ def private_phi_storage(patient: Patient, server: StorageServer,
 
     payload = pack_fields(pseudonym.public.to_bytes(), index.digest(),
                           files_digest(files))
-    envelope = seal(nu, "phi-store", payload, network.clock.now)
+    envelope = seal(nu, "phi-store", payload, transport.now)
 
-    files_bytes = sum(len(ct) for ct in files.values())
-    wire_bytes = (envelope.size_bytes() + index.size_bytes() + files_bytes
-                  + broadcast.size_bytes() + len(group_d))
-    network.transmit(patient.address, server.address, wire_bytes,
-                     label="phi-storage/upload")
-
-    # Server-side: verify HMAC_ν and the SI/Λ digests before accepting.
-    received_payload = pack_fields(pseudonym.public.to_bytes(),
-                                   index.digest(), files_digest(files))
-    if received_payload != envelope.payload:
-        raise IntegrityError("SI/Λ digest mismatch on upload")
-    collection_id = server.handle_store(
-        pseudonym.public, envelope, index, files, group_d, broadcast,
-        network.clock.now)
+    frame = wire.make_frame(
+        wire.OP_STORE, pseudonym.public.to_bytes(), envelope.to_bytes(),
+        index.to_bytes(), wire.encode_files(files), group_d,
+        _serialize_broadcast(broadcast))
+    collection_id = wire.parse_response(transport.notify(
+        patient.address, server.address, frame, label="phi-storage/upload"))
 
     patient.collection_ids[server.address] = collection_id
     patient.upload_pseudonyms[server.address] = pseudonym
@@ -82,6 +70,6 @@ def private_phi_storage(patient: Patient, server: StorageServer,
         collection_id=collection_id,
         pseudonym=pseudonym,
         index_bytes=index.size_bytes(),
-        files_bytes=files_bytes,
-        stats=ProtocolStats.capture("private-phi-storage", network, mark,
+        files_bytes=sum(len(ct) for ct in files.values()),
+        stats=ProtocolStats.capture("private-phi-storage", transport, mark,
                                     started_at))

@@ -151,7 +151,8 @@ class StorageServer:
         integrity check the paper specifies.
         """
         key = self.session_key(pseudonym)
-        open_envelope(key, envelope, now, self._guard)
+        open_envelope(key, envelope, now, self._guard,
+                      expected_label="phi-store")
         collection_id = self._rng.random_bytes(16)
         self._collections[collection_id] = StoredCollection(
             collection_id=collection_id, index=index, files=dict(files),
@@ -173,7 +174,8 @@ class StorageServer:
         ``SecureIndex.from_bytes(index_blob)``.
         """
         key = self.session_key(pseudonym)
-        open_envelope(key, envelope, now, self._guard)
+        open_envelope(key, envelope, now, self._guard,
+                      expected_label="phi-store")
         collection_id = self._rng.random_bytes(16)
         self._collections[collection_id] = StoredCollection(
             collection_id=collection_id, index=None, files=dict(files),
@@ -213,7 +215,9 @@ class StorageServer:
     def _search_with_key(self, key: bytes, observed_client: bytes,
                          collection_id: bytes, envelope: Envelope,
                          now: float) -> Envelope:
-        payload = open_envelope(key, envelope, now, self._guard)
+        payload = open_envelope(key, envelope, now, self._guard,
+                                expected_label=("phi-retrieve",
+                                                "crossdomain/retrieve"))
         results = self._run_trapdoors(observed_client, collection_id,
                                       unpack_fields(payload), now)
         return seal(key, "phi-results", pack_fields(*results), now)
@@ -276,7 +280,8 @@ class StorageServer:
         the reply is byte-identical to a serial loop over the ids.
         """
         key = self.session_key(pseudonym)
-        payload = open_envelope(key, envelope, now, self._guard)
+        payload = open_envelope(key, envelope, now, self._guard,
+                                expected_label="phi-retrieve")
         raw_trapdoors = unpack_fields(payload)
         observed = pseudonym.to_bytes()
         if len(collection_ids) <= 1:
@@ -297,7 +302,8 @@ class StorageServer:
                              envelope: Envelope, now: float) -> Envelope:
         """Steps 1→2 of the family protocol: return BE_U(d)."""
         key = self.session_key(pseudonym)
-        open_envelope(key, envelope, now, self._guard)
+        open_envelope(key, envelope, now, self._guard,
+                      expected_label="emergency/get-d")
         collection = self._collection(collection_id)
         self._observe("get-broadcast", pseudonym.to_bytes(), collection_id,
                       b"", now)
@@ -311,7 +317,8 @@ class StorageServer:
         Raises :class:`AccessDenied` for wraps under a stale (revoked) d.
         """
         key = self.session_key(pseudonym)
-        payload = open_envelope(key, envelope, now, self._guard)
+        payload = open_envelope(key, envelope, now, self._guard,
+                                expected_label="emergency/search")
         collection = self._collection(collection_id)
         results: list[bytes] = []
         for raw in unpack_fields(payload):
@@ -332,7 +339,8 @@ class StorageServer:
                       envelope: Envelope, now: float) -> None:
         """patient → S-server: E′_ν(d′ ‖ BE′_U′(d′)) — replace d and BE_U(d)."""
         key = self.session_key(pseudonym)
-        payload = open_envelope(key, envelope, now, self._guard)
+        payload = open_envelope(key, envelope, now, self._guard,
+                                expected_label=("group-update", "revoke"))
         plaintext = AuthenticatedCipher(key).decrypt(payload)
         d_new, broadcast_blob = unpack_fields(plaintext, expected=2)
         collection = self._collection(collection_id)
@@ -346,7 +354,8 @@ class StorageServer:
                          tag: MultiKeywordTag, now: float) -> None:
         """P-device → S-server: TP_p, IBE_IDr(MHI) ‖ PEKS_σ(IDr, kw)."""
         key = self.session_key(pseudonym)
-        open_envelope(key, envelope, now, self._guard)
+        open_envelope(key, envelope, now, self._guard,
+                      expected_label="mhi-store")
         self._mhi.append(StoredMhi(role_identity=role_identity,
                                    ciphertext=ciphertext, tag=tag))
         self._observe("mhi-store", pseudonym.to_bytes(), b"",
@@ -362,7 +371,8 @@ class StorageServer:
         """
         role_public = h1_identity(self.params, role_identity)
         key = self.session_key(role_public)
-        open_envelope(key, envelope, now, self._guard)
+        open_envelope(key, envelope, now, self._guard,
+                      expected_label="mhi-search")
         peks = MultiKeywordPeks(self.params, pkg_public)
         matches = [entry.ciphertext for entry in self._mhi
                    if entry.role_identity == role_identity

@@ -1,0 +1,131 @@
+"""Wire frames: the byte-level contract between clients and dispatch.
+
+Every protocol interaction serializes to a *frame* — a
+:func:`pack_fields`-encoded byte string whose first field is an opcode —
+and every server answer is a *response* — a one-byte status followed by
+either the result payload or a serialized exception.  The transport layer
+(:mod:`repro.net.transport`) carries frames verbatim; the dispatch layer
+(:mod:`repro.core.dispatch`) parses them back with the same codecs, so
+what the experiments weigh is exactly what a real deployment would put on
+a TCP socket.
+
+Error transparency: a server-side :class:`~repro.exceptions.ReproError`
+is serialized by name and message and re-raised client-side as the same
+class, so protocol code keeps its natural ``try/except StorageError``
+shape across process boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import repro.exceptions as _exceptions
+from repro.core.protocols.messages import pack_fields, unpack_fields
+from repro.exceptions import ParameterError, ReproError, TransportError
+
+__all__ = [
+    "OP_STORE", "OP_SEARCH", "OP_GET_BROADCAST", "OP_SEARCH_WRAPPED",
+    "OP_GROUP_UPDATE", "OP_MHI_STORE", "OP_MHI_SEARCH", "OP_XD_HANDSHAKE",
+    "OP_XD_SEARCH", "OP_REGISTER_PDEVICE", "OP_EMERGENCY_AUTH",
+    "OP_ROLE_KEY", "OP_ASSIGN", "OP_PASSCODE",
+    "make_frame", "parse_frame", "ok_response", "error_response",
+    "parse_response", "encode_files", "decode_files", "files_digest",
+    "ts_to_bytes", "ts_from_bytes",
+]
+
+# -- opcodes (first frame field; also the dispatch routing key) -------------
+OP_STORE = b"phi-store"                  # §IV.B upload
+OP_SEARCH = b"phi-search"                # §IV.D common-case retrieval
+OP_GET_BROADCAST = b"get-broadcast"      # §IV.E.1 step 1
+OP_SEARCH_WRAPPED = b"search-wrapped"    # §IV.E.1 step 3
+OP_GROUP_UPDATE = b"group-update"        # §IV.C ASSIGN push / REVOKE
+OP_MHI_STORE = b"mhi-store"              # §IV.E.2 MHI upload
+OP_MHI_SEARCH = b"mhi-search"            # §IV.E.2 MHI retrieval
+OP_XD_HANDSHAKE = b"xd-handshake"        # §V.A HIBC key establishment
+OP_XD_SEARCH = b"xd-search"              # §V.A session-keyed retrieval
+OP_REGISTER_PDEVICE = b"register-pdevice"  # §IV.E.2 emergency registration
+OP_EMERGENCY_AUTH = b"emergency-auth"    # §IV.E.2 steps 1-2
+OP_ROLE_KEY = b"role-key"                # §IV.E.2 Γ_r issuance
+OP_ASSIGN = b"assign"                    # §IV.C ASSIGN to an entity
+OP_PASSCODE = b"ibe-passcode"            # §IV.E.2 step 3 (server push)
+
+_STATUS_OK = 0x00
+_STATUS_ERROR = 0x01
+
+# Exceptions cross the wire by class name; anything outside the ReproError
+# hierarchy (or unknown to this build) degrades to TransportError.
+_EXCEPTIONS_BY_NAME = {
+    name: cls for name, cls in vars(_exceptions).items()
+    if isinstance(cls, type) and issubclass(cls, ReproError)
+}
+
+
+def make_frame(opcode: bytes, *fields: bytes) -> bytes:
+    """One request frame: opcode + operand fields, length-prefixed."""
+    return pack_fields(opcode, *fields)
+
+
+def parse_frame(frame: bytes) -> tuple[bytes, list[bytes]]:
+    """Split a frame into (opcode, operand fields)."""
+    fields = unpack_fields(frame)
+    if not fields:
+        raise ParameterError("empty frame")
+    return fields[0], fields[1:]
+
+
+def ok_response(payload: bytes = b"") -> bytes:
+    return bytes([_STATUS_OK]) + payload
+
+
+def error_response(exc: BaseException) -> bytes:
+    return bytes([_STATUS_ERROR]) + pack_fields(
+        type(exc).__name__.encode(), str(exc).encode())
+
+
+def parse_response(response: bytes) -> bytes:
+    """Return the result payload, or re-raise the server's exception."""
+    if not response:
+        raise TransportError("empty response frame")
+    status, body = response[0], response[1:]
+    if status == _STATUS_OK:
+        return body
+    if status != _STATUS_ERROR:
+        raise TransportError("unknown response status %d" % status)
+    name, message = unpack_fields(body, expected=2)
+    cls = _EXCEPTIONS_BY_NAME.get(name.decode(), TransportError)
+    raise cls(message.decode())
+
+
+# -- timestamps -------------------------------------------------------------
+def ts_to_bytes(timestamp: float) -> bytes:
+    """Canonical 8-byte millisecond encoding (round, not truncate, so the
+    float→ms→float round trip is exact on both sides of the wire)."""
+    return int(round(timestamp * 1000)).to_bytes(8, "big")
+
+
+def ts_from_bytes(data: bytes) -> float:
+    return int.from_bytes(data, "big") / 1000.0
+
+
+# -- the encrypted collection Λ --------------------------------------------
+def encode_files(files: dict[bytes, bytes]) -> bytes:
+    """Λ on the wire: one field per file, fid (16 B) ‖ ciphertext."""
+    return pack_fields(*(fid + ct for fid, ct in sorted(files.items())))
+
+
+def decode_files(blob: bytes) -> dict[bytes, bytes]:
+    files: dict[bytes, bytes] = {}
+    for entry in unpack_fields(blob):
+        if len(entry) < 16:
+            raise ParameterError("file entry shorter than its fid")
+        files[entry[:16]] = entry[16:]
+    return files
+
+
+def files_digest(files: dict[bytes, bytes]) -> bytes:
+    """Order-independent digest of the encrypted collection Λ."""
+    hasher = hashlib.sha256(b"encrypted-collection:")
+    for fid in sorted(files):
+        hasher.update(fid)
+        hasher.update(hashlib.sha256(files[fid]).digest())
+    return hasher.digest()

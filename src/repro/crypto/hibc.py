@@ -61,6 +61,38 @@ class HibeCiphertext:
         return (len(self.U0.to_bytes())
                 + sum(len(u.to_bytes()) for u in self.Us) + len(self.V))
 
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        u0 = self.U0.to_bytes()
+        out += len(u0).to_bytes(2, "big") + u0
+        out += len(self.Us).to_bytes(1, "big")
+        for u in self.Us:
+            encoded = u.to_bytes()
+            out += len(encoded).to_bytes(2, "big") + encoded
+        out += len(self.V).to_bytes(4, "big") + self.V
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "HibeCiphertext":
+        u0_len = int.from_bytes(data[:2], "big")
+        offset = 2
+        U0 = Point.from_bytes(data[offset:offset + u0_len], curve)
+        offset += u0_len
+        count = data[offset]
+        offset += 1
+        us = []
+        for _ in range(count):
+            u_len = int.from_bytes(data[offset:offset + 2], "big")
+            offset += 2
+            us.append(Point.from_bytes(data[offset:offset + u_len], curve))
+            offset += u_len
+        v_len = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        V = data[offset:offset + v_len]
+        if len(V) != v_len or offset + v_len != len(data):
+            raise ParameterError("malformed HIBE ciphertext encoding")
+        return cls(U0=U0, Us=tuple(us), V=V)
+
 
 @dataclass(frozen=True)
 class HidsSignature:
@@ -72,6 +104,34 @@ class HidsSignature:
     def size_bytes(self) -> int:
         return (len(self.sig.to_bytes())
                 + sum(len(q.to_bytes()) for q in self.q_values))
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        sig = self.sig.to_bytes()
+        out += len(sig).to_bytes(2, "big") + sig
+        out += len(self.q_values).to_bytes(1, "big")
+        for q in self.q_values:
+            encoded = q.to_bytes()
+            out += len(encoded).to_bytes(2, "big") + encoded
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "HidsSignature":
+        sig_len = int.from_bytes(data[:2], "big")
+        offset = 2
+        sig = Point.from_bytes(data[offset:offset + sig_len], curve)
+        offset += sig_len
+        count = data[offset]
+        offset += 1
+        qs = []
+        for _ in range(count):
+            q_len = int.from_bytes(data[offset:offset + 2], "big")
+            offset += 2
+            qs.append(Point.from_bytes(data[offset:offset + q_len], curve))
+            offset += q_len
+        if offset != len(data):
+            raise ParameterError("malformed HIDS signature encoding")
+        return cls(sig=sig, q_values=tuple(qs))
 
 
 class HibcRoot:

@@ -57,6 +57,23 @@ class IbeCiphertext:
                 + len(self.V).to_bytes(4, "big") + self.V
                 + len(self.W).to_bytes(4, "big") + self.W)
 
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "IbeCiphertext":
+        u_len = int.from_bytes(data[:2], "big")
+        offset = 2
+        U = Point.from_bytes(data[offset:offset + u_len], curve)
+        offset += u_len
+        v_len = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        V = data[offset:offset + v_len]
+        offset += v_len
+        w_len = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        W = data[offset:offset + w_len]
+        if len(V) != v_len or len(W) != w_len or offset + w_len != len(data):
+            raise ParameterError("malformed IBE ciphertext encoding")
+        return cls(U=U, V=V, W=W)
+
 
 class PrivateKeyGenerator:
     """The PKG: holds the IBC master secret s0 and extracts private keys.

@@ -73,6 +73,15 @@ class IbsSignature:
         v = self.v.to_bytes(32, "big")
         return len(u).to_bytes(2, "big") + u + v
 
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "IbsSignature":
+        u_len = int.from_bytes(data[:2], "big")
+        if len(data) != 2 + u_len + 32:
+            raise SignatureError("malformed IBS signature encoding")
+        u = Point.from_bytes(data[2:2 + u_len], curve)
+        v = int.from_bytes(data[2 + u_len:], "big")
+        return cls(u=u, v=v)
+
 
 def sign(params: DomainParams, key: IdentityKeyPair, message: bytes,
          rng: HmacDrbg) -> IbsSignature:

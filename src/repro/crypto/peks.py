@@ -66,6 +66,13 @@ class PeksTrapdoor:
     def size_bytes(self) -> int:
         return len(self.point.to_bytes())
 
+    def to_bytes(self) -> bytes:
+        return self.point.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "PeksTrapdoor":
+        return cls(point=Point.from_bytes(data, curve))
+
 
 class BdopPeks:
     """The BDOP PEKS: receiver key pair (α, αP); server tests tags."""
@@ -185,6 +192,30 @@ class MultiKeywordTag:
 
     def size_bytes(self) -> int:
         return len(self.A.to_bytes()) + sum(len(t) for t in self.tokens)
+
+    def to_bytes(self) -> bytes:
+        a = self.A.to_bytes()
+        out = bytearray(len(a).to_bytes(2, "big") + a)
+        for token in self.tokens:
+            out += len(token).to_bytes(2, "big")
+            out += token
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "MultiKeywordTag":
+        a_len = int.from_bytes(data[:2], "big")
+        A = Point.from_bytes(data[2:2 + a_len], curve)
+        tokens = []
+        offset = 2 + a_len
+        while offset < len(data):
+            t_len = int.from_bytes(data[offset:offset + 2], "big")
+            offset += 2
+            token = data[offset:offset + t_len]
+            if len(token) != t_len:
+                raise ParameterError("malformed multi-keyword tag encoding")
+            tokens.append(token)
+            offset += t_len
+        return cls(A=A, tokens=tuple(tokens))
 
 
 class MultiKeywordPeks:

@@ -70,6 +70,10 @@ class NetworkError(ReproError):
     """Base class for simulated-network failures."""
 
 
+class TransportError(NetworkError):
+    """A transport backend could not carry or dispatch a frame."""
+
+
 class LinkDownError(NetworkError):
     """The link between two simulated nodes is unavailable."""
 

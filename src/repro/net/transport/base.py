@@ -1,0 +1,102 @@
+"""The transport boundary: frames in, frames out, full accounting.
+
+A :class:`Transport` carries opaque frames between addressed parties and
+keeps the :class:`FrameRecord` log the communication-cost experiments
+read.  Three primitives cover every HCPP interaction shape:
+
+* :meth:`Transport.request` — a request/reply round (two records);
+* :meth:`Transport.notify` — a one-message protocol step (one record);
+  the dispatch ack still flows back so the caller learns errors and
+  small results (e.g. the collection id), but the paper counts the step
+  as a single transmission and so does the log;
+* :meth:`Transport.deliver` — a physical/human hop (speech, typing a
+  passcode, handing over plaintext): bytes are accounted, nothing is
+  dispatched.
+
+Backends: :class:`~repro.net.transport.loopback.LoopbackTransport`
+(direct in-process dispatch), :class:`~repro.net.transport.simnet
+.SimTransport` (the discrete-event simulator underneath), and
+:class:`~repro.net.transport.socketnet.SocketTransport` (real TCP).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.exceptions import TransportError
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One carried frame (mirrors :class:`repro.net.sim.MessageRecord`)."""
+
+    src: str
+    dst: str
+    label: str
+    nbytes: int
+    sent_at: float
+    arrived_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.arrived_at - self.sent_at
+
+
+class Transport(abc.ABC):
+    """Carries frames between addresses; hosts dispatch endpoints."""
+
+    # -- endpoint hosting ---------------------------------------------------
+    @abc.abstractmethod
+    def bind(self, address: str, endpoint) -> None:
+        """Serve ``endpoint.handle_frame`` at ``address``."""
+
+    @abc.abstractmethod
+    def endpoint_at(self, address: str):
+        """The locally-bound endpoint object, or None (e.g. a route that
+        points at another OS process)."""
+
+    @abc.abstractmethod
+    def has_route(self, address: str) -> bool:
+        """True when frames to ``address`` can be dispatched somewhere."""
+
+    # -- clock + accounting -------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """The transport's clock (timestamps for envelopes + freshness)."""
+
+    @abc.abstractmethod
+    def mark(self) -> int:
+        """Snapshot the log position (pair with :meth:`records_since`)."""
+
+    @abc.abstractmethod
+    def records_since(self, mark: int) -> list:
+        """Log records appended after ``mark``."""
+
+    # -- carrying frames ----------------------------------------------------
+    @abc.abstractmethod
+    def request(self, src: str, dst: str, frame: bytes, label: str,
+                reply_label: str | None = None) -> bytes:
+        """One request/reply round: dispatch ``frame``, return the
+        response frame.  Logs two records (request and reply)."""
+
+    @abc.abstractmethod
+    def notify(self, src: str, dst: str, frame: bytes, label: str) -> bytes:
+        """One-message step: dispatch ``frame`` and log a single record.
+        The dispatch ack is returned (errors propagate, small results
+        ride back) but is not billed as a protocol message."""
+
+    @abc.abstractmethod
+    def deliver(self, src: str, dst: str, nbytes: int, label: str) -> None:
+        """A physical/human hop: account ``nbytes``, dispatch nothing."""
+
+    # -- shared plumbing ----------------------------------------------------
+    def _attach(self, endpoint) -> None:
+        attach = getattr(endpoint, "attach", None)
+        if attach is not None:
+            attach(self)
+
+    @staticmethod
+    def _no_endpoint(dst: str) -> TransportError:
+        return TransportError("no endpoint bound at %r" % dst)

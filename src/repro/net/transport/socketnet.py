@@ -1,0 +1,178 @@
+"""Real TCP transport: length-prefixed frames between OS processes.
+
+Each bound endpoint is served by a threaded TCP server on a loopback
+port; clients open one connection per frame (4-byte big-endian length
+prefix both ways).  Routes can also be injected statically
+(``routes={address: (host, port)}``) so a client process can talk to an
+endpoint hosted by *another* process — the two-process smoke test in
+``tools/socket_smoke.py`` drives exactly that split.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+
+from repro.net.transport.base import FrameRecord, Transport
+from repro.exceptions import TransportError
+
+_LEN_BYTES = 4
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _recv_exact(conn: socket.socket, nbytes: int) -> bytes | None:
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(conn: socket.socket) -> bytes | None:
+    header = _recv_exact(conn, _LEN_BYTES)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise TransportError("frame length %d exceeds limit" % length)
+    return _recv_exact(conn, length)
+
+
+def _write_frame(conn: socket.socket, frame: bytes) -> None:
+    conn.sendall(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
+
+
+class _FrameHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        frame = _read_frame(self.request)
+        if frame is None:
+            return
+        _write_frame(self.request, self.server.frame_handler(frame))
+
+
+class _EndpointServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_endpoint(endpoint, host: str = "127.0.0.1",
+                   port: int = 0) -> _EndpointServer:
+    """Host one dispatch endpoint on a TCP port (background thread).
+
+    Returns the server; ``server.server_address`` is the bound (host,
+    port) to hand to remote :class:`SocketTransport` routes.
+    """
+    server = _EndpointServer((host, port), _FrameHandler)
+    server.frame_handler = endpoint.handle_frame
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server
+
+
+class SocketTransport(Transport):
+    """Frames over real TCP sockets; wall-clock time; thread-safe log."""
+
+    def __init__(self, routes: dict[str, tuple[str, int]] | None = None,
+                 host: str = "127.0.0.1",
+                 connect_timeout_s: float = 10.0) -> None:
+        self._routes: dict[str, tuple[str, int]] = dict(routes or {})
+        self._endpoints: dict[str, object] = {}
+        self._servers: list[_EndpointServer] = []
+        self._host = host
+        self._timeout = connect_timeout_s
+        self._log: list[FrameRecord] = []
+        self._lock = threading.Lock()
+
+    # -- endpoint hosting ---------------------------------------------------
+    def bind(self, address: str, endpoint) -> None:
+        server = serve_endpoint(endpoint, host=self._host)
+        self._servers.append(server)
+        self._routes[address] = (server.server_address[0],
+                                 server.server_address[1])
+        self._endpoints[address] = endpoint
+        self._attach(endpoint)
+
+    def endpoint_at(self, address: str):
+        return self._endpoints.get(address)
+
+    def has_route(self, address: str) -> bool:
+        return address in self._routes
+
+    def add_route(self, address: str, host: str, port: int) -> None:
+        """Point an address at an endpoint served by another process."""
+        self._routes[address] = (host, port)
+
+    def port_of(self, address: str) -> int:
+        route = self._routes.get(address)
+        if route is None:
+            raise TransportError("no route to %r" % address)
+        return route[1]
+
+    def close(self) -> None:
+        for server in self._servers:
+            server.shutdown()
+            server.server_close()
+        self._servers.clear()
+
+    # -- clock + accounting -------------------------------------------------
+    @property
+    def now(self) -> float:
+        return time.time()
+
+    def mark(self) -> int:
+        with self._lock:
+            return len(self._log)
+
+    def records_since(self, mark: int) -> list:
+        with self._lock:
+            return self._log[mark:]
+
+    def _record(self, src: str, dst: str, label: str, nbytes: int,
+                sent_at: float, arrived_at: float) -> None:
+        with self._lock:
+            self._log.append(FrameRecord(src=src, dst=dst, label=label,
+                                         nbytes=nbytes, sent_at=sent_at,
+                                         arrived_at=arrived_at))
+
+    # -- carrying frames ----------------------------------------------------
+    def _roundtrip(self, dst: str, frame: bytes) -> bytes:
+        route = self._routes.get(dst)
+        if route is None:
+            raise self._no_endpoint(dst)
+        try:
+            with socket.create_connection(route,
+                                          timeout=self._timeout) as conn:
+                _write_frame(conn, frame)
+                response = _read_frame(conn)
+        except OSError as exc:
+            raise TransportError("socket error talking to %r: %s"
+                                 % (dst, exc)) from exc
+        if response is None:
+            raise TransportError("connection to %r closed mid-frame" % dst)
+        return response
+
+    def request(self, src: str, dst: str, frame: bytes, label: str,
+                reply_label: str | None = None) -> bytes:
+        sent_at = time.time()
+        response = self._roundtrip(dst, frame)
+        arrived_at = time.time()
+        self._record(src, dst, label, len(frame), sent_at, arrived_at)
+        self._record(dst, src, reply_label or label + "/reply",
+                     len(response), sent_at, arrived_at)
+        return response
+
+    def notify(self, src: str, dst: str, frame: bytes, label: str) -> bytes:
+        sent_at = time.time()
+        response = self._roundtrip(dst, frame)
+        self._record(src, dst, label, len(frame), sent_at, time.time())
+        return response
+
+    def deliver(self, src: str, dst: str, nbytes: int, label: str) -> None:
+        now = time.time()
+        self._record(src, dst, label, nbytes, now, now)

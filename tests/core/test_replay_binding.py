@@ -1,0 +1,101 @@
+"""Cross-protocol replay resistance: labels in the MAC, guards on both ends.
+
+Regression suite for the envelope-label binding: an envelope sealed for
+one protocol step must not be acceptable at any other step, and neither
+side may accept the same envelope twice.  Exercised at the envelope
+layer and end-to-end through server dispatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import dispatch, wire
+from repro.core.protocols.messages import (ReplayGuard, open_envelope, seal)
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.net.transport import LoopbackTransport
+from repro.exceptions import IntegrityError, ReplayError
+
+
+class TestLabelBinding:
+    def test_label_is_maced(self):
+        """Re-labelling an envelope invalidates its tag — a 'broadcast-d'
+        reply cannot be re-presented as 'phi-results'."""
+        from dataclasses import replace
+        envelope = seal(b"k" * 32, "broadcast-d", b"payload", 100.0)
+        forged = replace(envelope, label="phi-results")
+        with pytest.raises(IntegrityError):
+            open_envelope(b"k" * 32, forged, 100.0)
+
+    def test_receiver_states_its_expected_label(self):
+        """Even with a valid MAC, an envelope from protocol step A is
+        rejected by a receiver serving step B."""
+        envelope = seal(b"k" * 32, "broadcast-d", b"payload", 100.0)
+        with pytest.raises(IntegrityError, match="label"):
+            open_envelope(b"k" * 32, envelope, 100.0,
+                          expected_label="phi-results")
+
+    def test_tuple_of_accepted_labels(self):
+        envelope = seal(b"k" * 32, "revoke", b"payload", 100.0)
+        assert open_envelope(b"k" * 32, envelope, 100.0,
+                             expected_label=("group-update", "revoke"))
+
+    def test_client_guard_rejects_duplicated_reply(self):
+        guard = ReplayGuard()
+        envelope = seal(b"k" * 32, "phi-results", b"payload", 100.0)
+        open_envelope(b"k" * 32, envelope, 100.0, guard)
+        with pytest.raises(ReplayError):
+            open_envelope(b"k" * 32, envelope, 100.0, guard)
+
+
+class TestEndToEndReplay:
+    def _stored(self, system):
+        from repro.ehr.records import Category
+        patient, server = system.patient, system.sserver
+        patient.add_record(Category.ALLERGIES, ["allergies"],
+                           "Severe penicillin allergy.", server.address)
+        transport = LoopbackTransport()
+        private_phi_storage(patient, server, transport)
+        return patient, server, transport
+
+    def test_server_rejects_replayed_search_frame(self, system):
+        """A captured retrieval frame replayed to the server endpoint
+        re-raises ReplayError through the wire (server-side guard)."""
+        patient, server, transport = self._stored(system)
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(server.identity_key.public, pseudonym)
+        from repro.core.protocols.messages import pack_fields
+        request = seal(nu, "phi-retrieve",
+                       pack_fields(patient.trapdoor("allergies").to_bytes()),
+                       transport.now)
+        frame = wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                                patient.collection_ids[server.address],
+                                request.to_bytes())
+        endpoint = transport.endpoint_at(server.address)
+        assert wire.parse_response(endpoint.handle_frame(frame))
+        with pytest.raises(ReplayError):
+            wire.parse_response(endpoint.handle_frame(frame))
+
+    def test_server_rejects_upload_envelope_at_search_entry(self, system):
+        """Cross-protocol splice: the MACed upload envelope presented to
+        the search opcode fails the label check, not just the digest."""
+        patient, server, transport = self._stored(system)
+        upload_env = None
+        # Recreate a fresh valid upload envelope for the splice.
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(server.identity_key.public, pseudonym)
+        upload_env = seal(nu, "phi-store", b"spliced", transport.now)
+        frame = wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                                patient.collection_ids[server.address],
+                                upload_env.to_bytes())
+        endpoint = transport.endpoint_at(server.address)
+        with pytest.raises(IntegrityError, match="label"):
+            wire.parse_response(endpoint.handle_frame(frame))
+
+    def test_patient_guard_wired_into_retrieval(self, system):
+        """The client-side guard sees every retrieval reply."""
+        patient, server, transport = self._stored(system)
+        before = len(patient.replay_guard)
+        common_case_retrieval(patient, server, transport, ["allergies"])
+        assert len(patient.replay_guard) == before + 1

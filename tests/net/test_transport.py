@@ -1,0 +1,199 @@
+"""Unit tests for the wire codec and the three transport backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import wire
+from repro.net.transport import (FrameRecord, LoopbackTransport,
+                                 SocketTransport, serve_endpoint)
+from repro.exceptions import AccessDenied, ParameterError, TransportError
+
+
+class EchoEndpoint:
+    """Minimal dispatch surface: echoes fields, or raises on demand."""
+
+    def __init__(self) -> None:
+        self.seen: list[bytes] = []
+        self.transport = None
+
+    def attach(self, transport) -> None:
+        self.transport = transport
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        self.seen.append(frame)
+        opcode, fields = wire.parse_frame(frame)
+        if opcode == b"boom":
+            return wire.error_response(AccessDenied("no such privilege"))
+        if opcode == b"crash":
+            return wire.error_response(RuntimeError("internal"))
+        return wire.ok_response(b"".join(fields))
+
+
+class TestWireCodec:
+    def test_frame_round_trip(self):
+        frame = wire.make_frame(b"op", b"alpha", b"", b"\x00" * 7)
+        opcode, fields = wire.parse_frame(frame)
+        assert opcode == b"op"
+        assert fields == [b"alpha", b"", b"\x00" * 7]
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ParameterError):
+            wire.parse_frame(b"")
+
+    def test_ok_response_round_trip(self):
+        assert wire.parse_response(wire.ok_response(b"payload")) == b"payload"
+
+    def test_error_response_reraises_same_class(self):
+        response = wire.error_response(AccessDenied("no such privilege"))
+        with pytest.raises(AccessDenied, match="no such privilege"):
+            wire.parse_response(response)
+
+    def test_unknown_exception_degrades_to_transport_error(self):
+        response = wire.error_response(RuntimeError("internal"))
+        with pytest.raises(TransportError, match="internal"):
+            wire.parse_response(response)
+
+    def test_empty_response_rejected(self):
+        with pytest.raises(TransportError):
+            wire.parse_response(b"")
+
+    def test_timestamp_round_trip_is_exact(self):
+        for ts in (0.0, 0.001, 1234.567, 1.7e9 + 0.123):
+            assert wire.ts_from_bytes(wire.ts_to_bytes(ts)) == pytest.approx(
+                ts, abs=5e-4)
+            # float -> bytes -> float -> bytes is a fixed point
+            again = wire.ts_from_bytes(wire.ts_to_bytes(ts))
+            assert wire.ts_to_bytes(again) == wire.ts_to_bytes(ts)
+
+    def test_files_codec_round_trip(self):
+        files = {b"f" * 16: b"ciphertext-1", b"g" * 16: b""}
+        assert wire.decode_files(wire.encode_files(files)) == files
+
+    def test_files_entry_shorter_than_fid_rejected(self):
+        from repro.core.protocols.messages import pack_fields
+        with pytest.raises(ParameterError):
+            wire.decode_files(pack_fields(b"short"))
+
+
+class TestLoopbackTransport:
+    def test_request_logs_request_and_reply(self):
+        transport = LoopbackTransport()
+        endpoint = EchoEndpoint()
+        transport.bind("svc://a", endpoint)
+        mark = transport.mark()
+        frame = wire.make_frame(b"echo", b"hi")
+        response = transport.request("cli://x", "svc://a", frame,
+                                     label="step", reply_label="step-reply")
+        assert wire.parse_response(response) == b"hi"
+        records = transport.records_since(mark)
+        assert [(r.src, r.dst, r.label) for r in records] == [
+            ("cli://x", "svc://a", "step"),
+            ("svc://a", "cli://x", "step-reply")]
+        assert records[0].nbytes == len(frame)
+        assert records[1].nbytes == len(response)
+
+    def test_notify_logs_one_record_but_returns_response(self):
+        transport = LoopbackTransport()
+        transport.bind("svc://a", EchoEndpoint())
+        mark = transport.mark()
+        response = transport.notify("cli://x", "svc://a",
+                                    wire.make_frame(b"echo", b"x"),
+                                    label="push")
+        assert wire.parse_response(response) == b"x"
+        assert len(transport.records_since(mark)) == 1
+
+    def test_deliver_logs_bytes_only(self):
+        transport = LoopbackTransport()
+        mark = transport.mark()
+        transport.deliver("a", "b", 123, label="physical")
+        (record,) = transport.records_since(mark)
+        assert record.nbytes == 123
+        assert record.label == "physical"
+
+    def test_clock_strictly_advances_per_record(self):
+        transport = LoopbackTransport()
+        transport.bind("svc://a", EchoEndpoint())
+        t0 = transport.now
+        transport.notify("c", "svc://a", wire.make_frame(b"echo"), label="l")
+        assert transport.now > t0
+
+    def test_unbound_address_raises(self):
+        transport = LoopbackTransport()
+        with pytest.raises(TransportError):
+            transport.request("a", "svc://nowhere", b"frame", label="l")
+
+    def test_bind_attaches_endpoint(self):
+        transport = LoopbackTransport()
+        endpoint = EchoEndpoint()
+        transport.bind("svc://a", endpoint)
+        assert endpoint.transport is transport
+        assert transport.endpoint_at("svc://a") is endpoint
+        assert transport.has_route("svc://a")
+
+
+class TestSocketTransport:
+    def test_round_trip_over_real_tcp(self):
+        transport = SocketTransport()
+        try:
+            transport.bind("svc://a", EchoEndpoint())
+            response = transport.request(
+                "cli://x", "svc://a", wire.make_frame(b"echo", b"tcp-bytes"),
+                label="step")
+            assert wire.parse_response(response) == b"tcp-bytes"
+        finally:
+            transport.close()
+
+    def test_server_errors_cross_the_socket(self):
+        transport = SocketTransport()
+        try:
+            transport.bind("svc://a", EchoEndpoint())
+            response = transport.notify("cli://x", "svc://a",
+                                        wire.make_frame(b"boom"), label="l")
+            with pytest.raises(AccessDenied):
+                wire.parse_response(response)
+        finally:
+            transport.close()
+
+    def test_static_route_reaches_endpoint_served_elsewhere(self):
+        """A second transport connects via (host, port) only — the
+        same split the two-process smoke test exercises."""
+        server_side = SocketTransport()
+        client_side = SocketTransport()
+        try:
+            server_side.bind("svc://a", EchoEndpoint())
+            client_side.add_route("svc://a", "127.0.0.1",
+                                  server_side.port_of("svc://a"))
+            assert client_side.endpoint_at("svc://a") is None
+            assert client_side.has_route("svc://a")
+            response = client_side.request(
+                "cli://x", "svc://a", wire.make_frame(b"echo", b"remote"),
+                label="step")
+            assert wire.parse_response(response) == b"remote"
+        finally:
+            server_side.close()
+            client_side.close()
+
+    def test_unrouted_address_raises(self):
+        transport = SocketTransport()
+        with pytest.raises(TransportError):
+            transport.notify("a", "svc://nowhere", b"frame", label="l")
+        with pytest.raises(TransportError):
+            transport.port_of("svc://nowhere")
+
+    def test_connection_refused_surfaces_as_transport_error(self):
+        transport = SocketTransport(connect_timeout_s=2.0)
+        server = SocketTransport()
+        server.bind("svc://a", EchoEndpoint())
+        port = server.port_of("svc://a")
+        server.close()
+        transport.add_route("svc://a", "127.0.0.1", port)
+        with pytest.raises(TransportError):
+            transport.notify("c", "svc://a", b"frame", label="l")
+
+
+class TestFrameRecord:
+    def test_latency_property(self):
+        record = FrameRecord(src="a", dst="b", label="l", nbytes=1,
+                             sent_at=1.0, arrived_at=1.5)
+        assert record.latency == pytest.approx(0.5)

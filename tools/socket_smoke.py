@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Two-process smoke test: PHI storage + retrieval over real TCP.
+
+One OS process hosts the S-server's dispatch endpoint on a loopback
+port; a second process — sharing nothing but the deployment seed and
+the (host, port) route — uploads a PHI collection and searches it by
+keyword.  Passing proves the frames on the wire are self-contained:
+no in-process object sharing is needed for any byte of the exchange.
+
+Usage::
+
+    python tools/socket_smoke.py --auto          # spawns its own server
+    python tools/socket_smoke.py --serve         # prints "PORT <n>"
+    python tools/socket_smoke.py --client --port <n>
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+
+SEED = b"socket-smoke"
+EXPECTED = "Severe penicillin allergy; carries epinephrine."
+
+
+def _build_system():
+    from repro.core.system import build_system
+    return build_system(seed=SEED)
+
+
+def serve() -> int:
+    from repro.core import dispatch
+    from repro.net.transport import SocketTransport
+    system = _build_system()
+    transport = SocketTransport()
+    dispatch.bind_sserver(transport, system.sserver)
+    print("PORT %d" % transport.port_of(system.sserver.address), flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        return 0
+
+
+def run_client(port: int) -> int:
+    from repro.ehr.records import Category
+    from repro.core.protocols.retrieval import common_case_retrieval
+    from repro.core.protocols.storage import private_phi_storage
+    from repro.net.transport import SocketTransport
+
+    system = _build_system()
+    patient, server = system.patient, system.sserver
+    transport = SocketTransport()
+    transport.add_route(server.address, "127.0.0.1", port)
+    assert transport.endpoint_at(server.address) is None, \
+        "client must hold no server endpoint — that is the point"
+
+    patient.add_record(Category.ALLERGIES, ["allergies", "penicillin"],
+                       EXPECTED, server.address)
+    patient.add_record(Category.CARDIOLOGY, ["cardiology"],
+                       "Prior MI (2024); ejection fraction 45%.",
+                       server.address)
+    store = private_phi_storage(patient, server, transport)
+    print("stored: collection=%s %d B in %d frame(s)"
+          % (store.collection_id.hex()[:16], store.stats.bytes_total,
+             store.stats.messages))
+
+    result = common_case_retrieval(patient, server, transport, ["allergies"])
+    print("retrieved: %d file(s) in %d frame(s)"
+          % (len(result.files), result.stats.messages))
+    contents = [f.medical_content for f in result.files]
+    if contents != [EXPECTED]:
+        print("SMOKE FAIL: got %r" % contents)
+        return 1
+    print("SMOKE OK: PHI stored and retrieved across two OS processes")
+    return 0
+
+
+def run_auto() -> int:
+    child = subprocess.Popen([sys.executable, __file__, "--serve"],
+                             stdout=subprocess.PIPE, text=True)
+    try:
+        line = child.stdout.readline().strip()
+        if not line.startswith("PORT "):
+            print("SMOKE FAIL: server said %r" % line)
+            return 1
+        return run_client(int(line.split()[1]))
+    finally:
+        child.terminate()
+        child.wait(timeout=10)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--auto", action="store_true",
+                      help="spawn a server child process and run the client")
+    mode.add_argument("--serve", action="store_true",
+                      help="host the S-server endpoint; prints PORT")
+    mode.add_argument("--client", action="store_true",
+                      help="run the client against --port")
+    parser.add_argument("--port", type=int, default=None)
+    args = parser.parse_args()
+    if args.serve:
+        return serve()
+    if args.client:
+        if args.port is None:
+            parser.error("--client requires --port")
+        return run_client(args.port)
+    return run_auto()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
