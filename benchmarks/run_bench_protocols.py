@@ -32,9 +32,13 @@ from repro.core.protocols.retrieval import common_case_retrieval
 from repro.core.protocols.storage import private_phi_storage
 from repro.core.system import build_system
 from repro.ehr.phi import generate_workload
-from repro.net.transport import LoopbackTransport, SocketTransport
+from repro.core.protocols.base import with_policies
+from repro.net.transport import (FaultPolicy, LoopbackTransport,
+                                 RetryPolicy, SocketTransport)
 
 WORKLOAD_FILES = 10
+CHAOS_DROP_RATE = 0.05
+CHAOS_DUP_RATE = 0.02
 
 
 def _fresh_system(seed: bytes, privileged: bool = False,
@@ -168,16 +172,59 @@ def bench_backends(iters: int) -> dict:
     return out
 
 
+def bench_chaos(runs: int) -> dict:
+    """Robustness: rounds-to-success for one retrieval under a seeded
+    5% frame-drop / 2% duplication schedule (loopback carrier).  One
+    "round" is a delivery attempt; a clean wire always needs exactly
+    one per frame, so rounds = 1 + transport-level retries."""
+    system = build_system(seed=b"bench-proto-chaos")
+    workload = generate_workload(system.rng.fork("workload"),
+                                 WORKLOAD_FILES,
+                                 server_address=system.sserver.address)
+    system.patient.import_collection(workload)
+    private_phi_storage(system.patient, system.sserver,
+                        LoopbackTransport())
+    keyword = system.patient.collection.index.keywords()[0]
+
+    rounds, dropped, duplicated = [], 0, 0
+    for seed in range(runs):
+        faults = FaultPolicy(seed=seed, drop_rate=CHAOS_DROP_RATE,
+                             duplicate_rate=CHAOS_DUP_RATE)
+        net = with_policies(LoopbackTransport(),
+                            retry=RetryPolicy(attempt_timeout_s=0.2,
+                                              base_backoff_s=0.01),
+                            faults=faults)
+        rt = common_case_retrieval(system.patient, system.sserver, net,
+                                   [keyword])
+        rounds.append(1 + rt.stats.retries)
+        dropped += faults.counts["dropped"]
+        duplicated += faults.counts["duplicated"]
+    return {
+        "drop_rate": CHAOS_DROP_RATE,
+        "dup_rate": CHAOS_DUP_RATE,
+        "runs": runs,
+        "rounds_to_success_mean": round(statistics.mean(rounds), 3),
+        "rounds_to_success_max": max(rounds),
+        "frames_dropped": dropped,
+        "frames_duplicated": duplicated,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--iters", type=int, default=5,
                         help="timing samples per protocol (median kept)")
+    parser.add_argument("--chaos-runs", type=int, default=60,
+                        help="seeded lossy-wire retrievals for the "
+                             "rounds-to-success figure")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent
                         / "BENCH_protocols.json")
     args = parser.parse_args()
     if args.iters < 1:
         parser.error("--iters must be at least 1")
+    if args.chaos_runs < 1:
+        parser.error("--chaos-runs must be at least 1")
 
     print("== protocol rounds over the simulated network ==")
     protocols = bench_protocols(args.iters)
@@ -191,6 +238,15 @@ def main() -> None:
         print("   %-9s %2d msg  %6d B  %8.2f ms wall"
               % (name, row["messages"], row["bytes"], row["wall_ms"]))
 
+    print("== retrieval rounds-to-success on a lossy wire ==")
+    chaos = bench_chaos(args.chaos_runs)
+    print("   drop=%.0f%% dup=%.0f%%  %d run(s): mean %.3f rounds, "
+          "max %d (dropped %d, duplicated %d frames)"
+          % (chaos["drop_rate"] * 100, chaos["dup_rate"] * 100,
+             chaos["runs"], chaos["rounds_to_success_mean"],
+             chaos["rounds_to_success_max"], chaos["frames_dropped"],
+             chaos["frames_duplicated"]))
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "iters": args.iters,
@@ -198,6 +254,7 @@ def main() -> None:
         "machine": platform.machine(),
         "protocols": protocols,
         "transport_backends": backends,
+        "chaos_retrieval": chaos,
     }
     trajectory = {"runs": []}
     if args.out.exists():

@@ -27,15 +27,28 @@ from repro.ehr.phi import generate_workload
 def _net(args, system):
     """The carrier for protocol frames: the discrete-event simulator by
     default, or a plain in-process loopback with ``--transport loopback``
-    (same frames, no simulated links — one instance cached per run)."""
+    (same frames, no simulated links).  ``--faults``/``--retries`` arm a
+    fault-injection and retry policy on the carrier; the configured
+    carrier is cached so every step of a run shares one policy state."""
+    carrier = getattr(args, "_carrier", None)
+    if carrier is not None:
+        return carrier
     if getattr(args, "transport", "sim") != "loopback":
-        return system.network
-    transport = getattr(args, "_loopback", None)
-    if transport is None:
+        carrier = system.network
+    else:
         from repro.net.transport import LoopbackTransport
-        transport = LoopbackTransport()
-        args._loopback = transport
-    return transport
+        carrier = LoopbackTransport()
+    faults_spec = getattr(args, "faults", None)
+    retries = getattr(args, "retries", None)
+    if faults_spec or retries:
+        from repro.core.protocols.base import with_policies
+        from repro.net.transport import RetryPolicy, parse_fault_spec
+        retry = (RetryPolicy(max_attempts=retries) if retries
+                 else RetryPolicy())
+        faults = parse_fault_spec(faults_spec) if faults_spec else None
+        carrier = with_policies(carrier, retry=retry, faults=faults)
+    args._carrier = carrier
+    return carrier
 
 
 def _prepared_system(args, with_privileges: bool = False):
@@ -218,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default="sim",
                         help="frame carrier: discrete-event simulator "
                              "(default) or in-process loopback")
+    common.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject transport faults, e.g. "
+                             "'drop=0.05,dup=0.02,seed=7' (keys: drop, "
+                             "dup, corrupt, trunc, delay, delay_s, seed)")
+    common.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max delivery attempts per frame (default 4 "
+                             "when --faults is given, else 1)")
     parser = argparse.ArgumentParser(
         prog="repro-hcpp",
         description="Drive an in-process HCPP (ICDCS'11) deployment.")

@@ -33,8 +33,8 @@ from repro.core.protocols.messages import (Envelope, ReplayGuard,
                                            unpack_fields)
 from repro.core.sserver import StorageServer, _deserialize_broadcast
 from repro.exceptions import (AccessDenied, AuthenticationError,
-                              IntegrityError, ParameterError, ReproError,
-                              TransportError)
+                              IntegrityError, ParameterError, ReplayError,
+                              ReproError, TransportError)
 
 __all__ = ["Endpoint", "SServerEndpoint", "AServerEndpoint",
            "EntityEndpoint", "bind_sserver", "bind_aserver", "bind_entity"]
@@ -213,6 +213,11 @@ class AServerEndpoint(Endpoint):
         self.aserver = aserver
         # Registered P-devices' network addresses, for the step-3 push.
         self._pdevice_addresses: dict[bytes, str] = {}
+        # Emergency-auth is NOT idempotent (each run mints a fresh
+        # nounce and overwrites the outstanding one), so duplicate
+        # deliveries from a faulty network must be absorbed here: the
+        # physician's signed (request, t10) doubles as the replay token.
+        self._auth_guard = ReplayGuard()
         self._ops = {
             wire.OP_REGISTER_PDEVICE: self._op_register,
             wire.OP_EMERGENCY_AUTH: self._op_emergency_auth,
@@ -228,6 +233,8 @@ class AServerEndpoint(Endpoint):
 
     def _op_emergency_auth(self, fields: list[bytes]) -> bytes:
         pid_b, request, t_req_b, sig_b, pd_b = self._expect(fields, 5)
+        if self._auth_guard.seen(sig_b):
+            raise ReplayError("duplicate emergency-auth request")
         curve = self.aserver.params.curve
         issue = self.aserver.authenticate_emergency(
             pid_b.decode(), request, wire.ts_from_bytes(t_req_b),
@@ -249,6 +256,11 @@ class AServerEndpoint(Endpoint):
         wire.parse_response(self._transport.notify(
             self.aserver.address, pd_address, passcode_frame,
             label="emergency/ibe-passcode"))
+        # Remember only after the push succeeded: a client retrying a
+        # transiently-failed push must be able to re-present the frame.
+        self._auth_guard.check_and_remember(Envelope(
+            label="emergency-auth", payload=b"",
+            timestamp=wire.ts_from_bytes(t_req_b), tag=sig_b))
         return pack_fields(issue.encrypted_for_physician,
                            issue.physician_signature.to_bytes(),
                            wire.ts_to_bytes(issue.t_issue))

@@ -6,6 +6,16 @@ the raw rows of the communication-cost experiments (E4) and the
 end-to-end latency experiment (E8).  The stats are backend-agnostic:
 the same capture works over the loopback transport, the discrete-event
 simulator, or real sockets.
+
+Failure semantics are inherited, not re-implemented: protocols hand
+their frames to ``transport.request``/``notify``, and whatever
+:class:`~repro.net.transport.faults.RetryPolicy` /
+:class:`~repro.net.transport.faults.FaultPolicy` the transport carries
+applies to every protocol uniformly.  :func:`with_policies` is the one
+place callers (CLI, chaos tests, benchmarks) arm them, and
+``ProtocolStats.retries`` reports how many frames had to be re-sent —
+lost attempts stay in the byte/message accounting, because their bytes
+did leave the sender.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.net.transport import as_transport
+from repro.net.transport.base import LOST_SUFFIX
 
 
 @dataclass(frozen=True)
@@ -23,6 +34,7 @@ class ProtocolStats:
     messages: int
     bytes_total: int
     latency_s: float
+    retries: int = 0
 
     @staticmethod
     def capture(protocol: str, network, mark: int,
@@ -34,4 +46,21 @@ class ProtocolStats:
             messages=len(window),
             bytes_total=sum(r.nbytes for r in window),
             latency_s=transport.now - started_at,
-        )
+            retries=sum(1 for r in window if r.label.endswith(LOST_SUFFIX)))
+
+
+def with_policies(network, retry=None, faults=None):
+    """Resolve ``network`` to its transport and arm failure policies.
+
+    ``retry`` (a :class:`~repro.net.transport.faults.RetryPolicy`) and
+    ``faults`` (a :class:`~repro.net.transport.faults.FaultPolicy`)
+    install on the shared transport instance, so every protocol run
+    against the same network inherits them.  Returns the transport —
+    pass it wherever a protocol takes its ``network`` argument.
+    """
+    transport = as_transport(network)
+    if retry is not None:
+        transport.set_retry_policy(retry)
+    if faults is not None:
+        transport.install_faults(faults)
+    return transport

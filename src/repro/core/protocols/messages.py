@@ -166,6 +166,13 @@ class ReplayGuard:
                 raise ReplayError("replayed message %r" % envelope.label)
             self._seen[envelope.tag] = envelope.timestamp
 
+    def seen(self, tag: bytes) -> bool:
+        """Probe without remembering — for receivers that must finish a
+        side effect before committing the tag (check at entry, remember
+        on success, so a failed handling stays retryable)."""
+        with self._lock:
+            return tag in self._seen
+
     def _prune(self, now: float) -> None:
         # Caller holds self._lock.
         horizon = now - self.window_s

@@ -92,15 +92,31 @@ def parse_response(response: bytes) -> bytes:
     if status != _STATUS_ERROR:
         raise TransportError("unknown response status %d" % status)
     name, message = unpack_fields(body, expected=2)
-    cls = _EXCEPTIONS_BY_NAME.get(name.decode(), TransportError)
-    raise cls(message.decode())
+    try:
+        name_text = name.decode()
+    except UnicodeDecodeError:
+        # A corrupted/hostile error response must still yield a typed
+        # error, never a raw codec exception.
+        raise TransportError("undecodable exception name %r in error "
+                             "response" % name) from None
+    cls = _EXCEPTIONS_BY_NAME.get(name_text, TransportError)
+    raise cls(message.decode(errors="replace"))
 
 
 # -- timestamps -------------------------------------------------------------
 def ts_to_bytes(timestamp: float) -> bytes:
     """Canonical 8-byte millisecond encoding (round, not truncate, so the
     float→ms→float round trip is exact on both sides of the wire)."""
-    return int(round(timestamp * 1000)).to_bytes(8, "big")
+    ms = int(round(timestamp * 1000))
+    if ms < 0:
+        raise ParameterError(
+            "timestamp %r predates the epoch; the wire carries unsigned "
+            "milliseconds" % timestamp)
+    try:
+        return ms.to_bytes(8, "big")
+    except OverflowError:
+        raise ParameterError("timestamp %r exceeds the 8-byte wire range"
+                             % timestamp) from None
 
 
 def ts_from_bytes(data: bytes) -> float:

@@ -74,6 +74,12 @@ class TransportError(NetworkError):
     """A transport backend could not carry or dispatch a frame."""
 
 
+class TransientTransportError(TransportError):
+    """A frame delivery failed for a reason that may heal on its own
+    (drop, timeout, refused connection, partition).  The only error a
+    :class:`~repro.net.transport.faults.RetryPolicy` retries."""
+
+
 class LinkDownError(NetworkError):
     """The link between two simulated nodes is unavailable."""
 

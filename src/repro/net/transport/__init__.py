@@ -9,9 +9,12 @@ between OS processes.
 """
 
 from repro.net.transport.base import FrameRecord, Transport
+from repro.net.transport.faults import (FaultPlan, FaultPolicy, RetryPolicy,
+                                        parse_fault_spec)
 from repro.net.transport.loopback import LoopbackTransport
 from repro.net.transport.simnet import SimTransport, as_transport
 from repro.net.transport.socketnet import SocketTransport, serve_endpoint
 
 __all__ = ["FrameRecord", "Transport", "LoopbackTransport", "SimTransport",
-           "SocketTransport", "as_transport", "serve_endpoint"]
+           "SocketTransport", "as_transport", "serve_endpoint",
+           "FaultPlan", "FaultPolicy", "RetryPolicy", "parse_fault_spec"]

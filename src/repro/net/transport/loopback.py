@@ -51,6 +51,10 @@ class LoopbackTransport(Transport):
                                      nbytes=nbytes, sent_at=sent_at,
                                      arrived_at=self._now))
 
+    def _wait(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+
     # -- carrying frames ----------------------------------------------------
     def _dispatch(self, dst: str, frame: bytes) -> bytes:
         endpoint = self._endpoints.get(dst)
@@ -58,17 +62,13 @@ class LoopbackTransport(Transport):
             raise self._no_endpoint(dst)
         return endpoint.handle_frame(frame)
 
-    def request(self, src: str, dst: str, frame: bytes, label: str,
-                reply_label: str | None = None) -> bytes:
+    def _carry_frame(self, src: str, dst: str, frame: bytes, label: str,
+                     reply_label: str, bill_reply: bool) -> bytes:
         self._record(src, dst, label, len(frame))
         response = self._dispatch(dst, frame)
-        self._record(dst, src, reply_label or label + "/reply",
-                     len(response))
+        if bill_reply:
+            self._record(dst, src, reply_label, len(response))
         return response
-
-    def notify(self, src: str, dst: str, frame: bytes, label: str) -> bytes:
-        self._record(src, dst, label, len(frame))
-        return self._dispatch(dst, frame)
 
     def deliver(self, src: str, dst: str, nbytes: int, label: str) -> None:
         self._record(src, dst, label, nbytes)

@@ -15,7 +15,9 @@ import weakref
 
 from repro.net.sim import Network
 from repro.net.transport.base import Transport
-from repro.exceptions import ParameterError
+from repro.exceptions import (LinkDownError, NetworkError,
+                              NodeUnreachableError, ParameterError,
+                              TransientTransportError)
 
 _SIM_TRANSPORTS: "weakref.WeakKeyDictionary[Network, SimTransport]" = \
     weakref.WeakKeyDictionary()
@@ -69,6 +71,10 @@ class SimTransport(Transport):
     def records_since(self, mark: int) -> list:
         return self.network.log[mark:]
 
+    def _wait(self, seconds: float) -> None:
+        if seconds > 0:
+            self.network.clock.advance(seconds)
+
     # -- carrying frames ----------------------------------------------------
     def _dispatch(self, dst: str, frame: bytes) -> bytes:
         endpoint = self._endpoints.get(dst)
@@ -76,20 +82,25 @@ class SimTransport(Transport):
             raise self._no_endpoint(dst)
         return endpoint.handle_frame(frame)
 
-    def request(self, src: str, dst: str, frame: bytes, label: str,
-                reply_label: str | None = None) -> bytes:
-        self.network.transmit(src, dst, len(frame), label=label)
+    def _transmit(self, src: str, dst: str, nbytes: int, label: str) -> None:
+        try:
+            self.network.transmit(src, dst, nbytes, label=label)
+        except (LinkDownError, NodeUnreachableError):
+            raise  # topology facts, not transient weather
+        except NetworkError as exc:
+            # The simulator's own lossy-link give-up: retryable.
+            raise TransientTransportError(str(exc)) from exc
+
+    def _carry_frame(self, src: str, dst: str, frame: bytes, label: str,
+                     reply_label: str, bill_reply: bool) -> bytes:
+        self._transmit(src, dst, len(frame), label)
         response = self._dispatch(dst, frame)
-        self.network.transmit(dst, src, len(response),
-                              label=reply_label or label + "/reply")
+        if bill_reply:
+            self._transmit(dst, src, len(response), reply_label)
         return response
 
-    def notify(self, src: str, dst: str, frame: bytes, label: str) -> bytes:
-        self.network.transmit(src, dst, len(frame), label=label)
-        return self._dispatch(dst, frame)
-
     def deliver(self, src: str, dst: str, nbytes: int, label: str) -> None:
-        self.network.transmit(src, dst, nbytes, label=label)
+        self._transmit(src, dst, nbytes, label)
 
     # -- onion routing (§VI.B; simulator-only) ------------------------------
     def request_via_onion(self, onion, src: str, dst: str, frame: bytes,

@@ -6,20 +6,39 @@ prefix both ways).  Routes can also be injected statically
 (``routes={address: (host, port)}``) so a client process can talk to an
 endpoint hosted by *another* process — the two-process smoke test in
 ``tools/socket_smoke.py`` drives exactly that split.
+
+Failure semantics: refused/reset/timed-out connections surface as
+:class:`~repro.exceptions.TransientTransportError` (retryable), other
+socket errors as :class:`~repro.exceptions.TransportError`.  The server
+side never answers a broken exchange with silence — an unreadable or
+oversize frame, and any exception escaping the frame handler, is logged
+and answered with a serialized error response so the client gets a
+typed error instead of "closed mid-frame".  Connects can retry a
+bounded number of times (``connect_retries``) to bridge a peer process
+that is still starting up.
 """
 
 from __future__ import annotations
 
+import logging
 import socket
 import socketserver
 import threading
 import time
 
 from repro.net.transport.base import FrameRecord, Transport
-from repro.exceptions import TransportError
+from repro.exceptions import TransientTransportError, TransportError
 
 _LEN_BYTES = 4
 _MAX_FRAME = 64 * 1024 * 1024
+_DEFAULT_READ_TIMEOUT_S = 30.0
+
+_LOG = logging.getLogger("repro.net.transport.socketnet")
+
+# OSErrors that a healthy peer may heal from on its own.
+_TRANSIENT_OS_ERRORS = (ConnectionRefusedError, ConnectionResetError,
+                        ConnectionAbortedError, BrokenPipeError,
+                        TimeoutError)
 
 
 def _recv_exact(conn: socket.socket, nbytes: int) -> bytes | None:
@@ -48,12 +67,39 @@ def _write_frame(conn: socket.socket, frame: bytes) -> None:
     conn.sendall(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
 
 
+def _serialized_error(exc: BaseException) -> bytes:
+    # Imported lazily: the wire codecs live above the transport layer,
+    # and only this degraded-reply path needs them.
+    from repro.core import wire
+    return wire.error_response(exc)
+
+
 class _FrameHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
-        frame = _read_frame(self.request)
+        self.request.settimeout(self.server.read_timeout_s)
+        try:
+            frame = _read_frame(self.request)
+        except (TransportError, OSError) as exc:
+            _LOG.warning("unreadable frame from %s: %s",
+                         self.client_address, exc)
+            self._reply(_serialized_error(
+                TransportError("server could not read frame: %s" % exc)))
+            return
         if frame is None:
             return
-        _write_frame(self.request, self.server.frame_handler(frame))
+        try:
+            response = self.server.frame_handler(frame)
+        except Exception as exc:  # never kill the connection silently
+            _LOG.warning("frame handler raised for %s: %s",
+                         self.client_address, exc)
+            response = _serialized_error(exc)
+        self._reply(response)
+
+    def _reply(self, response: bytes) -> None:
+        try:
+            _write_frame(self.request, response)
+        except OSError:
+            pass  # client already gone; nothing left to tell it
 
 
 class _EndpointServer(socketserver.ThreadingTCPServer):
@@ -61,15 +107,19 @@ class _EndpointServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
 
-def serve_endpoint(endpoint, host: str = "127.0.0.1",
-                   port: int = 0) -> _EndpointServer:
+def serve_endpoint(endpoint, host: str = "127.0.0.1", port: int = 0,
+                   read_timeout_s: float = _DEFAULT_READ_TIMEOUT_S
+                   ) -> _EndpointServer:
     """Host one dispatch endpoint on a TCP port (background thread).
 
     Returns the server; ``server.server_address`` is the bound (host,
-    port) to hand to remote :class:`SocketTransport` routes.
+    port) to hand to remote :class:`SocketTransport` routes.  A
+    connection that goes quiet for ``read_timeout_s`` is answered with
+    an error response and closed instead of pinning its thread forever.
     """
     server = _EndpointServer((host, port), _FrameHandler)
     server.frame_handler = endpoint.handle_frame
+    server.read_timeout_s = read_timeout_s
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server
@@ -80,18 +130,24 @@ class SocketTransport(Transport):
 
     def __init__(self, routes: dict[str, tuple[str, int]] | None = None,
                  host: str = "127.0.0.1",
-                 connect_timeout_s: float = 10.0) -> None:
+                 connect_timeout_s: float = 10.0,
+                 connect_retries: int = 0,
+                 connect_retry_delay_s: float = 0.2) -> None:
         self._routes: dict[str, tuple[str, int]] = dict(routes or {})
         self._endpoints: dict[str, object] = {}
         self._servers: list[_EndpointServer] = []
         self._host = host
         self._timeout = connect_timeout_s
+        self._connect_retries = connect_retries
+        self._connect_retry_delay_s = connect_retry_delay_s
         self._log: list[FrameRecord] = []
         self._lock = threading.Lock()
 
     # -- endpoint hosting ---------------------------------------------------
-    def bind(self, address: str, endpoint) -> None:
-        server = serve_endpoint(endpoint, host=self._host)
+    def bind(self, address: str, endpoint, port: int = 0) -> None:
+        """Serve ``endpoint`` on ``port`` (0 = ephemeral).  A fixed port
+        lets two processes agree on a route before the server is up."""
+        server = serve_endpoint(endpoint, host=self._host, port=port)
         self._servers.append(server)
         self._routes[address] = (server.server_address[0],
                                  server.server_address[1])
@@ -140,37 +196,73 @@ class SocketTransport(Transport):
                                          nbytes=nbytes, sent_at=sent_at,
                                          arrived_at=arrived_at))
 
+    def _wait(self, seconds: float) -> None:
+        # Real wall-clock backoff, capped so chaos tests stay quick.
+        if seconds > 0:
+            time.sleep(min(seconds, 0.05))
+
     # -- carrying frames ----------------------------------------------------
-    def _roundtrip(self, dst: str, frame: bytes) -> bytes:
+    def _connect(self, dst: str,
+                 route: tuple[str, int]) -> socket.socket:
+        """Open a connection, retrying refusals a bounded number of
+        times (a peer process may still be binding its port)."""
+        last: OSError | None = None
+        for attempt in range(self._connect_retries + 1):
+            if attempt:
+                time.sleep(self._connect_retry_delay_s)
+            try:
+                return socket.create_connection(route,
+                                                timeout=self._timeout)
+            except _TRANSIENT_OS_ERRORS as exc:
+                last = exc
+            except OSError as exc:
+                raise TransportError("socket error connecting to %r: %s"
+                                     % (dst, exc)) from exc
+        raise TransientTransportError(
+            "cannot connect to %r after %d attempt(s): %s"
+            % (dst, self._connect_retries + 1, last)) from last
+
+    def _roundtrip(self, dst: str, frame: bytes) -> tuple[bytes, float]:
+        """Send one frame, read the reply.  Returns the reply and the
+        time the request finished going out (the reply's departure
+        lower bound, used to stamp direction-split records)."""
         route = self._routes.get(dst)
         if route is None:
             raise self._no_endpoint(dst)
         try:
-            with socket.create_connection(route,
-                                          timeout=self._timeout) as conn:
+            with self._connect(dst, route) as conn:
+                conn.settimeout(self._attempt_timeout_s()
+                                if self._retry_policy is not None
+                                else self._timeout)
                 _write_frame(conn, frame)
+                request_done = time.time()
                 response = _read_frame(conn)
+        except TransportError:
+            raise
+        except _TRANSIENT_OS_ERRORS as exc:
+            raise TransientTransportError(
+                "transient socket error talking to %r: %s"
+                % (dst, exc)) from exc
         except OSError as exc:
             raise TransportError("socket error talking to %r: %s"
                                  % (dst, exc)) from exc
         if response is None:
-            raise TransportError("connection to %r closed mid-frame" % dst)
-        return response
+            raise TransientTransportError(
+                "connection to %r closed mid-frame" % dst)
+        return response, request_done
 
-    def request(self, src: str, dst: str, frame: bytes, label: str,
-                reply_label: str | None = None) -> bytes:
+    def _carry_frame(self, src: str, dst: str, frame: bytes, label: str,
+                     reply_label: str, bill_reply: bool) -> bytes:
         sent_at = time.time()
-        response = self._roundtrip(dst, frame)
+        response, request_done = self._roundtrip(dst, frame)
         arrived_at = time.time()
-        self._record(src, dst, label, len(frame), sent_at, arrived_at)
-        self._record(dst, src, reply_label or label + "/reply",
-                     len(response), sent_at, arrived_at)
-        return response
-
-    def notify(self, src: str, dst: str, frame: bytes, label: str) -> bytes:
-        sent_at = time.time()
-        response = self._roundtrip(dst, frame)
-        self._record(src, dst, label, len(frame), sent_at, time.time())
+        # Direction-split stamps, mirroring the simulator: the request
+        # occupies [sent_at, request_done], the reply departs no earlier
+        # than the request finished and lands at arrived_at.
+        self._record(src, dst, label, len(frame), sent_at, request_done)
+        if bill_reply:
+            self._record(dst, src, reply_label, len(response),
+                         request_done, arrived_at)
         return response
 
     def deliver(self, src: str, dst: str, nbytes: int, label: str) -> None:

@@ -191,6 +191,62 @@ class TestSocketTransport:
         with pytest.raises(TransportError):
             transport.notify("c", "svc://a", b"frame", label="l")
 
+    def test_reply_record_has_direction_split_timestamps(self):
+        """The reply FrameRecord must carry its own times, not a copy
+        of the request's — reply latency used to equal the full RTT."""
+        transport = SocketTransport()
+        try:
+            transport.bind("svc://a", EchoEndpoint())
+            mark = transport.mark()
+            transport.request("cli://x", "svc://a",
+                              wire.make_frame(b"echo", b"t"), label="step")
+            request, reply = transport.records_since(mark)
+            assert request.sent_at <= request.arrived_at
+            assert reply.sent_at == request.arrived_at
+            assert reply.sent_at <= reply.arrived_at
+            assert reply.latency <= (reply.arrived_at - request.sent_at)
+        finally:
+            transport.close()
+
+    def test_handler_exception_returns_error_response(self):
+        """An endpoint that *raises* (instead of returning an error
+        response) must not kill the connection — the client gets a
+        typed error frame back."""
+
+        class Exploding:
+            def handle_frame(self, frame: bytes) -> bytes:
+                raise RuntimeError("endpoint blew up")
+
+        transport = SocketTransport()
+        try:
+            transport.bind("svc://a", Exploding())
+            response = transport.notify("cli://x", "svc://a",
+                                        wire.make_frame(b"any"), label="l")
+            with pytest.raises(TransportError, match="endpoint blew up"):
+                wire.parse_response(response)
+        finally:
+            transport.close()
+
+    def test_oversize_frame_answered_with_error_not_silence(self):
+        """A header claiming an absurd length must earn a serialized
+        error response, not a dropped connection."""
+        import socket as socket_mod
+        from repro.net.transport.socketnet import (_read_frame,
+                                                   serve_endpoint)
+        server = serve_endpoint(EchoEndpoint())
+        try:
+            with socket_mod.create_connection(server.server_address,
+                                              timeout=5.0) as conn:
+                conn.sendall((1 << 31).to_bytes(4, "big") + b"junk")
+                response = _read_frame(conn)
+            assert response is not None
+            with pytest.raises(TransportError,
+                               match="could not read frame"):
+                wire.parse_response(response)
+        finally:
+            server.shutdown()
+            server.server_close()
+
 
 class TestFrameRecord:
     def test_latency_property(self):

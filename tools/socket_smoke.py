@@ -7,22 +7,32 @@ the (host, port) route — uploads a PHI collection and searches it by
 keyword.  Passing proves the frames on the wire are self-contained:
 no in-process object sharing is needed for any byte of the exchange.
 
+``--chaos`` hardens the claim: the server child binds its port only
+after a deliberate delay (so the client's first connects are refused
+and must be retried), and the client injects seeded frame drops and
+duplications recovered by the transport's retry policy — the exchange
+must still round-trip correctly.
+
 Usage::
 
-    python tools/socket_smoke.py --auto          # spawns its own server
-    python tools/socket_smoke.py --serve         # prints "PORT <n>"
+    python tools/socket_smoke.py --auto            # spawns its own server
+    python tools/socket_smoke.py --auto --chaos    # + connect failures/drops
+    python tools/socket_smoke.py --serve           # prints "PORT <n>"
     python tools/socket_smoke.py --client --port <n>
 """
 
 from __future__ import annotations
 
 import argparse
+import socket
 import subprocess
 import sys
 import time
 
 SEED = b"socket-smoke"
 EXPECTED = "Severe penicillin allergy; carries epinephrine."
+CHAOS_SERVE_DELAY_S = 1.5
+CHAOS_FAULT_SPEC = dict(seed=11, drop_rate=0.2, duplicate_rate=0.2)
 
 
 def _build_system():
@@ -30,12 +40,18 @@ def _build_system():
     return build_system(seed=SEED)
 
 
-def serve() -> int:
+def serve(port: int = 0, delay_s: float = 0.0) -> int:
     from repro.core import dispatch
     from repro.net.transport import SocketTransport
     system = _build_system()
+    if delay_s:
+        # Chaos mode: the port is agreed in advance and we bind late, so
+        # the client's early connects are refused — its bounded connect
+        # retry must bridge the gap.
+        time.sleep(delay_s)
     transport = SocketTransport()
-    dispatch.bind_sserver(transport, system.sserver)
+    endpoint = dispatch.SServerEndpoint(system.sserver)
+    transport.bind(system.sserver.address, endpoint, port=port)
     print("PORT %d" % transport.port_of(system.sserver.address), flush=True)
     try:
         while True:
@@ -44,15 +60,22 @@ def serve() -> int:
         return 0
 
 
-def run_client(port: int) -> int:
+def run_client(port: int, chaos: bool = False) -> int:
     from repro.ehr.records import Category
     from repro.core.protocols.retrieval import common_case_retrieval
     from repro.core.protocols.storage import private_phi_storage
-    from repro.net.transport import SocketTransport
+    from repro.net.transport import (FaultPolicy, RetryPolicy,
+                                     SocketTransport)
 
     system = _build_system()
     patient, server = system.patient, system.sserver
-    transport = SocketTransport()
+    if chaos:
+        transport = SocketTransport(connect_retries=30,
+                                    connect_retry_delay_s=0.2)
+        transport.set_retry_policy(RetryPolicy())
+        transport.install_faults(FaultPolicy(**CHAOS_FAULT_SPEC))
+    else:
+        transport = SocketTransport()
     transport.add_route(server.address, "127.0.0.1", port)
     assert transport.endpoint_at(server.address) is None, \
         "client must hold no server endpoint — that is the point"
@@ -63,30 +86,50 @@ def run_client(port: int) -> int:
                        "Prior MI (2024); ejection fraction 45%.",
                        server.address)
     store = private_phi_storage(patient, server, transport)
-    print("stored: collection=%s %d B in %d frame(s)"
+    print("stored: collection=%s %d B in %d frame(s), %d retried"
           % (store.collection_id.hex()[:16], store.stats.bytes_total,
-             store.stats.messages))
+             store.stats.messages, store.stats.retries))
 
     result = common_case_retrieval(patient, server, transport, ["allergies"])
-    print("retrieved: %d file(s) in %d frame(s)"
-          % (len(result.files), result.stats.messages))
+    print("retrieved: %d file(s) in %d frame(s), %d retried"
+          % (len(result.files), result.stats.messages,
+             result.stats.retries))
     contents = [f.medical_content for f in result.files]
     if contents != [EXPECTED]:
         print("SMOKE FAIL: got %r" % contents)
         return 1
-    print("SMOKE OK: PHI stored and retrieved across two OS processes")
+    if chaos:
+        counts = transport.fault_policy.counts
+        print("chaos: %s" % dict(counts))
+    print("SMOKE OK: PHI stored and retrieved across two OS processes"
+          + (" under injected faults" if chaos else ""))
     return 0
 
 
-def run_auto() -> int:
-    child = subprocess.Popen([sys.executable, __file__, "--serve"],
-                             stdout=subprocess.PIPE, text=True)
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def run_auto(chaos: bool = False) -> int:
+    command = [sys.executable, __file__, "--serve"]
+    port = None
+    if chaos:
+        port = _free_port()
+        command += ["--port", str(port),
+                    "--serve-delay", str(CHAOS_SERVE_DELAY_S)]
+    child = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
     try:
-        line = child.stdout.readline().strip()
-        if not line.startswith("PORT "):
-            print("SMOKE FAIL: server said %r" % line)
-            return 1
-        return run_client(int(line.split()[1]))
+        if not chaos:
+            line = child.stdout.readline().strip()
+            if not line.startswith("PORT "):
+                print("SMOKE FAIL: server said %r" % line)
+                return 1
+            port = int(line.split()[1])
+        # In chaos mode the client starts BEFORE the server is up, on a
+        # pre-agreed port — the first connects are refused on purpose.
+        return run_client(port, chaos=chaos)
     finally:
         child.terminate()
         child.wait(timeout=10)
@@ -102,14 +145,20 @@ def main() -> int:
     mode.add_argument("--client", action="store_true",
                       help="run the client against --port")
     parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--serve-delay", type=float, default=0.0,
+                        help="(with --serve) bind the port only after this "
+                             "many seconds")
+    parser.add_argument("--chaos", action="store_true",
+                        help="(with --auto/--client) injected connect "
+                             "failures, frame drops, and duplications")
     args = parser.parse_args()
     if args.serve:
-        return serve()
+        return serve(port=args.port or 0, delay_s=args.serve_delay)
     if args.client:
         if args.port is None:
             parser.error("--client requires --port")
-        return run_client(args.port)
-    return run_auto()
+        return run_client(args.port, chaos=args.chaos)
+    return run_auto(chaos=args.chaos)
 
 
 if __name__ == "__main__":
