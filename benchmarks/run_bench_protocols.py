@@ -172,6 +172,74 @@ def bench_backends(iters: int) -> dict:
     return out
 
 
+def bench_durability(iters: int) -> dict:
+    """What does the write-ahead journal cost?
+
+    Two figures: raw 1 KiB journal appends per fsync policy (μs each),
+    and the full storage protocol with all three surfaces served
+    durably versus plain in-memory endpoints on the same carrier.
+    """
+    import tempfile
+    from repro.store import (DurableStore, JournalWriter,
+                             bind_durable_aserver, bind_durable_pdevice,
+                             bind_durable_sserver)
+    from repro.store.journal import K_FRAME
+
+    payload, appends = b"x" * 1024, 256
+    append_us = {}
+    for policy in ("always", "batch", "os"):
+        with tempfile.TemporaryDirectory() as tmp:
+            writer = JournalWriter(Path(tmp) / "bench.journal",
+                                   fsync_policy=policy)
+            t0 = time.perf_counter()
+            for _ in range(appends):
+                writer.append(K_FRAME, payload)
+            writer.sync()
+            writer.close()
+            append_us[policy] = round(
+                (time.perf_counter() - t0) / appends * 1e6, 1)
+
+    def storage_ms(data_dir=None):
+        samples = []
+        for i in range(iters):
+            system = build_system(seed=b"bench-durable-%d" % i)
+            workload = generate_workload(system.rng.fork("workload"),
+                                         WORKLOAD_FILES,
+                                         server_address=system.sserver
+                                         .address)
+            system.patient.import_collection(workload)
+            net = LoopbackTransport()
+            if data_dir is not None:
+                with tempfile.TemporaryDirectory(dir=data_dir) as run_dir:
+                    bind_durable_sserver(net, system.sserver,
+                                         DurableStore(run_dir, "sserver"))
+                    bind_durable_aserver(net, system.state,
+                                         DurableStore(run_dir, "aserver"))
+                    bind_durable_pdevice(net, system.pdevice, system.params,
+                                         DurableStore(run_dir, "pdevice"))
+                    t0 = time.perf_counter()
+                    private_phi_storage(system.patient, system.sserver, net)
+                    samples.append(time.perf_counter() - t0)
+            else:
+                t0 = time.perf_counter()
+                private_phi_storage(system.patient, system.sserver, net)
+                samples.append(time.perf_counter() - t0)
+        return statistics.median(samples) * 1e3
+
+    with tempfile.TemporaryDirectory() as tmp:
+        durable_ms = storage_ms(data_dir=tmp)
+    memory_ms = storage_ms()
+    return {
+        "journal_append_us_1KiB": append_us,
+        "storage_protocol_wall_ms": {
+            "in_memory": round(memory_ms, 3),
+            "durable_fsync_always": round(durable_ms, 3),
+            "overhead_pct": round((durable_ms / memory_ms - 1) * 100, 1)
+            if memory_ms else None,
+        },
+    }
+
+
 def bench_chaos(runs: int) -> dict:
     """Robustness: rounds-to-success for one retrieval under a seeded
     5% frame-drop / 2% duplication schedule (loopback carrier).  One
@@ -238,6 +306,16 @@ def main() -> None:
         print("   %-9s %2d msg  %6d B  %8.2f ms wall"
               % (name, row["messages"], row["bytes"], row["wall_ms"]))
 
+    print("== durability: write-ahead journal overhead ==")
+    durability = bench_durability(args.iters)
+    for policy, us in durability["journal_append_us_1KiB"].items():
+        print("   journal append (1 KiB, fsync=%-6s) %8.1f us"
+              % (policy, us))
+    row = durability["storage_protocol_wall_ms"]
+    print("   storage protocol: %.2f ms in-memory vs %.2f ms durable "
+          "(+%s%%)" % (row["in_memory"], row["durable_fsync_always"],
+                       row["overhead_pct"]))
+
     print("== retrieval rounds-to-success on a lossy wire ==")
     chaos = bench_chaos(args.chaos_runs)
     print("   drop=%.0f%% dup=%.0f%%  %d run(s): mean %.3f rounds, "
@@ -254,6 +332,7 @@ def main() -> None:
         "machine": platform.machine(),
         "protocols": protocols,
         "transport_backends": backends,
+        "durability": durability,
         "chaos_retrieval": chaos,
     }
     trajectory = {"runs": []}

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.crypto.ec import Point
 from repro.crypto.ibs import IbsSignature, verify as ibs_verify
 from repro.crypto.params import DomainParams
-from repro.core.protocols.messages import pack_fields, ts_ms
+from repro.core.protocols.messages import pack_fields, ts_ms, unpack_fields
 from repro.exceptions import SignatureError
 
 __all__ = ["TraceRecord", "DeviceRecord", "ComplaintEvidence",
@@ -87,6 +87,22 @@ class TraceRecord:
             self.physician_signature.to_bytes(),
         )
 
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "TraceRecord":
+        """Inverse of :meth:`to_bytes` — lets the durable A-server reload
+        its TR log from disk.  Round-trips byte-for-byte (timestamps are
+        already millisecond-quantized in the canonical encoding)."""
+        (physician_id, pseudonym, request,
+         t_request, t_issue, signature) = unpack_fields(data, expected=6)
+        return cls(
+            physician_id=physician_id.decode(),
+            patient_pseudonym=pseudonym,
+            request=request,
+            t_request=int.from_bytes(t_request, "big") / 1000.0,
+            t_issue=int.from_bytes(t_issue, "big") / 1000.0,
+            physician_signature=IbsSignature.from_bytes(signature, curve),
+        )
+
 
 @dataclass(frozen=True)
 class DeviceRecord:
@@ -104,6 +120,30 @@ class DeviceRecord:
                           rd_message(self.physician_id,
                                      self.patient_pseudonym, self.t_issue),
                           self.aserver_signature)
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization (what the durable P-device journals)."""
+        return pack_fields(
+            self.physician_id.encode(),
+            self.patient_pseudonym,
+            pack_fields(*[kw.encode() for kw in self.keywords]),
+            ts_ms(self.t_issue).to_bytes(8, "big"),
+            self.aserver_id.encode(),
+            self.aserver_signature.to_bytes(),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, curve) -> "DeviceRecord":
+        (physician_id, pseudonym, keywords,
+         t_issue, aserver_id, signature) = unpack_fields(data, expected=6)
+        return cls(
+            physician_id=physician_id.decode(),
+            patient_pseudonym=pseudonym,
+            keywords=tuple(kw.decode() for kw in unpack_fields(keywords)),
+            t_issue=int.from_bytes(t_issue, "big") / 1000.0,
+            aserver_id=aserver_id.decode(),
+            aserver_signature=IbsSignature.from_bytes(signature, curve),
+        )
 
 
 @dataclass(frozen=True)

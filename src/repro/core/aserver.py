@@ -31,7 +31,7 @@ from repro.crypto.pseudonym import TemporaryKeyPair, issue_temporary_pair
 from repro.crypto.rng import HmacDrbg
 from repro.core.accountability import TraceRecord, rd_message
 from repro.core.auditlog import AuditLog
-from repro.core.protocols.messages import pack_fields, ts_ms
+from repro.core.protocols.messages import pack_fields, ts_ms, unpack_fields
 from repro.exceptions import (AccessDenied, AuthenticationError,
                               ParameterError)
 
@@ -84,6 +84,11 @@ class StateAServer:
         self.audit_log = AuditLog()
         # Issued nounces awaiting use: physician_id -> nounce.
         self._outstanding: dict[str, bytes] = {}
+        # Optional listener ``(hospital, physician_id, signed_in)`` fired
+        # on every roster change — the durable layer journals these so a
+        # from-disk recovery can re-check replayed auths against the
+        # roster that was in force when they were committed.
+        self.on_roster_change = None
 
     # -- domain management (system setup, §IV.A) --------------------------------
     @property
@@ -104,9 +109,13 @@ class StateAServer:
     # -- duty roster --------------------------------------------------------
     def sign_in(self, hospital: str, physician_id: str) -> None:
         self._duty_roster.setdefault(hospital, set()).add(physician_id)
+        if self.on_roster_change is not None:
+            self.on_roster_change(hospital, physician_id, True)
 
     def sign_out(self, hospital: str, physician_id: str) -> None:
         self._duty_roster.get(hospital, set()).discard(physician_id)
+        if self.on_roster_change is not None:
+            self.on_roster_change(hospital, physician_id, False)
 
     def is_on_duty(self, physician_id: str) -> bool:
         return any(physician_id in ids for ids in self._duty_roster.values())
@@ -228,6 +237,48 @@ class StateAServer:
         """The patient's post-emergency TR request (§V.A accountability)."""
         return [tr for tr in self.traces
                 if tr.patient_pseudonym == patient_pseudonym]
+
+    # -- durable state ------------------------------------------------------
+    def export_state(self) -> bytes:
+        """Serialize the protocol-critical state for a snapshot.
+
+        The audit log is *not* serialized separately: its entries are
+        exactly ``trace.to_bytes()`` in order, so :meth:`load_state`
+        re-commits each recovered trace and rebuilds a byte-identical
+        chain — the durable layer then cross-checks the recovered
+        checkpoint against the one journaled before the crash.
+        """
+        roster = [pack_fields(hospital.encode(),
+                              *[p.encode() for p in sorted(ids)])
+                  for hospital, ids in sorted(self._duty_roster.items())]
+        pdevices = sorted(self._pdevices)
+        traces = [tr.to_bytes() for tr in self.traces]
+        outstanding = [pack_fields(pid.encode(), nounce)
+                       for pid, nounce in sorted(self._outstanding.items())]
+        return pack_fields(pack_fields(*roster), pack_fields(*pdevices),
+                           pack_fields(*traces), pack_fields(*outstanding))
+
+    def load_state(self, blob: bytes) -> None:
+        """Inverse of :meth:`export_state` — restore from a snapshot."""
+        roster_b, pdevices_b, traces_b, outstanding_b = \
+            unpack_fields(blob, expected=4)
+        curve = self.params.curve
+        self._duty_roster = {}
+        for entry in unpack_fields(roster_b):
+            fields = unpack_fields(entry)
+            self._duty_roster[fields[0].decode()] = {
+                f.decode() for f in fields[1:]}
+        self._pdevices = {pd: Point.from_bytes(pd, curve)
+                          for pd in unpack_fields(pdevices_b)}
+        self.traces = [TraceRecord.from_bytes(tr, curve)
+                       for tr in unpack_fields(traces_b)]
+        self.audit_log = AuditLog()
+        for trace in self.traces:
+            self.audit_log.append(trace.to_bytes())
+        self._outstanding = {}
+        for entry in unpack_fields(outstanding_b):
+            pid, nounce = unpack_fields(entry, expected=2)
+            self._outstanding[pid.decode()] = nounce
 
 
 class FederalAServer:

@@ -68,6 +68,11 @@ class AuditLog:
         self._entries: list[bytes] = []
         self._leaves: list[bytes] = []
         self._chain: list[bytes] = [hashlib.sha256(b"audit-genesis").digest()]
+        # Incrementally-maintained Merkle levels.  A new leaf is always
+        # the rightmost leaf, so only the rightmost node of each level
+        # (and any padding duplicate, which sits on that same path) can
+        # change — append cost is O(log n) instead of a full rebuild.
+        self._level_cache: list[list[bytes]] = []
 
     # -- append ------------------------------------------------------------
     def append(self, entry: bytes) -> int:
@@ -78,7 +83,32 @@ class AuditLog:
         self._leaves.append(leaf)
         self._chain.append(hashlib.sha256(
             b"link:" + self._chain[-1] + leaf).digest())
+        self._bubble(leaf)
         return index
+
+    def _bubble(self, leaf: bytes) -> None:
+        # Caller just appended `leaf` to self._leaves; refresh the cached
+        # levels along the rightmost path only.
+        if not self._level_cache:
+            self._level_cache = [[leaf]]
+            return
+        cache = self._level_cache
+        cache[0].append(leaf)
+        level = 0
+        while len(cache[level]) > 1:
+            nodes = cache[level]
+            parent_index = (len(nodes) - 1) // 2
+            left = nodes[2 * parent_index]
+            right = (nodes[2 * parent_index + 1]
+                     if 2 * parent_index + 1 < len(nodes) else left)
+            parent = _node_hash(left, right)
+            if level + 1 == len(cache):
+                cache.append([])
+            if parent_index < len(cache[level + 1]):
+                cache[level + 1][parent_index] = parent
+            else:
+                cache[level + 1].append(parent)
+            level += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -88,6 +118,13 @@ class AuditLog:
 
     # -- merkle ------------------------------------------------------------
     def _levels(self) -> list[list[bytes]]:
+        if not self._leaves:
+            return [[hashlib.sha256(b"empty").digest()]]
+        return self._level_cache
+
+    def _levels_naive(self) -> list[list[bytes]]:
+        """Full rebuild from the leaves — the reference the incremental
+        cache must match (kept for the equivalence test and auditors)."""
         if not self._leaves:
             return [[hashlib.sha256(b"empty").digest()]]
         levels = [list(self._leaves)]

@@ -40,12 +40,41 @@ __all__ = ["Endpoint", "SServerEndpoint", "AServerEndpoint",
            "EntityEndpoint", "bind_sserver", "bind_aserver", "bind_entity"]
 
 
+def _pack_guard(guard: ReplayGuard) -> bytes:
+    return pack_fields(*[pack_fields(tag, repr(ts).encode())
+                         for tag, ts in guard.export_state()])
+
+
+def _unpack_guard(blob: bytes, guard: ReplayGuard) -> None:
+    entries = []
+    for entry in unpack_fields(blob):
+        tag, ts = unpack_fields(entry, expected=2)
+        entries.append((tag, float(ts.decode())))
+    guard.load_state(entries)
+
+
 class Endpoint:
-    """Opcode routing + error serialization around one served entity."""
+    """Opcode routing + error serialization around one served entity.
+
+    :attr:`MUTATING_OPS` names the opcodes that change state the entity
+    must not lose across a crash — the durable layer journals exactly
+    these frames (after they succeed) and replays them through the same
+    handlers on recovery.  Read-only opcodes stay off the journal; their
+    replay-guard commitments are persisted separately (see
+    :meth:`guards`).
+    """
+
+    MUTATING_OPS: frozenset = frozenset()
 
     def __init__(self) -> None:
         self._transport = None
         self._ops: dict[bytes, Callable[[list[bytes]], bytes]] = {}
+
+    def guards(self) -> list:
+        """The :class:`ReplayGuard` instances whose windows must survive
+        a crash (satellite: a restarted endpoint must not reopen its
+        replay window)."""
+        return []
 
     def attach(self, transport) -> None:
         """Called by ``Transport.bind``: gives the endpoint its clock and
@@ -82,6 +111,13 @@ class SServerEndpoint(Endpoint):
     """The S-server's wire surface: storage, search, emergency, MHI, and
     (when it holds an HIBC credential) cross-domain sessions."""
 
+    # Cross-domain handshakes (OP_XD_HANDSHAKE) also write `_sessions`,
+    # but session keys are deliberately ephemeral: a crashed server
+    # forgets them and the patient re-handshakes, which is the correct
+    # security posture for a session secret.
+    MUTATING_OPS = frozenset({wire.OP_STORE, wire.OP_GROUP_UPDATE,
+                              wire.OP_MHI_STORE})
+
     def __init__(self, server: StorageServer, hibc_node=None,
                  root_public: Point | None = None) -> None:
         super().__init__()
@@ -105,6 +141,15 @@ class SServerEndpoint(Endpoint):
     @property
     def _curve(self):
         return self.server.params.curve
+
+    def guards(self) -> list:
+        return [self.server._guard]
+
+    def export_state(self) -> bytes:
+        return self.server.export_state()
+
+    def load_state(self, blob: bytes) -> None:
+        self.server.load_state(blob)
 
     # -- §IV.B storage -------------------------------------------------------
     def _op_store(self, fields: list[bytes]) -> bytes:
@@ -208,6 +253,11 @@ class SServerEndpoint(Endpoint):
 class AServerEndpoint(Endpoint):
     """The state A-server's wire surface (emergency auth, role keys)."""
 
+    # OP_ROLE_KEY only *reads* the outstanding-nounce table; the table
+    # itself is written by OP_EMERGENCY_AUTH, which is journaled.
+    MUTATING_OPS = frozenset({wire.OP_REGISTER_PDEVICE,
+                              wire.OP_EMERGENCY_AUTH})
+
     def __init__(self, aserver: StateAServer) -> None:
         super().__init__()
         self.aserver = aserver
@@ -223,6 +273,26 @@ class AServerEndpoint(Endpoint):
             wire.OP_EMERGENCY_AUTH: self._op_emergency_auth,
             wire.OP_ROLE_KEY: self._op_role_key,
         }
+
+    def guards(self) -> list:
+        return [self._auth_guard]
+
+    def export_state(self) -> bytes:
+        addresses = [pack_fields(pd, address.encode())
+                     for pd, address in
+                     sorted(self._pdevice_addresses.items())]
+        return pack_fields(self.aserver.export_state(),
+                           pack_fields(*addresses),
+                           _pack_guard(self._auth_guard))
+
+    def load_state(self, blob: bytes) -> None:
+        aserver_b, addresses_b, guard_b = unpack_fields(blob, expected=3)
+        self.aserver.load_state(aserver_b)
+        self._pdevice_addresses = {}
+        for entry in unpack_fields(addresses_b):
+            pd, address = unpack_fields(entry, expected=2)
+            self._pdevice_addresses[pd] = address.decode()
+        _unpack_guard(guard_b, self._auth_guard)
 
     def _op_register(self, fields: list[bytes]) -> bytes:
         pseud_b, address_b = self._expect(fields, 2)
@@ -274,6 +344,8 @@ class EntityEndpoint(Endpoint):
     """A privileged entity's wire surface: ASSIGN delivery, and for
     P-devices the step-3 IBE passcode push."""
 
+    MUTATING_OPS = frozenset({wire.OP_ASSIGN, wire.OP_PASSCODE})
+
     def __init__(self, entity: _PrivilegedEntity, params,
                  preshared_key: bytes | None = None) -> None:
         super().__init__()
@@ -287,6 +359,22 @@ class EntityEndpoint(Endpoint):
 
     def rekey(self, preshared_key: bytes) -> None:
         self._mu = preshared_key
+
+    def guards(self) -> list:
+        return [self._guard]
+
+    def export_state(self) -> bytes:
+        # μ is re-established by the bind-time factory (it comes from the
+        # patient, not from disk), so it is not part of the durable state.
+        entity_blob = (self.entity.export_state()
+                       if hasattr(self.entity, "export_state") else b"")
+        return pack_fields(entity_blob, _pack_guard(self._guard))
+
+    def load_state(self, blob: bytes) -> None:
+        entity_blob, guard_b = unpack_fields(blob, expected=2)
+        if entity_blob:
+            self.entity.load_state(entity_blob)
+        _unpack_guard(guard_b, self._guard)
 
     def _op_assign(self, fields: list[bytes]) -> bytes:
         (env_b,) = self._expect(fields, 1)

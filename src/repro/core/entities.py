@@ -293,6 +293,10 @@ class PDevice(_PrivilegedEntity):
         self.expected_physician: str | None = None
         self.pending_t_issue: float | None = None
         self.pending_signature: IbsSignature | None = None
+        #: Optional listener invoked as ``on_record(record)`` after an RD
+        #: is appended — the durable layer journals it there (RDs are
+        #: minted client-side, not by an incoming wire frame).
+        self.on_record = None
 
     def enter_emergency_mode(self) -> None:
         """The paper's emergency button."""
@@ -338,10 +342,57 @@ class PDevice(_PrivilegedEntity):
         self._alert_log.append(
             "PHI-retrieval secrets accessed by %s at t=%.1f"
             % (record.physician_id, record.t_issue))
+        if self.on_record is not None:
+            self.on_record(record)
 
     @property
     def alerts(self) -> list[str]:
         return list(self._alert_log)
+
+    # -- durable state ------------------------------------------------------
+    def export_state(self) -> bytes:
+        """Serialize the device's evidence + session state for a snapshot:
+        the ASSIGN package (which carries the REVOKE group secret X and
+        the current SSE keys), the RD log, emergency-mode/passcode state,
+        and the alert log."""
+        package = (self.package.to_bytes(self.params)
+                   if self.package is not None else b"")
+        records = [rd.to_bytes() for rd in self.records]
+        pending = pack_fields(
+            (self.expected_physician or "").encode(),
+            self._expected_nounce or b"",
+            b"" if self.pending_t_issue is None
+            else ts_ms(self.pending_t_issue).to_bytes(8, "big"),
+            b"" if self.pending_signature is None
+            else self.pending_signature.to_bytes())
+        return pack_fields(
+            package,
+            b"\x01" if self.emergency_mode else b"\x00",
+            pack_fields(*records),
+            pending,
+            pack_fields(*[a.encode() for a in self._alert_log]))
+
+    def load_state(self, blob: bytes) -> None:
+        """Inverse of :meth:`export_state` — restore from a snapshot."""
+        from repro.core.protocols.messages import unpack_fields
+        package_b, emergency, records_b, pending_b, alerts_b = \
+            unpack_fields(blob, expected=5)
+        if package_b:
+            self.receive_assign(AssignPackage.from_bytes(package_b,
+                                                         self.params))
+        self.emergency_mode = emergency == b"\x01"
+        curve = self.params.curve
+        self.records = [DeviceRecord.from_bytes(rd, curve)
+                        for rd in unpack_fields(records_b)]
+        physician, nounce, t_issue, signature = \
+            unpack_fields(pending_b, expected=4)
+        self.expected_physician = physician.decode() or None
+        self._expected_nounce = nounce or None
+        self.pending_t_issue = (int.from_bytes(t_issue, "big") / 1000.0
+                                if t_issue else None)
+        self.pending_signature = (IbsSignature.from_bytes(signature, curve)
+                                  if signature else None)
+        self._alert_log = [a.decode() for a in unpack_fields(alerts_b)]
 
 
 class Physician:

@@ -158,6 +158,12 @@ class ReplayGuard:
         self.window_s = window_s
         self._seen: dict[bytes, float] = {}
         self._lock = threading.Lock()
+        #: Optional listener invoked as ``on_remember(tag, timestamp)``
+        #: after a tag is newly committed to the window.  The durable
+        #: layer uses it to journal the guard's high-water state so a
+        #: crash-restart does not reopen the replay window.  Called
+        #: outside the lock (listeners may do I/O).
+        self.on_remember = None
 
     def check_and_remember(self, envelope: Envelope) -> None:
         with self._lock:
@@ -165,6 +171,8 @@ class ReplayGuard:
             if envelope.tag in self._seen:
                 raise ReplayError("replayed message %r" % envelope.label)
             self._seen[envelope.tag] = envelope.timestamp
+        if self.on_remember is not None:
+            self.on_remember(envelope.tag, envelope.timestamp)
 
     def seen(self, tag: bytes) -> bool:
         """Probe without remembering — for receivers that must finish a
@@ -172,6 +180,27 @@ class ReplayGuard:
         on success, so a failed handling stays retryable)."""
         with self._lock:
             return tag in self._seen
+
+    def insert(self, tag: bytes, timestamp: float) -> None:
+        """Idempotently seed a (tag, timestamp) pair — recovery path.
+
+        Unlike :meth:`check_and_remember` this never raises and never
+        notifies :attr:`on_remember`; it exists so crash recovery can
+        reload journaled guard entries without re-journaling them.
+        """
+        with self._lock:
+            self._prune(timestamp)
+            self._seen.setdefault(tag, timestamp)
+
+    def export_state(self) -> list[tuple[bytes, float]]:
+        """Stable dump of the live window for snapshotting."""
+        with self._lock:
+            return sorted(self._seen.items())
+
+    def load_state(self, entries: list[tuple[bytes, float]]) -> None:
+        with self._lock:
+            for tag, ts in entries:
+                self._seen.setdefault(tag, ts)
 
     def _prune(self, now: float) -> None:
         # Caller holds self._lock.

@@ -24,6 +24,7 @@ experiments mine this log.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -110,6 +111,18 @@ class Observation:
     timestamp: float
 
 
+def _collection_id_for(envelope: Envelope) -> bytes:
+    """Deterministic collection id, derived from the store envelope's tag.
+
+    The tag is an HMAC over payload ‖ timestamp, so it is unique per
+    accepted upload (a reused tag is rejected by the replay guard before
+    we get here) and — unlike an RNG draw — reproducible during crash
+    recovery, where the journal replays the same envelope against a
+    fresh server whose DRBG is back at its initial state.
+    """
+    return hashlib.sha256(b"hcpp-collection-id:" + envelope.tag).digest()[:16]
+
+
 class StorageServer:
     """An HCPP S-server instance."""
 
@@ -153,7 +166,7 @@ class StorageServer:
         key = self.session_key(pseudonym)
         open_envelope(key, envelope, now, self._guard,
                       expected_label="phi-store")
-        collection_id = self._rng.random_bytes(16)
+        collection_id = _collection_id_for(envelope)
         self._collections[collection_id] = StoredCollection(
             collection_id=collection_id, index=index, files=dict(files),
             group_secret_d=group_secret_d, broadcast_d=broadcast_d)
@@ -176,7 +189,7 @@ class StorageServer:
         key = self.session_key(pseudonym)
         open_envelope(key, envelope, now, self._guard,
                       expected_label="phi-store")
-        collection_id = self._rng.random_bytes(16)
+        collection_id = _collection_id_for(envelope)
         self._collections[collection_id] = StoredCollection(
             collection_id=collection_id, index=None, files=dict(files),
             group_secret_d=group_secret_d, broadcast_d=broadcast_d,
@@ -382,6 +395,68 @@ class StorageServer:
         reply = seal(key, "mhi-results",
                      pack_fields(*[c.to_bytes() for c in matches]), now)
         return reply, matches
+
+    # -- durable state ------------------------------------------------------
+    def export_state(self) -> bytes:
+        """Serialize the protocol-critical state for a snapshot.
+
+        Covers collections (index, files, group secret, broadcast), MHI
+        entries, and the replay-guard window.  The ``observations`` log
+        and DoS counters are diagnostics, not protocol state, and are
+        deliberately excluded.
+        """
+        collections = []
+        for cid in sorted(self._collections):
+            c = self._collections[cid]
+            blob = c.index_blob if c.index_blob is not None \
+                else c.index.to_bytes()
+            files = pack_fields(*[pack_fields(fid, c.files[fid])
+                                  for fid in sorted(c.files)])
+            collections.append(pack_fields(
+                c.collection_id, blob, files, c.group_secret_d,
+                _serialize_broadcast(c.broadcast_d),
+                b"blob" if c.index_blob is not None else b"live"))
+        mhi = [pack_fields(m.role_identity.encode(),
+                           m.ciphertext.to_bytes(), m.tag.to_bytes())
+               for m in self._mhi]
+        guard = [pack_fields(tag, str(ts).encode())
+                 for tag, ts in self._guard.export_state()]
+        return pack_fields(pack_fields(*collections), pack_fields(*mhi),
+                           pack_fields(*guard))
+
+    def load_state(self, blob: bytes) -> None:
+        """Inverse of :meth:`export_state` — restore from a snapshot."""
+        collections_b, mhi_b, guard_b = unpack_fields(blob, expected=3)
+        curve = self.params.curve
+        self._collections = {}
+        for entry in unpack_fields(collections_b):
+            cid, index_blob, files_b, d, bcast_b, mode = \
+                unpack_fields(entry, expected=6)
+            files = {}
+            for chunk in unpack_fields(files_b):
+                fid, ciphertext = unpack_fields(chunk, expected=2)
+                files[fid] = ciphertext
+            if mode == b"blob":
+                index, stored_blob = None, index_blob
+            else:
+                index, stored_blob = SecureIndex.from_bytes(index_blob), None
+            self._collections[cid] = StoredCollection(
+                collection_id=cid, index=index, files=files,
+                group_secret_d=d,
+                broadcast_d=_deserialize_broadcast(bcast_b),
+                index_blob=stored_blob)
+        self._mhi = []
+        for entry in unpack_fields(mhi_b):
+            role, ct_b, tag_b = unpack_fields(entry, expected=3)
+            self._mhi.append(StoredMhi(
+                role_identity=role.decode(),
+                ciphertext=IbeCiphertext.from_bytes(ct_b, curve),
+                tag=MultiKeywordTag.from_bytes(tag_b, curve)))
+        entries = []
+        for entry in unpack_fields(guard_b):
+            tag, ts = unpack_fields(entry, expected=2)
+            entries.append((tag, float(ts.decode())))
+        self._guard.load_state(entries)
 
     # -- accounting -----------------------------------------------------------
     def total_storage_bytes(self) -> int:

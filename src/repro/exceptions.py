@@ -66,6 +66,23 @@ class SearchError(StorageError):
     """A keyword search failed (unknown keyword or malformed trapdoor)."""
 
 
+class DurabilityError(ReproError):
+    """Base class for failures in the durable-state layer (journal,
+    snapshots, crash recovery)."""
+
+
+class JournalCorruptionError(DurabilityError):
+    """Non-tail damage in the append-only journal (or a snapshot that
+    fails its digest): the stored evidence cannot be trusted and must
+    never be silently served."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not reconstruct the endpoint's state (a
+    journaled mutation no longer replays, or a recovered audit log does
+    not match its committed checkpoint)."""
+
+
 class NetworkError(ReproError):
     """Base class for simulated-network failures."""
 

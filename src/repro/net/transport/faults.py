@@ -121,6 +121,13 @@ class FaultPolicy:
         self._crashed: set[str] = set()
         self.counts: Counter[str] = Counter()
         self.duplicate_replies: list[tuple[str, bytes]] = []
+        # Durable-endpoint recovery hooks: address -> (on_crash, on_restart).
+        # on_crash(during_write: bool) discards the in-memory endpoint
+        # (and, for during_write, arms a torn journal append first);
+        # on_restart() reconstructs the endpoint from disk.
+        self._recovery: dict[str, tuple] = {}
+        # Crashed addresses that auto-restart after N more refusals.
+        self._restart_after: dict[str, int] = {}
 
     # -- endpoint state -----------------------------------------------------
     def partition(self, address: str) -> None:
@@ -133,12 +140,56 @@ class FaultPolicy:
     def is_partitioned(self, address: str) -> bool:
         return address in self._partitioned
 
-    def crash(self, address: str) -> None:
-        """``address`` refuses connections until :meth:`restart`."""
+    def register_recovery(self, address: str, on_crash, on_restart) -> None:
+        """Wire a durable endpoint's crash/restart lifecycle to this policy.
+
+        With hooks registered, :meth:`crash` genuinely discards the
+        endpoint's in-memory state and :meth:`restart` reconstructs it
+        from its journal + snapshots — without hooks, crash/restart only
+        toggles liveness (the pre-durability behaviour).
+        """
+        self._recovery[address] = (on_crash, on_restart)
+
+    def crash(self, address: str, during_write: bool = False,
+              restart_after: int | None = None) -> None:
+        """``address`` refuses connections until :meth:`restart`.
+
+        ``during_write=True`` (requires a registered durable endpoint)
+        arms a torn journal append: the *next* mutation the endpoint
+        tries to commit reaches disk only partially, and the crash fires
+        at that moment — exercising the torn-tail recovery path.
+        ``restart_after=N`` auto-restarts the endpoint after N further
+        refused delivery attempts, so a retrying client can crash and
+        revive a server mid-protocol without test choreography.
+        """
+        if restart_after is not None:
+            if restart_after < 1:
+                raise ParameterError("restart_after must be >= 1")
+            self._restart_after[address] = restart_after
+        hooks = self._recovery.get(address)
+        if during_write:
+            if hooks is None:
+                raise ParameterError(
+                    "crash(during_write=True) needs a durable endpoint "
+                    "registered for %r" % address)
+            hooks[0](True)  # arms the tear; endpoint calls mark_crashed
+            return
+        self._crashed.add(address)
+        if hooks is not None:
+            hooks[0](False)
+
+    def mark_crashed(self, address: str) -> None:
+        """Liveness toggle only — used by a durable endpoint whose armed
+        torn write just fired (the state discard already happened)."""
         self._crashed.add(address)
 
     def restart(self, address: str) -> None:
         self._crashed.discard(address)
+        self._restart_after.pop(address, None)
+        hooks = self._recovery.get(address)
+        if hooks is not None:
+            hooks[1]()
+        self.counts["restarted"] += 1
 
     def is_crashed(self, address: str) -> bool:
         return address in self._crashed
@@ -148,6 +199,15 @@ class FaultPolicy:
         """Decide the fate of one frame attempt (one policy consult)."""
         if dst in self._crashed or src in self._crashed:
             self.counts["refused"] += 1
+            crashed = dst if dst in self._crashed else src
+            remaining = self._restart_after.get(crashed)
+            if remaining is not None:
+                if remaining <= 1:
+                    # This attempt still fails (the server is only just
+                    # coming back up); the client's next retry lands.
+                    self.restart(crashed)
+                else:
+                    self._restart_after[crashed] = remaining - 1
             return FaultPlan(frame=frame, refused=True)
         if dst in self._partitioned or src in self._partitioned:
             self.counts["partitioned"] += 1

@@ -1,0 +1,108 @@
+"""Atomic state snapshots: write-to-temp + rename, digest-verified reads.
+
+A snapshot is a point-in-time serialization of an endpoint's exported
+state.  Snapshots compress recovery — instead of replaying the whole
+journal, recovery loads the newest *usable* snapshot and replays only
+the journal suffix after its ``K_SNAP`` marker.  The journal is never
+truncated when a snapshot is taken, so if the newest snapshot is damaged
+recovery simply falls back to an older one (or to genesis) and replays a
+longer suffix; durability never depends on any single snapshot file.
+
+File layout: ``<data_dir>/<name>.snap.<id>`` containing::
+
+    magic "HSNP" | u32 snapshot id | u32 body length | sha256(body) | body
+
+The write path is crash-atomic: the body is written to a ``.tmp`` file,
+fsynced, then :func:`os.replace`'d into place, and the directory entry
+is fsynced so the rename itself survives power loss.  A reader either
+sees the complete previous snapshot or the complete new one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import struct
+from typing import List, Optional, Tuple
+
+from repro.exceptions import JournalCorruptionError, ParameterError
+
+SNAP_MAGIC = b"HSNP"
+_SNAP_HEADER = struct.Struct("<4sII")
+
+
+def snapshot_path(data_dir: str, name: str, snapshot_id: int) -> str:
+    return os.path.join(data_dir, "%s.snap.%d" % (name, snapshot_id))
+
+
+def _fsync_dir(path: str) -> None:
+    # Windows cannot open directories; the rename is still atomic there.
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(data_dir: str, name: str, snapshot_id: int,
+                   body: bytes) -> str:
+    """Atomically persist ``body`` as snapshot ``snapshot_id``; return path."""
+    if snapshot_id < 0 or snapshot_id >= 1 << 32:
+        raise ParameterError("snapshot id out of range: %d" % snapshot_id)
+    final = snapshot_path(data_dir, name, snapshot_id)
+    tmp = final + ".tmp"
+    digest = hashlib.sha256(body).digest()
+    blob = _SNAP_HEADER.pack(SNAP_MAGIC, snapshot_id, len(body)) + digest + body
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    _fsync_dir(data_dir)
+    return final
+
+
+def read_snapshot(data_dir: str, name: str, snapshot_id: int) -> bytes:
+    """Load and digest-verify a snapshot body.
+
+    Raises :class:`JournalCorruptionError` when the file is damaged —
+    callers treat that as "this snapshot is unusable" and fall back to an
+    earlier one, because the journal retains the full history.
+    """
+    path = snapshot_path(data_dir, name, snapshot_id)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except FileNotFoundError:
+        raise JournalCorruptionError("snapshot missing: %s" % path)
+    if len(blob) < _SNAP_HEADER.size + 32:
+        raise JournalCorruptionError("snapshot truncated: %s" % path)
+    magic, sid, length = _SNAP_HEADER.unpack_from(blob, 0)
+    if magic != SNAP_MAGIC or sid != snapshot_id:
+        raise JournalCorruptionError("snapshot header mismatch: %s" % path)
+    digest = blob[_SNAP_HEADER.size:_SNAP_HEADER.size + 32]
+    body = blob[_SNAP_HEADER.size + 32:]
+    if len(body) != length:
+        raise JournalCorruptionError("snapshot length mismatch: %s" % path)
+    if hashlib.sha256(body).digest() != digest:
+        raise JournalCorruptionError("snapshot digest mismatch: %s" % path)
+    return body
+
+
+def list_snapshot_ids(data_dir: str, name: str) -> List[int]:
+    """Snapshot ids present on disk for ``name``, ascending."""
+    pattern = re.compile(re.escape(name) + r"\.snap\.(\d+)$")
+    ids = []
+    try:
+        entries = os.listdir(data_dir)
+    except FileNotFoundError:
+        return []
+    for entry in entries:
+        match = pattern.match(entry)
+        if match:
+            ids.append(int(match.group(1)))
+    return sorted(ids)

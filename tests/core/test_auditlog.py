@@ -74,6 +74,58 @@ class TestAuditLog:
         assert checkpoint.size == 0
 
 
+class TestIncrementalMerkle:
+    """The O(log n)-per-append level cache must be indistinguishable
+    from the naive full rebuild it replaced."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33, 100])
+    def test_cached_levels_equal_naive_rebuild(self, n):
+        log = AuditLog()
+        for i in range(n):
+            log.append(b"entry-%d" % i)
+        assert log._levels() == log._levels_naive()
+
+    def test_equivalence_holds_after_every_single_append(self):
+        log = AuditLog()
+        for i in range(50):
+            log.append(b"e%d" % i)
+            assert log._levels() == log._levels_naive(), "n=%d" % (i + 1)
+
+    def test_proofs_identical_under_both_implementations(self):
+        log = AuditLog()
+        entries = [b"trace-%d" % i for i in range(17)]
+        for entry in entries:
+            log.append(entry)
+        checkpoint = log.checkpoint()
+        naive_root = log._levels_naive()[-1][0]
+        assert checkpoint.merkle_root == naive_root
+        for i, entry in enumerate(entries):
+            proof = log.prove_inclusion(i)
+            assert AuditLog.verify_entry(entry, proof, checkpoint)
+
+    def test_append_cost_is_logarithmic_in_hash_calls(self):
+        # Count _node_hash invocations for one append at n=1024: the
+        # bubble touches only the rightmost path (~log2 n parents), not
+        # the whole tree.
+        from repro.core import auditlog as mod
+        log = AuditLog()
+        for i in range(1024):
+            log.append(b"e%d" % i)
+        calls = []
+        original = mod._node_hash
+
+        def counting(left, right):
+            calls.append(1)
+            return original(left, right)
+
+        mod._node_hash = counting
+        try:
+            log.append(b"one-more")
+        finally:
+            mod._node_hash = original
+        assert len(calls) <= 16  # log2(1025) ≈ 10, plus padding slack
+
+
 class TestAServerIntegration:
     def test_traces_committed(self, privileged_system):
         from repro.core.protocols.emergency import (

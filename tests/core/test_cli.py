@@ -54,3 +54,58 @@ class TestCli:
         out = capsys.readouterr().out
         assert "all good" in out
         assert "FAIL" not in out
+
+
+class TestCliDurable:
+    """``--data-dir`` journals every run; ``recover`` audits it back."""
+
+    def _durable(self, tmp_path, extra=None):
+        return (["--seed", "cli-durable", "--files", "5",
+                 "--data-dir", str(tmp_path)] + (extra or []))
+
+    def test_emergency_then_recover(self, capsys, tmp_path):
+        assert main(["emergency"] + self._durable(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(["recover"] + self._durable(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Recovered from" in out
+        assert "audit chain: OK" in out
+        assert "TR signature(s): OK" in out
+        assert "RD signature(s): OK" in out
+        assert "FAILED" not in out
+
+    def test_recover_over_loopback_transport(self, capsys, tmp_path):
+        args = self._durable(tmp_path, ["--transport", "loopback"])
+        assert main(["emergency"] + args) == 0
+        capsys.readouterr()
+        assert main(["recover"] + args) == 0
+        assert "audit chain: OK" in capsys.readouterr().out
+
+    def test_recover_empty_dir_reports_nothing(self, capsys, tmp_path):
+        assert main(["recover"] + self._durable(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "0 collection(s)" in out
+        assert "0 trace(s)" in out
+
+    def test_recover_requires_data_dir(self, capsys):
+        assert main(["recover", "--seed", "cli-durable"]) == 1
+        assert "requires --data-dir" in capsys.readouterr().out
+
+    def test_recover_rejects_corrupt_journal(self, capsys, tmp_path):
+        assert main(["store"] + self._durable(tmp_path)) == 0
+        capsys.readouterr()
+        journal = tmp_path / "sserver.journal"
+        blob = bytearray(journal.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        journal.write_bytes(bytes(blob))
+        assert main(["recover"] + self._durable(tmp_path)) == 1
+        assert "recovery FAILED" in capsys.readouterr().out
+
+    def test_snapshot_every_round_trip(self, capsys, tmp_path):
+        args = self._durable(tmp_path, ["--snapshot-every", "1"])
+        assert main(["search"] + args) == 0
+        capsys.readouterr()
+        assert any(p.name.startswith("sserver.snap.")
+                   for p in tmp_path.iterdir())
+        assert main(["recover"] + args) == 0
+        assert "1 collection(s)" in capsys.readouterr().out

@@ -1,0 +1,220 @@
+"""Chaos recovery matrix — the PR's acceptance scenario.
+
+All six protocols run against durable endpoints under the PR-3 fault
+matrix (5% drop + 2% duplication) while the S-server — and, in a
+separate run, the A-server — is crashed mid-run, including once *mid
+journal write*.  Each crash genuinely discards the victim's in-memory
+state; recovery reconstructs it from the journal + snapshots, the
+client-side retry policy rides out the outage, and afterwards:
+
+* every PHI plaintext decrypts byte-identically,
+* every TR and RD signature verifies,
+* every pre-crash trace has a valid audit-log inclusion proof,
+* the torn tail lost only the never-acknowledged mutation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ehr.mhi import AnomalyKind
+from repro.ehr.records import Category
+from repro.core.protocols.base import with_policies
+from repro.core.protocols.emergency import (family_based_retrieval,
+                                            pdevice_emergency_retrieval)
+from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                      role_identity_for)
+from repro.core.protocols.privilege import (assign_privilege,
+                                            revoke_privilege)
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.system import build_system
+from repro.net.transport import FaultPolicy, LoopbackTransport, RetryPolicy
+from repro.store import (DurableStore, bind_durable_aserver,
+                         bind_durable_pdevice, bind_durable_sserver)
+
+ALLERGY_TEXT = "Severe penicillin allergy; carries epinephrine."
+CARDIO_TEXT = "Prior MI (2024); ejection fraction 45%."
+
+# Matches the PR-3 chaos matrix (tests/net/test_faults.py).
+CHAOS_SEED = 15
+
+
+def _durable_deployment(tmp_path, *, seed, faults, snapshot_every=0):
+    system = build_system(seed=seed)
+    net = with_policies(LoopbackTransport(),
+                        retry=RetryPolicy(attempt_timeout_s=0.2,
+                                          base_backoff_s=0.01),
+                        faults=faults)
+    data_dir = str(tmp_path)
+    endpoints = {
+        "sserver": bind_durable_sserver(
+            net, system.sserver,
+            DurableStore(data_dir, "sserver",
+                         snapshot_every=snapshot_every),
+            fault_policy=faults),
+        "aserver": bind_durable_aserver(
+            net, system.state,
+            DurableStore(data_dir, "aserver",
+                         snapshot_every=snapshot_every),
+            fault_policy=faults),
+        "pdevice": bind_durable_pdevice(
+            net, system.pdevice, system.params,
+            DurableStore(data_dir, "pdevice",
+                         snapshot_every=snapshot_every),
+            fault_policy=faults),
+    }
+    return system, net, endpoints
+
+
+def _run_suite_with_crashes(system, net, faults, victim_address,
+                            torn_write_victim=None):
+    """The six-protocol suite with the victim crashed at three points:
+    after storage, mid journal write before emergency auth, and before
+    the final revoke."""
+    patient, server = system.patient, system.sserver
+    patient.add_record(Category.ALLERGIES, ["allergies", "penicillin"],
+                       ALLERGY_TEXT, server.address)
+    patient.add_record(Category.CARDIOLOGY, ["cardiology", "heart-attack"],
+                       CARDIO_TEXT, server.address)
+
+    private_phi_storage(patient, server, net)                 # 1 storage
+    assign_privilege(patient, system.family, server, net)     # 2 assign
+    assign_privilege(patient, system.pdevice, server, net)
+
+    # Crash #1: plain process death with a supervisor-style immediate
+    # restart — the in-memory state is genuinely discarded and every
+    # protocol from here on runs against the recovered-from-disk state.
+    faults.crash(victim_address)
+    faults.restart(victim_address)
+
+    rt = common_case_retrieval(patient, server, net, ["allergies"])
+    assert [f.medical_content for f in rt.files] == [ALLERGY_TEXT]  # 3
+
+    fam = family_based_retrieval(system.family, server, net, ["cardiology"])
+    assert [f.medical_content for f in fam.files] == [CARDIO_TEXT]  # 4
+
+    physician = system.any_physician()
+    system.state.sign_in(physician.hospital, physician.physician_id)
+    window = system.pdevice.vitals.generate_day(
+        "2026-07-01", anomalies=[(36000.0, AnomalyKind.TACHYCARDIA)])
+    role = role_identity_for("2026-07-01")
+    mhi_store(system.pdevice, server, system.state.public_key, net,
+              window, role)                                       # 5 MHI
+
+    # Crash #2: torn write — the victim (alive right now) dies mid
+    # journal append on its next journaled record during the emergency
+    # flow; the client's retry sees one refusal, which auto-restarts it.
+    if torn_write_victim is not None:
+        faults.crash(torn_write_victim, during_write=True, restart_after=1)
+
+    pd = pdevice_emergency_retrieval(physician, system.pdevice,
+                                     system.state, server, net,
+                                     ["cardiology"])               # 6 emerg
+    assert [f.medical_content for f in pd.files] == [CARDIO_TEXT]
+
+    mhi_retrieve(physician, system.state, server, net, role, "2026-07-03")
+
+    # Crash #3: once more before the revoke that closes the suite.
+    faults.crash(victim_address)
+    faults.restart(victim_address)
+    revoke_privilege(patient, system.pdevice.name, server, net)
+
+    return patient, server, physician
+
+
+def _assert_evidence_intact(system, patient, server, net):
+    """Post-run invariants: plaintexts, signatures, inclusion proofs."""
+    rt = common_case_retrieval(patient, server, net, ["allergies"])
+    assert [f.medical_content for f in rt.files] == [ALLERGY_TEXT]
+
+    state = system.state
+    assert state.traces, "no TR was recorded"
+    state.audit_log.verify_chain()
+    checkpoint = state.audit_log.checkpoint()
+    assert checkpoint.size == len(state.traces)
+    for index, trace in enumerate(state.traces):
+        assert trace.verify(system.params, state.public_key)
+        proof = state.audit_log.prove_inclusion(index)
+        assert state.audit_log.verify_entry(trace.to_bytes(), proof,
+                                            checkpoint)
+
+    assert system.pdevice.records, "no RD was recorded"
+    for rd in system.pdevice.records:
+        assert rd.verify(system.params, state.public_key)
+
+
+class TestChaosRecoveryMatrix:
+    @pytest.mark.parametrize("victim", ["sserver", "aserver"])
+    def test_suite_survives_crashes_under_fault_matrix(self, tmp_path,
+                                                       victim):
+        faults = FaultPolicy(seed=CHAOS_SEED, drop_rate=0.05,
+                             duplicate_rate=0.02)
+        system, net, endpoints = _durable_deployment(
+            tmp_path, seed=b"recovery-" + victim.encode(), faults=faults)
+        address = (system.sserver.address if victim == "sserver"
+                   else system.state.address)
+        patient, server, _ = _run_suite_with_crashes(
+            system, net, faults, address, torn_write_victim=address)
+        _assert_evidence_intact(system, patient, server, net)
+
+        # The chaos actually happened: injected faults, real crashes,
+        # real recoveries, and a real torn-tail repair.
+        assert faults.counts["dropped"] >= 1
+        assert faults.counts["refused"] >= 1
+        assert faults.counts["restarted"] >= 3
+        durable = endpoints[victim]
+        assert durable.recoveries >= 4  # initial boot + 3 crashes
+        assert durable._store.torn_repairs >= 1
+
+    def test_suite_with_snapshots_enabled(self, tmp_path):
+        # Same matrix with aggressive snapshotting: recovery goes through
+        # the snapshot + suffix path instead of a genesis replay.
+        faults = FaultPolicy(seed=CHAOS_SEED, drop_rate=0.05,
+                             duplicate_rate=0.02)
+        system, net, endpoints = _durable_deployment(
+            tmp_path, seed=b"recovery-snap", faults=faults,
+            snapshot_every=1)
+        patient, server, _ = _run_suite_with_crashes(
+            system, net, faults, system.sserver.address,
+            torn_write_victim=system.sserver.address)
+        _assert_evidence_intact(system, patient, server, net)
+        assert endpoints["sserver"]._snapshot_id > 0
+
+    def test_crash_all_three_surfaces_between_protocols(self, tmp_path):
+        # No fault noise; instead every durable surface dies and comes
+        # back between each pair of protocols.
+        faults = FaultPolicy(seed=0)
+        system, net, endpoints = _durable_deployment(
+            tmp_path, seed=b"recovery-all", faults=faults)
+        addresses = [system.sserver.address, system.state.address,
+                     system.pdevice.address]
+
+        def crash_all():
+            for address in addresses:
+                faults.crash(address)
+            for address in addresses:
+                faults.restart(address)
+
+        patient, server = system.patient, system.sserver
+        patient.add_record(Category.ALLERGIES, ["allergies"],
+                           ALLERGY_TEXT, server.address)
+        patient.add_record(Category.CARDIOLOGY, ["cardiology"],
+                           CARDIO_TEXT, server.address)
+        private_phi_storage(patient, server, net)
+        crash_all()
+        assign_privilege(patient, system.family, server, net)
+        assign_privilege(patient, system.pdevice, server, net)
+        crash_all()
+        rt = common_case_retrieval(patient, server, net, ["allergies"])
+        assert [f.medical_content for f in rt.files] == [ALLERGY_TEXT]
+        crash_all()
+        physician = system.any_physician()
+        system.state.sign_in(physician.hospital, physician.physician_id)
+        pd = pdevice_emergency_retrieval(physician, system.pdevice,
+                                         system.state, server, net,
+                                         ["cardiology"])
+        assert [f.medical_content for f in pd.files] == [CARDIO_TEXT]
+        crash_all()
+        _assert_evidence_intact(system, patient, server, net)
+        assert all(e.recoveries >= 5 for e in endpoints.values())

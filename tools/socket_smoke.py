@@ -13,10 +13,18 @@ and must be retried), and the client injects seeded frame drops and
 duplications recovered by the transport's retry policy — the exchange
 must still round-trip correctly.
 
+``--durable DIR`` hardens it differently: the server child journals
+every acknowledged mutation under DIR, the parent kills it with
+SIGKILL *after* the upload (no atexit, no flush, no goodbye), starts a
+fresh child over the same directory, and the retrieval must still
+return the identical plaintext — recovered purely from the on-disk
+write-ahead journal.
+
 Usage::
 
     python tools/socket_smoke.py --auto            # spawns its own server
     python tools/socket_smoke.py --auto --chaos    # + connect failures/drops
+    python tools/socket_smoke.py --auto --durable /tmp/smokedata  # + kill -9
     python tools/socket_smoke.py --serve           # prints "PORT <n>"
     python tools/socket_smoke.py --client --port <n>
 """
@@ -24,6 +32,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import signal
 import socket
 import subprocess
 import sys
@@ -40,7 +49,8 @@ def _build_system():
     return build_system(seed=SEED)
 
 
-def serve(port: int = 0, delay_s: float = 0.0) -> int:
+def serve(port: int = 0, delay_s: float = 0.0,
+          data_dir: str | None = None) -> int:
     from repro.core import dispatch
     from repro.net.transport import SocketTransport
     system = _build_system()
@@ -50,8 +60,18 @@ def serve(port: int = 0, delay_s: float = 0.0) -> int:
         # retry must bridge the gap.
         time.sleep(delay_s)
     transport = SocketTransport()
-    endpoint = dispatch.SServerEndpoint(system.sserver)
-    transport.bind(system.sserver.address, endpoint, port=port)
+    if data_dir:
+        # Durable mode: binding over an existing data dir IS recovery —
+        # a fresh OS process rebuilds the S-server from the journal.
+        from repro.store import DurableStore, bind_durable_sserver
+        bind_durable_sserver(transport, system.sserver,
+                             DurableStore(data_dir, "sserver"), port=port)
+        print("SERVING collections=%d bytes=%d"
+              % (system.sserver.collection_count(),
+                 system.sserver.total_storage_bytes()), flush=True)
+    else:
+        endpoint = dispatch.SServerEndpoint(system.sserver)
+        transport.bind(system.sserver.address, endpoint, port=port)
     print("PORT %d" % transport.port_of(system.sserver.address), flush=True)
     try:
         while True:
@@ -112,6 +132,73 @@ def _free_port() -> int:
         return probe.getsockname()[1]
 
 
+def _client_transport(server_address: str, port: int):
+    from repro.net.transport import SocketTransport
+    transport = SocketTransport(connect_retries=30,
+                                connect_retry_delay_s=0.2)
+    transport.add_route(server_address, "127.0.0.1", port)
+    return transport
+
+
+def _spawn_durable_server(port: int, data_dir: str) -> subprocess.Popen:
+    child = subprocess.Popen(
+        [sys.executable, __file__, "--serve", "--port", str(port),
+         "--durable", data_dir],
+        stdout=subprocess.PIPE, text=True)
+    for _ in range(2):  # SERVING line, then PORT line
+        line = child.stdout.readline().strip()
+        print("server: %s" % line)
+        if line.startswith("PORT "):
+            break
+    return child
+
+
+def run_durable(data_dir: str) -> int:
+    """Upload, SIGKILL the server, restart it over the same data dir,
+    retrieve — the journal alone carries the state across the murder."""
+    from repro.ehr.records import Category
+    from repro.core.protocols.retrieval import common_case_retrieval
+    from repro.core.protocols.storage import private_phi_storage
+
+    system = _build_system()
+    patient, server = system.patient, system.sserver
+    patient.add_record(Category.ALLERGIES, ["allergies", "penicillin"],
+                       EXPECTED, server.address)
+    port = _free_port()
+
+    child = _spawn_durable_server(port, data_dir)
+    try:
+        store = private_phi_storage(patient, server,
+                                    _client_transport(server.address, port))
+        print("stored: collection=%s %d B"
+              % (store.collection_id.hex()[:16], store.stats.bytes_total))
+        # The kill is -9: no Python-level cleanup runs in the child, so
+        # only bytes already journaled+fsynced can possibly survive.
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=10)
+        print("server killed with SIGKILL (exit %d)" % child.returncode)
+    finally:
+        if child.poll() is None:
+            child.terminate()
+            child.wait(timeout=10)
+
+    child = _spawn_durable_server(port, data_dir)
+    try:
+        result = common_case_retrieval(patient, server,
+                                       _client_transport(server.address,
+                                                         port),
+                                       ["allergies"])
+        contents = [f.medical_content for f in result.files]
+        if contents != [EXPECTED]:
+            print("SMOKE FAIL: got %r after restart" % contents)
+            return 1
+        print("SMOKE OK: PHI survived kill -9 via the on-disk journal")
+        return 0
+    finally:
+        child.terminate()
+        child.wait(timeout=10)
+
+
 def run_auto(chaos: bool = False) -> int:
     command = [sys.executable, __file__, "--serve"]
     port = None
@@ -151,13 +238,20 @@ def main() -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="(with --auto/--client) injected connect "
                              "failures, frame drops, and duplications")
+    parser.add_argument("--durable", metavar="DIR", default=None,
+                        help="(with --auto) journal under DIR, SIGKILL the "
+                             "server mid-run, restart it, and retrieve; "
+                             "(with --serve) serve durably from DIR")
     args = parser.parse_args()
     if args.serve:
-        return serve(port=args.port or 0, delay_s=args.serve_delay)
+        return serve(port=args.port or 0, delay_s=args.serve_delay,
+                     data_dir=args.durable)
     if args.client:
         if args.port is None:
             parser.error("--client requires --port")
         return run_client(args.port, chaos=args.chaos)
+    if args.durable:
+        return run_durable(args.durable)
     return run_auto(chaos=args.chaos)
 
 
