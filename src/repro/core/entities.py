@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.crypto.broadcast import ReceiverSecret
 from repro.crypto.ec import Point
-from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.hmac_impl import constant_time_equal, hmac_sha256
 from repro.crypto.ibe import IdentityKeyPair
 from repro.crypto.ibs import IbsSignature, sign as ibs_sign
 from repro.crypto.nike import shared_key_from_points
@@ -328,8 +328,9 @@ class PDevice(_PrivilegedEntity):
         """Constant-size comparison of the physician-entered passcode."""
         if self._expected_nounce is None:
             return False
-        return hmac_sha256(b"pc", entered) == hmac_sha256(
-            b"pc", self._expected_nounce)
+        return constant_time_equal(hmac_sha256(b"pc", entered),
+                                   hmac_sha256(b"pc",
+                                               self._expected_nounce))
 
     def validate_keywords(self, keywords: list[str]) -> list[str]:
         """The dictionary gate before any emergency search (§IV.E.2)."""

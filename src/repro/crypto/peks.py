@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from repro.crypto.ec import Point
 from repro.crypto.hashes import (h1_identity, h2_keyword_point,
                                  h2_keyword_scalar, h3_pairing_to_bytes)
+from repro.crypto.hmac_impl import constant_time_equal
 from repro.crypto.ibe import BasicIdent, IbeCiphertext, PrivateKeyGenerator
 from repro.crypto.pairing import prepared
 from repro.crypto.params import DomainParams
@@ -100,7 +101,8 @@ class BdopPeks:
         """Server-side: H3(ê(T_W, A)) == B."""
         # One trapdoor is tested against many stored tags; prepare it.
         value = prepared(trapdoor.point).pair(tag.A)
-        return h3_pairing_to_bytes(value, _TOKEN_BYTES) == tag.B
+        return constant_time_equal(
+            h3_pairing_to_bytes(value, _TOKEN_BYTES), tag.B)
 
 
 @dataclass(frozen=True)
@@ -143,7 +145,8 @@ class AbdallaPeks:
         from repro.crypto.mathutil import xor_bytes
         mask = h_g2_to_bytes(prepared(trapdoor.point).pair(tag.ciphertext.U),
                              len(tag.ciphertext.V))
-        return xor_bytes(tag.ciphertext.V, mask) == tag.reference
+        return constant_time_equal(xor_bytes(tag.ciphertext.V, mask),
+                                   tag.reference)
 
 
 class RolePeks:
@@ -180,7 +183,8 @@ class RolePeks:
     def test(self, tag: PeksTag, trapdoor: PeksTrapdoor) -> bool:
         """S-server-side: H3(ê(TD, A)) == B."""
         value = prepared(trapdoor.point).pair(tag.A)
-        return h3_pairing_to_bytes(value, _TOKEN_BYTES) == tag.B
+        return constant_time_equal(
+            h3_pairing_to_bytes(value, _TOKEN_BYTES), tag.B)
 
 
 @dataclass(frozen=True)

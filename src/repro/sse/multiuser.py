@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 from repro.crypto.broadcast import (BroadcastCiphertext, BroadcastEncryption,
                                     ReceiverSecret)
-from repro.crypto.hmac_impl import hmac_sha256
+from repro.crypto.hmac_impl import constant_time_equal, hmac_sha256
 from repro.crypto.prp import FeistelPrp
 from repro.crypto.rng import HmacDrbg
 from repro.sse.index import Trapdoor
@@ -70,7 +70,7 @@ def unwrap_trapdoor(d: bytes, wrapped: WrappedTrapdoor) -> Trapdoor:
     plain = theta.decrypt_bytes(wrapped.data)
     body, tag = plain[:-_TAG_BYTES], plain[-_TAG_BYTES:]
     expected = hmac_sha256(d, b"td-validity:" + body)[:_TAG_BYTES]
-    if tag != expected:
+    if not constant_time_equal(tag, expected):
         raise AccessDenied("wrapped trapdoor failed validity check "
                            "(revoked or forged)")
     return Trapdoor.from_bytes(body)

@@ -21,6 +21,7 @@ sees the complete previous snapshot or the complete new one.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import os
 import re
 import struct
@@ -88,7 +89,7 @@ def read_snapshot(data_dir: str, name: str, snapshot_id: int) -> bytes:
     body = blob[_SNAP_HEADER.size + 32:]
     if len(body) != length:
         raise JournalCorruptionError("snapshot length mismatch: %s" % path)
-    if hashlib.sha256(body).digest() != digest:
+    if not hmac.compare_digest(hashlib.sha256(body).digest(), digest):
         raise JournalCorruptionError("snapshot digest mismatch: %s" % path)
     return body
 
