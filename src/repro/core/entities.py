@@ -207,7 +207,7 @@ class Patient:
     # -- retrieval helpers -----------------------------------------------------
     def trapdoor(self, keyword: str) -> Trapdoor:
         if keyword not in self.dictionary:
-            raise SearchError("keyword %r not in my dictionary" % keyword)
+            raise SearchError("keyword not in my dictionary")
         return self.sse.trapdoor(canonicalize(keyword))
 
     def decrypt_results(self, blobs: list[bytes]) -> list[PhiFile]:

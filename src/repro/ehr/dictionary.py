@@ -58,7 +58,7 @@ def canonicalize(raw: str) -> str:
     cleaned = re.sub(r"[^a-z0-9-]", "", collapsed)
     cleaned = re.sub(r"-{2,}", "-", cleaned).strip("-")
     if not cleaned:
-        raise ParameterError("keyword %r canonicalizes to nothing" % raw)
+        raise ParameterError("keyword canonicalizes to nothing")
     return cleaned
 
 
@@ -87,8 +87,7 @@ class KeywordDictionary:
         """Canonicalize and register a keyword; returns the canonical form."""
         canonical = canonicalize(keyword)
         if not is_valid_syntax(canonical):
-            raise ParameterError("keyword %r violates the agreed syntax"
-                                 % keyword)
+            raise ParameterError("keyword violates the agreed syntax")
         self._words.add(canonical)
         return canonical
 
@@ -111,7 +110,8 @@ class KeywordDictionary:
         result = []
         for kw in keywords:
             if kw not in self:
-                raise SearchError("keyword %r is not in the dictionary" % kw)
+                raise SearchError("a requested keyword is not in the "
+                                  "dictionary")
             result.append(canonicalize(kw))
         return result
 

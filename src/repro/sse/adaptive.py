@@ -127,7 +127,7 @@ class Sse2Scheme:
             if pad_to is not None:
                 if len(fids) > pad_to:
                     raise ParameterError(
-                        "keyword %r exceeds pad_to=%d" % (keyword, pad_to))
+                        "keyword posting list exceeds pad_to=%d" % pad_to)
                 fids += [_PAD_FID] * (pad_to - len(fids))
             label_seed = self._label_seed(keyword)
             mask_seed = self._mask_seed(keyword)
