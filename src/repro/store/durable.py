@@ -214,6 +214,7 @@ class DurableEndpoint:
             return response
 
     def _commit(self, frame: bytes, started: float) -> None:
+        # Caller holds self._lock.
         timestamp = ts_ms(started)
         payload = pack_fields(frame, self._commit_extra())
         try:
@@ -256,6 +257,7 @@ class DurableEndpoint:
             self._die(mark=False)
 
     def _die(self, mark: bool = True) -> None:
+        # Caller holds self._lock.
         self._inner = None
         self._store.drop_writer()
         if mark and self._fault_policy is not None:
@@ -347,7 +349,10 @@ class DurableEndpoint:
         keys) that lives outside the journal."""
 
     def _replay_record(self, inner, record) -> None:
-        """Replay an endpoint-specific record kind (K_RD, K_KEY, ...)."""
+        """Replay an endpoint-specific record kind (K_RD, K_KEY, ...).
+
+        Caller holds self._lock.
+        """
         raise RecoveryError("unexpected %r record in %r journal"
                             % (record.kind, self._store.name))
 
@@ -378,6 +383,7 @@ class DurableEndpoint:
 
     # -- snapshots ------------------------------------------------------------
     def _maybe_snapshot(self) -> None:
+        # Caller holds self._lock.
         if (self._store.snapshot_every > 0
                 and self._mutations >= self._store.snapshot_every):
             self.snapshot()
@@ -477,6 +483,7 @@ class DurableAServerEndpoint(DurableEndpoint):
                     "durable endpoint %r crashed mid-write" % self.address)
 
     def _replay_record(self, inner, record) -> None:
+        # Caller holds self._lock.
         if record.kind != K_ROSTER:
             super()._replay_record(inner, record)
         sense, hospital_b, pid_b = unpack_fields(record.payload, expected=3)
@@ -531,6 +538,7 @@ class DurablePDeviceEndpoint(DurableEndpoint):
             inner.rekey(self._mu_value)
 
     def _replay_record(self, inner, record) -> None:
+        # Caller holds self._lock.
         if record.kind == K_KEY:
             self._mu_value = record.payload
             inner.rekey(record.payload)
