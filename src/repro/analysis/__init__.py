@@ -1,0 +1,32 @@
+"""hcpplint — static enforcement of HCPP's security/layering invariants.
+
+Importing this package registers the five passes:
+
+* ``secret-flow`` — secrets never reach logs, exception text, repr, or
+  plaintext journal/snapshot writes.
+* ``crypto-hygiene`` — constant-time MAC comparison, no ``random``
+  outside fault injection, no literal IVs/nonces.
+* ``wire-coverage`` — every mutating opcode is dispatched, replay-
+  guarded, and journaled.
+* ``layering`` — declarative per-package import/call contracts.
+* ``concurrency`` — lock-protected attributes never mutate unlocked.
+
+Entry point: ``tools/hcpplint.py``.  Library surface:
+:class:`Analyzer`, :class:`Baseline`, :func:`all_rules`.
+"""
+
+from repro.analysis.framework import (AnalysisReport, Analyzer, Baseline,
+                                      Finding, Module, Project, Rule,
+                                      all_rules, analyze_source, get_rule,
+                                      register, rule_ids)
+
+# Importing the rule modules is what populates the registry.
+from repro.analysis import concurrency as _concurrency        # noqa: F401
+from repro.analysis import crypto_hygiene as _crypto_hygiene  # noqa: F401
+from repro.analysis import layering as _layering              # noqa: F401
+from repro.analysis import secret_flow as _secret_flow        # noqa: F401
+from repro.analysis import wire_coverage as _wire_coverage    # noqa: F401
+
+__all__ = ["AnalysisReport", "Analyzer", "Baseline", "Finding", "Module",
+           "Project", "Rule", "all_rules", "analyze_source", "get_rule",
+           "register", "rule_ids"]

@@ -1,0 +1,347 @@
+"""hcpplint core: rule registry, project model, baseline, reporting.
+
+HCPP's security argument rests on conventions that no type checker sees:
+secrets stay out of logs and exception text, MAC comparisons run in
+constant time, mutating opcodes are journaled and replay-guarded, layers
+import only downward, shared state mutates under its lock.  This package
+machine-checks those conventions.  The framework here is deliberately
+small and dependency-free (stdlib :mod:`ast` only — the analyzer must
+sit below every layer it judges, so it imports nothing from ``repro``).
+
+Concepts
+--------
+* :class:`Module` — one parsed source file (path, source, AST), shared
+  by every rule so the file is read and parsed exactly once.
+* :class:`Rule` — a registered pass.  ``check_module`` runs per file;
+  ``finish`` runs once after all files (for cross-file rules like
+  wire-coverage) with the whole :class:`Project` in hand.
+* :class:`Finding` — rule id, severity, ``path:line``, message.
+* :class:`Baseline` — accepted findings with a written justification.
+  A baseline entry matches on (rule, path, message) — *not* line
+  numbers, which churn — so a suppression survives unrelated edits but
+  dies the moment the flagged code changes its meaning.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["Finding", "Module", "Project", "Rule", "Baseline",
+           "register", "rule_ids", "get_rule", "all_rules",
+           "Analyzer", "AnalysisReport"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: where, which rule, and why it matters."""
+
+    rule: str
+    path: str          # repo-relative, forward slashes
+    line: int
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line churn."""
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: str          # repo-relative, forward slashes
+    source: str
+    tree: ast.AST
+
+    @property
+    def dotted(self) -> str:
+        """``src/repro/core/wire.py`` → ``repro.core.wire``."""
+        path = self.path
+        if path.startswith("src/"):
+            path = path[len("src/"):]
+        if path.endswith(".py"):
+            path = path[:-3]
+        if path.endswith("/__init__"):
+            path = path[:-len("/__init__")]
+        return path.replace("/", ".")
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of a node (empty string when unavailable)."""
+        return ast.get_source_segment(self.source, node) or ""
+
+
+@dataclass
+class Project:
+    """All modules under analysis, indexed for cross-file rules."""
+
+    modules: list[Module] = field(default_factory=list)
+    #: lazy name -> [(module, def)] index; built on first lookup.
+    _function_index: dict | None = field(default=None, repr=False)
+
+    def by_dotted(self, dotted: str) -> Module | None:
+        for module in self.modules:
+            if module.dotted == dotted:
+                return module
+        return None
+
+    def functions_named(self, name: str) -> list[tuple[Module,
+                                                       ast.FunctionDef]]:
+        """Every function/method definition with this name, anywhere."""
+        if self._function_index is None:
+            index: dict[str, list] = {}
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        index.setdefault(node.name, []).append(
+                            (module, node))
+            self._function_index = index
+        return self._function_index.get(name, [])
+
+
+class Rule:
+    """One analysis pass.  Subclasses set ``id``/``description`` and
+    override :meth:`check_module` and/or :meth:`finish`."""
+
+    id: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check_module(self, module: Module) -> "Iterable[Finding]":
+        return ()
+
+    def finish(self, project: Project) -> "Iterable[Finding]":
+        return ()
+
+    def finding(self, module_or_path, line: int, message: str) -> Finding:
+        path = (module_or_path.path if isinstance(module_or_path, Module)
+                else module_or_path)
+        return Finding(rule=self.id, path=path, line=line, message=message,
+                       severity=self.severity)
+
+
+_REGISTRY: dict[str, Callable[[], Rule]] = {}
+
+
+def register(factory: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator: make a rule discoverable by id."""
+    rule_id = factory.id
+    if not rule_id:
+        raise ValueError("rule %r has no id" % factory)
+    if rule_id in _REGISTRY:
+        raise ValueError("duplicate rule id %r" % rule_id)
+    _REGISTRY[rule_id] = factory
+    return factory
+
+
+def rule_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise KeyError("unknown rule %r (known: %s)"
+                       % (rule_id, ", ".join(rule_ids())))
+
+
+def all_rules() -> list[Rule]:
+    return [_REGISTRY[rule_id]() for rule_id in rule_ids()]
+
+
+class Baseline:
+    """Accepted findings, each with a human-written justification.
+
+    File format (JSON)::
+
+        {"entries": [{"rule": ..., "path": ..., "message": ...,
+                      "reason": "why this is acceptable"}, ...]}
+
+    Every entry must carry a non-empty ``reason`` — an unexplained
+    suppression is itself an error.  :meth:`unused` reports entries that
+    matched nothing, so stale suppressions get cleaned out instead of
+    silently masking future regressions at the same site.
+    """
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries = entries or []
+        for entry in self.entries:
+            for field_name in ("rule", "path", "message", "reason"):
+                if not entry.get(field_name):
+                    raise ValueError(
+                        "baseline entry %r is missing %r — every "
+                        "suppression needs a justification"
+                        % (entry, field_name))
+        self._hits: set[int] = set()
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return cls(data.get("entries", []))
+
+    def suppresses(self, finding: Finding) -> bool:
+        for index, entry in enumerate(self.entries):
+            if (entry["rule"] == finding.rule
+                    and entry["path"] == finding.path
+                    and entry["message"] == finding.message):
+                self._hits.add(index)
+                return True
+        return False
+
+    def unused(self, paths: "set[str] | None" = None,
+               rules: "set[str] | None" = None) -> list[dict]:
+        """Entries that matched nothing.  A partial run (subset of files
+        or rules) only judges entries it could have exercised."""
+        stale = []
+        for index, entry in enumerate(self.entries):
+            if index in self._hits:
+                continue
+            if paths is not None and entry["path"] not in paths:
+                continue
+            if rules is not None and entry["rule"] not in rules:
+                continue
+            stale.append(entry)
+        return stale
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding]          # not suppressed — these fail the build
+    suppressed: list[Finding]        # matched a baseline entry
+    unused_baseline: list[dict]      # stale suppressions (also a failure)
+    files: int
+    rules: list[str]
+    elapsed_s: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.unused_baseline
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "clean": self.clean,
+            "files": self.files,
+            "rules": self.rules,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "findings": [vars(f) for f in self.findings],
+            "suppressed": [vars(f) for f in self.suppressed],
+            "unused_baseline": self.unused_baseline,
+        }, indent=2)
+
+    def to_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        for entry in self.unused_baseline:
+            lines.append("baseline: unused entry for [%s] %s — remove it"
+                         % (entry["rule"], entry["path"]))
+        tail = ("hcpplint: %d finding(s), %d suppressed, %d file(s), "
+                "%.2fs" % (len(self.findings), len(self.suppressed),
+                           self.files, self.elapsed_s))
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+DEFAULT_EXCLUDES = ("*/__pycache__/*",)
+
+
+def _iter_sources(root: str, targets: list[str]) -> list[str]:
+    paths: list[str] = []
+    for target in targets:
+        absolute = os.path.join(root, target)
+        if os.path.isfile(absolute):
+            paths.append(absolute)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(absolute):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    paths.append(os.path.join(dirpath, filename))
+    cleaned = []
+    for path in sorted(set(paths)):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(fnmatch.fnmatch("/" + rel, pattern) or
+               fnmatch.fnmatch(rel, pattern)
+               for pattern in DEFAULT_EXCLUDES):
+            continue
+        cleaned.append(path)
+    return cleaned
+
+
+class Analyzer:
+    """Parse once, run many rules, apply the baseline."""
+
+    def __init__(self, root: str, rules: list[Rule] | None = None,
+                 baseline: Baseline | None = None) -> None:
+        self.root = os.path.abspath(root)
+        self.rules = rules if rules is not None else all_rules()
+        self.baseline = baseline or Baseline()
+
+    def load(self, targets: list[str]) -> Project:
+        project = Project()
+        for path in _iter_sources(self.root, targets):
+            rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=rel)
+            project.modules.append(Module(path=rel, source=source,
+                                          tree=tree))
+        return project
+
+    def run(self, targets: list[str]) -> AnalysisReport:
+        started = time.monotonic()
+        project = self.load(targets)
+        return self.run_project(project, started=started)
+
+    def run_project(self, project: Project,
+                    started: float | None = None) -> AnalysisReport:
+        if started is None:
+            started = time.monotonic()
+        collected: list[Finding] = []
+        for rule in self.rules:
+            for module in project.modules:
+                collected.extend(rule.check_module(module))
+            collected.extend(rule.finish(project))
+        collected.sort(key=lambda f: (f.path, f.line, f.rule))
+        kept, suppressed = [], []
+        for finding in collected:
+            if self.baseline.suppresses(finding):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return AnalysisReport(
+            findings=kept, suppressed=suppressed,
+            unused_baseline=self.baseline.unused(
+                paths={module.path for module in project.modules},
+                rules={rule.id for rule in self.rules}),
+            files=len(project.modules),
+            rules=[rule.id for rule in self.rules],
+            elapsed_s=time.monotonic() - started)
+
+
+def analyze_source(source: str, rule: Rule,
+                   path: str = "src/repro/fixture.py") -> list[Finding]:
+    """Run one rule over an in-memory snippet (the test harness)."""
+    module = Module(path=path, source=source,
+                    tree=ast.parse(source, filename=path))
+    project = Project(modules=[module])
+    findings = list(rule.check_module(module))
+    findings.extend(rule.finish(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -1,0 +1,252 @@
+"""secret-flow: secrets must never reach logs, exception text, or
+plaintext journal/snapshot writes.
+
+HCPP's whole design keeps key material and emergency passcodes away
+from every untrusted surface: the S-server is honest-but-curious, wire
+errors serialize exception text back to the peer
+(``dispatch.Endpoint.handle_frame`` → ``wire.error_response``), and the
+journal is plain bytes on disk.  A secret formatted into an exception
+message therefore *crosses the wire*; a secret in a log line lands in
+operator storage; a secret appended to the journal is plaintext
+key-at-rest.
+
+The pass is an intraprocedural name-based taint analysis:
+
+* **Sources** — identifiers whose terminal name matches the secret
+  taxonomy: the master/group secrets (``master_secret``, ``group_secret``,
+  ``*_secret``, ``d_new``), SSE/SOK/session keys (``session_key``,
+  ``sse_key*``, ``omega``, ``nu``, ``preshared*``, ``_mu``/``mu_value``),
+  emergency material (``nounce``, ``passcode``), private key points
+  (``*private*``), and plaintext search keywords (``keyword``/``kw*`` —
+  keyword privacy is the point of the SSE layer, §IV.B/D).
+* **Propagation** — an assignment whose right-hand side mentions a
+  tainted identifier taints its targets (iterated to a small fixpoint).
+* **Sanitizers** — sizes and counts of secrets are public by design
+  (the experiments report them): a tainted value inside a call to
+  ``len``/``size_bytes``/``size``/``count``/``sum`` stops tainting.
+* **Sinks** — ``logging``-style calls (``log.debug/info/.../critical``),
+  ``print``, ``repr``/``!r``/``%r`` of a tainted value inside any
+  formatted string, exception constructors whose message interpolates a
+  tainted value (``%``, ``.format``, f-string, string concat), and
+  journal/snapshot writes (``...writer().append(...)``,
+  ``journal.append(...)``, ``write_snapshot(...)``) carrying a tainted
+  payload.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Module, Rule, register
+
+SECRET_NAME = re.compile(
+    r"(^|_)(secret|nounce|passcode|preshared|master|private)($|_)"
+    r"|group_secret|session_key|sse_key|keystore"
+    r"|^_?mu(_value)?$|^omega$|^nu$|^d_new$"
+    r"|^keyword(s)?$|^kw[0-9]?$",
+    re.IGNORECASE)
+
+#: Calls through which a secret stops being secret (public metrics).
+SANITIZERS = frozenset({"len", "size_bytes", "size", "count", "sum",
+                        "sha256", "hmac_sha256", "digest", "hexdigest"})
+
+LOG_METHODS = frozenset({"debug", "info", "warning", "error",
+                         "exception", "critical", "log"})
+LOG_RECEIVERS = re.compile(r"(^|_)(log|logger|logging)(ger)?$",
+                           re.IGNORECASE)
+
+JOURNAL_RECEIVERS = re.compile(r"(journal|writer)", re.IGNORECASE)
+SNAPSHOT_WRITERS = frozenset({"write_snapshot"})
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_secret_name(name: str | None) -> bool:
+    return bool(name) and bool(SECRET_NAME.search(name))
+
+
+def _call_name(node: ast.Call) -> str | None:
+    return _terminal_name(node.func)
+
+
+class _TaintScope:
+    """Tainted identifiers for one function body."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def _scan(self, node: ast.AST) -> ast.AST | None:
+        """The first tainted sub-expression, honoring sanitizers."""
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in SANITIZERS:
+                return None
+            for part in ([node.func] + node.args
+                         + [kw.value for kw in node.keywords]):
+                hit = self._scan(part)
+                if hit is not None:
+                    return hit
+            return None
+        terminal = _terminal_name(node)
+        if terminal is not None:
+            if _is_secret_name(terminal) or terminal in self.names:
+                return node
+        for child in ast.iter_child_nodes(node):
+            hit = self._scan(child)
+            if hit is not None:
+                return hit
+        return None
+
+
+def _formatted_parts(node: ast.AST) -> list[ast.AST] | None:
+    """The interpolated values of a string-formatting expression, or
+    None when the expression is not a formatting construct."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        right = node.right
+        if isinstance(right, ast.Tuple):
+            return list(right.elts)
+        return [right]
+    if isinstance(node, ast.JoinedStr):
+        return [part.value for part in node.values
+                if isinstance(part, ast.FormattedValue)]
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"):
+        return list(node.args) + [kw.value for kw in node.keywords]
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        parts = []
+        for side in (node.left, node.right):
+            nested = _formatted_parts(side)
+            parts.extend(nested if nested is not None else [side])
+        return parts
+    return None
+
+
+@register
+class SecretFlowRule(Rule):
+    id = "secret-flow"
+    description = ("secrets (keys, nounces, passcodes, search keywords) "
+                   "must not flow into logs, exception messages, repr, "
+                   "or journal/snapshot writes")
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(module, node))
+        return findings
+
+    # -- per-function taint -------------------------------------------------
+    def _check_function(self, module: Module,
+                        func: ast.FunctionDef) -> list[Finding]:
+        scope = _TaintScope()
+        args = func.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            if _is_secret_name(arg.arg):
+                scope.names.add(arg.arg)
+        # Two propagation passes reach a fixpoint for straight-line
+        # assignment chains (a = secret; b = a; sink(b)).
+        for _ in range(2):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    if scope._scan(node.value) is not None:
+                        for target in node.targets:
+                            name = _terminal_name(target)
+                            if isinstance(target, ast.Name) and name:
+                                scope.names.add(name)
+        findings: list[Finding] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, scope, node))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                findings.extend(self._check_raise(module, scope, node))
+        return findings
+
+    # -- sinks ---------------------------------------------------------------
+    def _check_call(self, module: Module, scope: _TaintScope,
+                    call: ast.Call) -> list[Finding]:
+        findings: list[Finding] = []
+        func = call.func
+        name = _call_name(call)
+        # logging / print
+        is_log = (isinstance(func, ast.Attribute)
+                  and func.attr in LOG_METHODS
+                  and bool(LOG_RECEIVERS.search(
+                      _terminal_name(func.value) or "")))
+        if is_log or name == "print":
+            for arg in call.args + [kw.value for kw in call.keywords]:
+                hit = scope._scan(arg)
+                if hit is not None:
+                    findings.append(self.finding(
+                        module, call.lineno,
+                        "secret %r reaches a %s sink — secrets must "
+                        "never be logged or printed"
+                        % (module.segment(hit) or _terminal_name(hit),
+                           "logging" if is_log else "print")))
+                    break
+        # repr(secret)
+        if name == "repr" and call.args:
+            hit = scope._scan(call.args[0])
+            if hit is not None:
+                findings.append(self.finding(
+                    module, call.lineno,
+                    "repr() of secret %r — the textual form will outlive "
+                    "the variable" % (module.segment(hit)
+                                      or _terminal_name(hit))))
+        # journal append / snapshot write
+        if name == "append" and isinstance(func, ast.Attribute):
+            receiver = func.value
+            receiver_src = module.segment(receiver)
+            if JOURNAL_RECEIVERS.search(receiver_src or ""):
+                for arg in call.args[1:] or call.args:
+                    hit = scope._scan(arg)
+                    if hit is not None:
+                        findings.append(self.finding(
+                            module, call.lineno,
+                            "secret %r is written to the journal in "
+                            "plaintext — journaled bytes are "
+                            "key-material-at-rest"
+                            % (module.segment(hit)
+                               or _terminal_name(hit))))
+                        break
+        if name in SNAPSHOT_WRITERS:
+            for arg in call.args + [kw.value for kw in call.keywords]:
+                hit = scope._scan(arg)
+                if hit is not None:
+                    findings.append(self.finding(
+                        module, call.lineno,
+                        "secret %r is written to a snapshot in plaintext"
+                        % (module.segment(hit) or _terminal_name(hit))))
+                    break
+        return findings
+
+    def _check_raise(self, module: Module, scope: _TaintScope,
+                     node: ast.Raise) -> list[Finding]:
+        exc = node.exc
+        if not isinstance(exc, ast.Call):
+            return []
+        findings: list[Finding] = []
+        for arg in exc.args:
+            parts = _formatted_parts(arg)
+            if parts is None:
+                continue
+            for part in parts:
+                hit = scope._scan(part)
+                if hit is not None:
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        "secret %r is interpolated into an exception "
+                        "message — dispatch serializes exception text "
+                        "onto the wire"
+                        % (module.segment(hit) or _terminal_name(hit))))
+                    break
+        return findings

@@ -1,0 +1,252 @@
+"""wire-coverage: every mutating opcode is journaled and replay-guarded.
+
+PR 4's durability contract is *generic*: ``DurableEndpoint.handle_frame``
+journals any successful frame whose opcode is in the endpoint class's
+``MUTATING_OPS``.  That genericity is also its weak point — nothing
+breaks visibly when
+
+* an opcode is added to ``MUTATING_OPS`` but never registered in the
+  endpoint's ``_ops`` dispatch table (it can never be handled, hence
+  never journaled — the typo'd constant just dangles), or
+* a *mutating* opcode's handler chain never consults a
+  :class:`ReplayGuard` (a duplicated delivery from a faulty network —
+  PR 3 injects exactly these — applies the mutation twice), or
+* the journal commit path in ``store/durable.py`` stops keying on
+  ``MUTATING_OPS`` membership or stops appending ``K_FRAME`` records
+  (acknowledged mutations silently lose crash consistency).
+
+This pass checks all three statically.  Guard consultation is traced
+through a bounded call-graph walk: from the opcode's ``_op_*`` handler,
+callee names are resolved project-wide (``self.server.handle_store`` →
+any ``def handle_store``) up to a small depth — enough for the
+endpoint → server-handler indirection the dispatch layer uses.  A
+consultation is a call to ``open_envelope`` that passes a guard (4th
+positional argument or ``guard=``), or a ``.seen()`` /
+``.check_and_remember()`` call on a guard-named receiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Module, Project, Rule, register
+
+DISPATCH_MODULES = ("repro.core.dispatch",)
+DURABLE_MODULE = "repro.store.durable"
+GUARD_METHODS = frozenset({"seen", "check_and_remember"})
+MAX_DEPTH = 3
+
+
+def _terminal(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _opcode_label(node: ast.AST, module: Module) -> str:
+    """``wire.OP_STORE`` → ``OP_STORE`` (or the source text)."""
+    name = _terminal(node)
+    if name is not None:
+        return name
+    return module.segment(node) or "<opcode>"
+
+
+class _EndpointClass:
+    """One class defining MUTATING_OPS + an _ops dispatch table."""
+
+    def __init__(self, module: Module, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.mutating: dict[str, int] = {}       # opcode label -> line
+        self.ops: dict[str, str] = {}            # opcode label -> method
+        self._collect()
+
+    def _collect(self) -> None:
+        for item in self.node.body:
+            if (isinstance(item, ast.Assign)
+                    and any(_terminal(t) == "MUTATING_OPS"
+                            for t in item.targets)):
+                for call in ast.walk(item.value):
+                    if isinstance(call, (ast.Name, ast.Attribute)):
+                        label = _terminal(call)
+                        if label and label.startswith("OP_"):
+                            self.mutating[label] = item.lineno
+        for func in ast.walk(self.node):
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            for stmt in ast.walk(func):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and target.attr == "_ops"
+                            and isinstance(stmt.value, ast.Dict)):
+                        for key, value in zip(stmt.value.keys,
+                                              stmt.value.values):
+                            self._add_op(key, value)
+                    elif (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Attribute)
+                            and target.value.attr == "_ops"):
+                        self._add_op(target.slice, stmt.value)
+
+    def _add_op(self, key: ast.AST | None, value: ast.AST) -> None:
+        if key is None:
+            return
+        label = _terminal(key)
+        method = _terminal(value)
+        if label and method:
+            self.ops[label] = method
+
+
+def _guard_consulted(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _terminal(node.func)
+        if name == "open_envelope":
+            if len(node.args) >= 4 and not (
+                    isinstance(node.args[3], ast.Constant)
+                    and node.args[3].value is None):
+                return True
+            if any(kw.arg == "guard" for kw in node.keywords):
+                return True
+        if name in GUARD_METHODS and isinstance(node.func, ast.Attribute):
+            chain = []
+            probe = node.func.value
+            while True:
+                part = _terminal(probe)
+                if part:
+                    chain.append(part.lower())
+                if isinstance(probe, ast.Attribute):
+                    probe = probe.value
+                    continue
+                break
+            if any("guard" in part for part in chain):
+                return True
+    return False
+
+
+def _callee_names(func: ast.AST) -> set[str]:
+    names = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = _terminal(node.func)
+            if name:
+                names.add(name)
+    return names
+
+
+def _chain_has_guard(project: Project, start: ast.FunctionDef,
+                     depth: int = MAX_DEPTH) -> bool:
+    seen: set[str] = set()
+    frontier: list[tuple[ast.AST, int]] = [(start, 0)]
+    while frontier:
+        func, level = frontier.pop()
+        if _guard_consulted(func):
+            return True
+        if level >= depth:
+            continue
+        for callee in sorted(_callee_names(func)):
+            if callee in seen:
+                continue
+            seen.add(callee)
+            for _module, definition in project.functions_named(callee):
+                frontier.append((definition, level + 1))
+    return False
+
+
+@register
+class WireCoverageRule(Rule):
+    id = "wire-coverage"
+    description = ("every MUTATING_OPS opcode is dispatched, its handler "
+                   "chain consults a ReplayGuard, and durable.py journals "
+                   "K_FRAME records keyed on MUTATING_OPS")
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        endpoints: list[_EndpointClass] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    endpoint = _EndpointClass(module, node)
+                    if endpoint.mutating:
+                        endpoints.append(endpoint)
+        for endpoint in endpoints:
+            findings.extend(self._check_endpoint(project, endpoint))
+        findings.extend(self._check_durable(project))
+        return findings
+
+    def _check_endpoint(self, project: Project,
+                        endpoint: _EndpointClass) -> list[Finding]:
+        findings = []
+        for label, line in sorted(endpoint.mutating.items()):
+            method = endpoint.ops.get(label)
+            if method is None:
+                findings.append(self.finding(
+                    endpoint.module, line,
+                    "%s lists %s in MUTATING_OPS but never registers a "
+                    "handler for it in _ops — the opcode can never be "
+                    "handled, hence never journaled"
+                    % (endpoint.node.name, label)))
+                continue
+            handler = self._method(endpoint, method)
+            if handler is None:
+                findings.append(self.finding(
+                    endpoint.module, line,
+                    "%s._ops maps %s to %r which is not defined on the "
+                    "class" % (endpoint.node.name, label, method)))
+                continue
+            if not _chain_has_guard(project, handler):
+                findings.append(self.finding(
+                    endpoint.module, handler.lineno,
+                    "mutating opcode %s is handled by %s.%s without "
+                    "consulting a ReplayGuard anywhere in its call "
+                    "chain — a duplicated delivery applies the mutation "
+                    "twice" % (label, endpoint.node.name, method)))
+        return findings
+
+    @staticmethod
+    def _method(endpoint: _EndpointClass,
+                name: str) -> ast.FunctionDef | None:
+        for node in ast.walk(endpoint.node):
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+    def _check_durable(self, project: Project) -> list[Finding]:
+        module = project.by_dotted(DURABLE_MODULE)
+        if module is None:
+            return []  # partial run (fixtures / subset targets)
+        journals_frames = False
+        keyed_on_mutating = False
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and _terminal(node.func) == "append"
+                    and node.args
+                    and _terminal(node.args[0]) == "K_FRAME"):
+                journals_frames = True
+            if isinstance(node, ast.Compare):
+                names = {_terminal(part)
+                         for part in ast.walk(node)
+                         if isinstance(part, (ast.Name, ast.Attribute))}
+                if "MUTATING_OPS" in names and any(
+                        isinstance(op, (ast.In, ast.NotIn))
+                        for op in node.ops):
+                    keyed_on_mutating = True
+        findings = []
+        if not journals_frames:
+            findings.append(self.finding(
+                module, 1,
+                "store/durable.py never appends a K_FRAME journal "
+                "record — acknowledged mutations are not crash-"
+                "consistent"))
+        if not keyed_on_mutating:
+            findings.append(self.finding(
+                module, 1,
+                "store/durable.py no longer keys its journal commit on "
+                "MUTATING_OPS membership — mutating frames may go "
+                "unjournaled"))
+        return findings

@@ -1,87 +1,36 @@
 #!/usr/bin/env python3
-"""Layering lint: protocol code must speak frames, never call servers.
+"""Protocol-layer boundary check — now a shim over ``hcpplint``.
 
-The dispatch boundary (repro.core.dispatch) is only a boundary if nothing
-tunnels around it.  This AST check fails the build when any module in
-``src/repro/core/protocols/`` either
-
-* calls a remote party's handler directly (``handle_*``, the A-server's
-  authentication/issuance methods, an entity's ``receive_*`` install
-  hooks), or
-* imports the simulator (``repro.net.sim``) — protocols go through the
-  transport abstraction, which adapts the simulator behind
-  ``as_transport``.
+This started life (PR 2) as a one-off AST walk over
+``src/repro/core/protocols``.  The check itself — protocol flows speak
+only wire frames, never a remote party's methods or the simulator —
+now lives in the ``layering`` rule of :mod:`repro.analysis`, alongside
+the import contracts for every other package.  This entry point
+survives so CI scripts and habits keep working; it runs just the
+layering rule over just the protocols package, with the same exit codes
+as before (0 clean, 1 violations, 2 setup errors).
 
 Run from the repository root:  python tools/check_layering.py
 """
 
 from __future__ import annotations
 
-import ast
+import os
 import sys
-from pathlib import Path
 
-PROTOCOLS_DIR = Path("src/repro/core/protocols")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Remote-party surface: anything the other end of a wire would serve.
-FORBIDDEN_METHOD_PREFIXES = ("handle_",)
-FORBIDDEN_METHODS = {
-    "authenticate_emergency",   # A-server, §IV.E.2 steps 1-2
-    "extract_role_key",         # A-server, Γ_r issuance
-    "seal_role_key",            # A-server, sealed Γ_r issuance
-    "register_pdevice",         # A-server, emergency registration
-    "receive_assign",           # entity-side ASSIGN install
-    "receive_passcode",         # P-device-side step-3 install
-    "transmit",                 # raw simulator access
-}
-FORBIDDEN_IMPORTS = {"repro.net.sim"}
+import hcpplint  # noqa: E402
 
-
-def _violations_in(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    found: list[str] = []
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call) and isinstance(node.func,
-                                                     ast.Attribute):
-            name = node.func.attr
-            if (name in FORBIDDEN_METHODS
-                    or name.startswith(FORBIDDEN_METHOD_PREFIXES)):
-                found.append(
-                    "%s:%d: direct remote-party call .%s() — build a frame "
-                    "and go through the transport"
-                    % (path, node.lineno, name))
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name in FORBIDDEN_IMPORTS:
-                    found.append(
-                        "%s:%d: import %s — protocols must stay "
-                        "transport-agnostic" % (path, node.lineno,
-                                                alias.name))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module in FORBIDDEN_IMPORTS:
-                found.append(
-                    "%s:%d: from %s import … — protocols must stay "
-                    "transport-agnostic" % (path, node.lineno, node.module))
-    return found
+PROTOCOLS_DIR = "src/repro/core/protocols"
 
 
 def main() -> int:
-    if not PROTOCOLS_DIR.is_dir():
-        print("check_layering: %s not found (run from the repo root)"
-              % PROTOCOLS_DIR, file=sys.stderr)
-        return 2
-    violations: list[str] = []
-    for path in sorted(PROTOCOLS_DIR.glob("*.py")):
-        violations.extend(_violations_in(path))
-    if violations:
-        print("Layering violations (%d):" % len(violations))
-        for line in violations:
-            print("  " + line)
-        return 1
-    print("check_layering: OK — %s speaks only wire frames"
-          % PROTOCOLS_DIR)
-    return 0
+    status = hcpplint.main(["--rules", "layering", PROTOCOLS_DIR])
+    if status == 0:
+        print("check_layering: OK — %s speaks only wire frames"
+              % PROTOCOLS_DIR)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""hcpplint — enforce HCPP's security and layering invariants statically.
+
+Usage::
+
+    python tools/hcpplint.py                       # all rules, src/repro
+    python tools/hcpplint.py --rules layering src/repro/core/protocols
+    python tools/hcpplint.py --format json
+    python tools/hcpplint.py --no-baseline         # show suppressed too
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries), 2 usage /
+setup errors.  The baseline (``.hcpplint-baseline.json`` at the repo
+root) holds accepted findings, each with a written justification; see
+docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis import Analyzer, Baseline, get_rule, rule_ids  # noqa: E402
+
+DEFAULT_BASELINE = ".hcpplint-baseline.json"
+DEFAULT_TARGETS = ["src/repro"]
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="hcpplint",
+        description="static analysis for the HCPP reproduction")
+    parser.add_argument("targets", nargs="*", default=None,
+                        help="files or directories, relative to the repo "
+                             "root (default: src/repro)")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="comma-separated rule ids (default: all of "
+                             "%s)" % ",".join(rule_ids()))
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=("text", "json"))
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: %s at the repo "
+                             "root)" % DEFAULT_BASELINE)
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline; report everything")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.list_rules:
+        for rule_id in rule_ids():
+            print("%-16s %s" % (rule_id, get_rule(rule_id).description))
+        return 0
+
+    try:
+        rules = ([get_rule(rule_id.strip())
+                  for rule_id in args.rules.split(",") if rule_id.strip()]
+                 if args.rules else None)
+    except KeyError as exc:
+        print("hcpplint: %s" % exc.args[0], file=sys.stderr)
+        return 2
+    if rules is not None and not rules:
+        print("hcpplint: --rules selected nothing", file=sys.stderr)
+        return 2
+
+    baseline = Baseline()
+    if not args.no_baseline:
+        baseline_path = args.baseline or os.path.join(REPO_ROOT,
+                                                      DEFAULT_BASELINE)
+        if os.path.exists(baseline_path):
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, OSError) as exc:
+                print("hcpplint: bad baseline %s: %s"
+                      % (baseline_path, exc), file=sys.stderr)
+                return 2
+        elif args.baseline:
+            print("hcpplint: baseline %s not found" % baseline_path,
+                  file=sys.stderr)
+            return 2
+
+    targets = args.targets or DEFAULT_TARGETS
+    for target in targets:
+        if not os.path.exists(os.path.join(REPO_ROOT, target)):
+            print("hcpplint: no such target %r" % target, file=sys.stderr)
+            return 2
+
+    analyzer = Analyzer(REPO_ROOT, rules=rules, baseline=baseline)
+    report = analyzer.run(targets)
+
+    print(report.to_json() if args.fmt == "json" else report.to_text())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
