@@ -1,0 +1,100 @@
+"""Framework mechanics: registry, baseline, report, module model."""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis import (Analyzer, Baseline, Finding, Module, all_rules,
+                            get_rule, rule_ids)
+from repro.analysis.framework import AnalysisReport, Project
+
+EXPECTED_RULES = ["concurrency", "crypto-hygiene", "layering",
+                  "secret-flow", "wire-coverage"]
+
+
+def _module(path: str, source: str = "x = 1\n") -> Module:
+    return Module(path=path, source=source, tree=ast.parse(source))
+
+
+def test_all_five_rules_registered():
+    assert rule_ids() == EXPECTED_RULES
+    for rule_id in EXPECTED_RULES:
+        rule = get_rule(rule_id)
+        assert rule.id == rule_id
+        assert rule.description
+
+
+def test_unknown_rule_is_a_keyerror_with_suggestions():
+    with pytest.raises(KeyError, match="concurrency"):
+        get_rule("no-such-rule")
+
+
+def test_finding_render_and_key():
+    finding = Finding(rule="layering", path="src/repro/a.py", line=3,
+                      message="m")
+    assert finding.render() == "src/repro/a.py:3: [layering] m"
+    assert finding.key() == ("layering", "src/repro/a.py", "m")
+
+
+def test_module_dotted_path():
+    assert _module("src/repro/core/wire.py").dotted == "repro.core.wire"
+    assert _module("src/repro/analysis/__init__.py").dotted == \
+        "repro.analysis"
+    assert _module("tools/hcpplint.py").dotted == "tools.hcpplint"
+
+
+def test_baseline_requires_reasons():
+    with pytest.raises(ValueError, match="justification"):
+        Baseline([{"rule": "layering", "path": "p", "message": "m"}])
+
+
+def test_baseline_suppression_and_unused_scoping():
+    baseline = Baseline([
+        {"rule": "layering", "path": "src/repro/a.py", "message": "m",
+         "reason": "r"},
+        {"rule": "layering", "path": "src/repro/b.py", "message": "m",
+         "reason": "r"},
+    ])
+    hit = Finding(rule="layering", path="src/repro/a.py", line=9,
+                  message="m")
+    assert baseline.suppresses(hit)
+    # line number is irrelevant to identity
+    assert baseline.suppresses(
+        Finding(rule="layering", path="src/repro/a.py", line=1,
+                message="m"))
+    assert not baseline.suppresses(
+        Finding(rule="layering", path="src/repro/a.py", line=9,
+                message="different"))
+    # b.py entry is stale for a full run...
+    assert len(baseline.unused()) == 1
+    # ...but a partial run that never looked at b.py must not judge it.
+    assert baseline.unused(paths={"src/repro/a.py"}) == []
+    assert baseline.unused(rules={"secret-flow"}) == []
+
+
+def test_report_clean_requires_no_findings_and_no_stale_baseline():
+    finding = Finding(rule="layering", path="p", line=1, message="m")
+    assert AnalysisReport([], [], [], 1, ["layering"], 0.1).clean
+    assert not AnalysisReport([finding], [], [], 1, ["layering"], 0.1).clean
+    assert not AnalysisReport([], [], [{"rule": "layering", "path": "p",
+                                        "message": "m", "reason": "r"}],
+                              1, ["layering"], 0.1).clean
+
+
+def test_report_json_round_trips():
+    finding = Finding(rule="layering", path="p", line=1, message="m")
+    report = AnalysisReport([finding], [], [], 3, ["layering"], 0.25)
+    data = json.loads(report.to_json())
+    assert data["clean"] is False
+    assert data["files"] == 3
+    assert data["findings"][0]["rule"] == "layering"
+    assert data["findings"][0]["line"] == 1
+
+
+def test_analyzer_runs_all_rules_on_an_empty_project():
+    report = Analyzer(root=".", rules=all_rules()).run_project(Project())
+    assert report.clean
+    assert report.rules == EXPECTED_RULES

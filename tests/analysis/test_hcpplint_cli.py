@@ -1,0 +1,123 @@
+"""The hcpplint CLI: exit codes, formats, and the negative self-test
+(an injected violation must fail the run)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+HCPPLINT = os.path.join(REPO_ROOT, "tools", "hcpplint.py")
+
+# Per-rule violating snippets; each must drive exit code 1 on its own.
+VIOLATIONS = {
+    "secret-flow": ("def f(passcode):\n"
+                    "    print(passcode)\n"),
+    "crypto-hygiene": ("def f(tag, expected):\n"
+                       "    return tag == expected\n"),
+    "layering": ("from repro.core.wire import request\n"),
+    "concurrency": ("class C:\n"
+                    "    def a(self):\n"
+                    "        with self._lock:\n"
+                    "            self._x = 1\n"
+                    "    def b(self):\n"
+                    "        self._x = 2\n"),
+    "wire-coverage": ("class E:\n"
+                      "    MUTATING_OPS = frozenset({wire.OP_Z})\n"
+                      "    def boot(self):\n"
+                      "        self._ops = {wire.OP_Z: self._op_z}\n"
+                      "    def _op_z(self, body):\n"
+                      "        return mutate(body)\n"),
+}
+
+# layering judges modules by their dotted path, so the fixture must
+# live somewhere a contract governs.
+VIOLATION_DIRS = {"layering": "src/repro/crypto"}
+
+
+def _load_cli():
+    spec = importlib.util.spec_from_file_location("hcpplint_cli", HCPPLINT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def cli():
+    return _load_cli()
+
+
+def test_repo_run_is_clean(cli, capsys):
+    assert cli.main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_json_format(cli, capsys):
+    assert cli.main(["--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["clean"] is True
+    assert data["files"] > 80
+    assert data["suppressed"]
+
+
+def test_list_rules(cli, capsys):
+    assert cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("secret-flow", "crypto-hygiene", "wire-coverage",
+                    "layering", "concurrency"):
+        assert rule_id in out
+
+
+def test_unknown_rule_is_a_usage_error(cli, capsys):
+    assert cli.main(["--rules", "no-such-rule"]) == 2
+
+
+def test_missing_target_is_a_usage_error(cli, capsys):
+    assert cli.main(["no/such/dir"]) == 2
+
+
+def test_missing_explicit_baseline_is_a_usage_error(cli, capsys):
+    assert cli.main(["--baseline", "no-such-baseline.json"]) == 2
+
+
+@pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+def test_injected_violation_fails(cli, capsys, rule_id):
+    """The negative self-test: a planted violation must exit 1."""
+    directory = os.path.join(
+        REPO_ROOT, VIOLATION_DIRS.get(rule_id, "src/repro"))
+    path = os.path.join(directory, "_lintcheck_fixture.py")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(VIOLATIONS[rule_id])
+    try:
+        status = cli.main(["--rules", rule_id,
+                           os.path.relpath(path, REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert status == 1, "[%s] did not flag:\n%s" % (rule_id, out)
+        assert "[%s]" % rule_id in out
+    finally:
+        os.unlink(path)
+
+
+def test_cli_works_as_a_subprocess():
+    """CI invokes the script, not the module — make sure that works."""
+    result = subprocess.run(
+        [sys.executable, HCPPLINT, "--format", "json"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert json.loads(result.stdout)["clean"] is True
+
+
+def test_check_layering_shim_still_works():
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools",
+                                      "check_layering.py")],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "check_layering: OK" in result.stdout

@@ -1,0 +1,55 @@
+"""The repository itself must pass its own analyzer.
+
+This is the contract the CI lint job enforces; keeping it in the test
+suite means a violation fails locally before it fails in CI, with the
+finding text in the pytest output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, all_rules
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+BASELINE = os.path.join(REPO_ROOT, ".hcpplint-baseline.json")
+
+
+@pytest.fixture(scope="module")
+def report():
+    analyzer = Analyzer(REPO_ROOT, rules=all_rules(),
+                        baseline=Baseline.load(BASELINE))
+    return analyzer.run(["src/repro"])
+
+
+def test_repo_is_clean_modulo_baseline(report):
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert not report.findings, "new findings:\n" + rendered
+    stale = "\n".join("[%s] %s: %s" % (e["rule"], e["path"], e["message"])
+                      for e in report.unused_baseline)
+    assert not report.unused_baseline, "stale baseline entries:\n" + stale
+
+
+def test_every_baseline_entry_is_justified_and_used(report):
+    baseline = Baseline.load(BASELINE)
+    for entry in baseline.entries:
+        assert len(entry["reason"]) > 20, (
+            "baseline reasons must actually explain: %r" % entry)
+    # Everything suppressed matched some entry; nothing matched nothing.
+    assert len(report.suppressed) >= len(baseline.entries)
+
+
+def test_full_run_is_fast(report):
+    # The ISSUE budget is <10s for the whole repo; leave headroom so a
+    # loaded CI runner still passes.
+    assert report.elapsed_s < 10.0, (
+        "hcpplint took %.2fs over src/repro" % report.elapsed_s)
+
+
+def test_run_covers_the_whole_tree(report):
+    assert report.files > 80
+    assert report.rules == ["concurrency", "crypto-hygiene", "layering",
+                            "secret-flow", "wire-coverage"]

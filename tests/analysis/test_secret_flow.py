@@ -1,0 +1,122 @@
+"""secret-flow fixtures: known-bad snippets flag, known-good stay quiet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_source, get_rule
+
+
+@pytest.fixture()
+def rule():
+    return get_rule("secret-flow")
+
+
+def _hits(rule, source):
+    return analyze_source(source, rule)
+
+
+def test_secret_param_logged(rule):
+    findings = _hits(rule, """
+def install(log, session_key):
+    log.info("installed key %s", session_key)
+""")
+    assert len(findings) == 1
+    assert "logging" in findings[0].message
+
+
+def test_secret_printed(rule):
+    assert _hits(rule, """
+def show(passcode):
+    print(passcode)
+""")
+
+
+def test_secret_in_percent_exception(rule):
+    findings = _hits(rule, """
+def check(nounce):
+    raise ValueError("bad nounce %r" % nounce)
+""")
+    assert findings and "exception" in findings[0].message
+
+
+def test_secret_in_fstring_exception(rule):
+    assert _hits(rule, """
+def check(master_secret):
+    raise ValueError(f"got {master_secret}")
+""")
+
+
+def test_secret_in_format_exception(rule):
+    assert _hits(rule, """
+def check(preshared_key):
+    raise ValueError("k={}".format(preshared_key))
+""")
+
+
+def test_taint_propagates_through_assignment(rule):
+    findings = _hits(rule, """
+def relay(group_secret):
+    hidden = group_secret
+    copy = hidden
+    print(copy)
+""")
+    assert findings
+
+
+def test_keywords_are_secrets_too(rule):
+    # Keyword privacy is the point of the SSE layer (§IV.B/D).
+    assert _hits(rule, """
+def search(keyword):
+    raise KeyError("no such keyword %r" % keyword)
+""")
+
+
+def test_journal_append_of_secret(rule):
+    findings = _hits(rule, """
+def persist(writer, preshared_key):
+    writer.append(K_KEY, preshared_key)
+""")
+    assert findings and "journal" in findings[0].message
+
+
+def test_snapshot_write_of_secret(rule):
+    assert _hits(rule, """
+def persist(sse_key):
+    write_snapshot("dir", "name", 1, sse_key)
+""")
+
+
+def test_repr_of_secret(rule):
+    assert _hits(rule, """
+def debug(omega):
+    return repr(omega)
+""")
+
+
+def test_sanitizers_stop_taint(rule):
+    # Sizes/digests of secrets are public by design (the experiments
+    # report them) — no finding.
+    assert not _hits(rule, """
+def report(log, session_key, passcode):
+    log.info("key is %d bytes", len(session_key))
+    print(hmac_sha256(b"pc", passcode))
+""")
+
+
+def test_plain_values_never_flag(rule):
+    assert not _hits(rule, """
+def handle(log, frame, address):
+    log.debug("frame from %s", address)
+    raise ValueError("bad frame length %d" % len(frame))
+""")
+
+
+def test_raising_without_interpolation_is_fine(rule):
+    # A constant message mentioning the word "keyword" is fine — only
+    # interpolated *values* leak.
+    assert not _hits(rule, """
+def check(keyword):
+    if not keyword:
+        raise ValueError("keyword not in my dictionary")
+""")

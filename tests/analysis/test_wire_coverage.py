@@ -1,0 +1,125 @@
+"""wire-coverage fixtures: unregistered opcodes, unguarded handlers,
+and the durable journal contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_source, get_rule
+
+GUARDED_ENDPOINT = """
+class Endpoint:
+    MUTATING_OPS = frozenset({wire.OP_STORE})
+
+    def __init__(self, server):
+        self._ops = {wire.OP_STORE: self._op_store}
+
+    def _op_store(self, body):
+        return self.server.handle_store(body)
+
+class Server:
+    def handle_store(self, body):
+        payload = open_envelope(self.key, body, self.now, self._guard)
+        return payload
+"""
+
+UNGUARDED_ENDPOINT = """
+class Endpoint:
+    MUTATING_OPS = frozenset({wire.OP_STORE})
+
+    def __init__(self, server):
+        self._ops = {wire.OP_STORE: self._op_store}
+
+    def _op_store(self, body):
+        return self.server.handle_store(body)
+
+class Server:
+    def handle_store(self, body):
+        return apply_mutation(body)
+"""
+
+DANGLING_OPCODE = """
+class Endpoint:
+    MUTATING_OPS = frozenset({wire.OP_STORE, wire.OP_GHOST})
+
+    def __init__(self, server):
+        self._ops = {wire.OP_STORE: self._op_store}
+
+    def _op_store(self, body):
+        return open_envelope(self.key, body, self.now, self._guard)
+"""
+
+
+@pytest.fixture()
+def rule():
+    return get_rule("wire-coverage")
+
+
+def test_guarded_chain_is_clean(rule):
+    assert not analyze_source(GUARDED_ENDPOINT, rule)
+
+
+def test_unguarded_mutating_handler_flags(rule):
+    findings = analyze_source(UNGUARDED_ENDPOINT, rule)
+    assert len(findings) == 1
+    assert "ReplayGuard" in findings[0].message
+    assert "OP_STORE" in findings[0].message
+
+
+def test_mutating_opcode_without_handler_flags(rule):
+    findings = analyze_source(DANGLING_OPCODE, rule)
+    assert len(findings) == 1
+    assert "OP_GHOST" in findings[0].message
+    assert "never registers a handler" in findings[0].message
+
+
+def test_direct_guard_seen_call_counts(rule):
+    assert not analyze_source("""
+class Endpoint:
+    MUTATING_OPS = frozenset({wire.OP_AUTH})
+
+    def __init__(self):
+        self._ops = {wire.OP_AUTH: self._op_auth}
+
+    def _op_auth(self, body):
+        if self._auth_guard.seen(body):
+            raise ReplayError("duplicate")
+        return grant(body)
+""", rule)
+
+
+def test_open_envelope_without_guard_does_not_count(rule):
+    # Three positional args = no guard passed; still a finding.
+    findings = analyze_source("""
+class Endpoint:
+    MUTATING_OPS = frozenset({wire.OP_STORE})
+
+    def __init__(self):
+        self._ops = {wire.OP_STORE: self._op_store}
+
+    def _op_store(self, body):
+        return open_envelope(self.key, body, self.now)
+""", rule)
+    assert findings
+
+
+def test_late_ops_registration_counts(rule):
+    assert not analyze_source("""
+class Endpoint:
+    MUTATING_OPS = frozenset({wire.OP_STORE})
+
+    def __init__(self):
+        self._ops = {}
+        self._ops[wire.OP_STORE] = self._op_store
+
+    def _op_store(self, body):
+        return open_envelope(self.key, body, self.now, self._guard)
+""", rule)
+
+
+def test_non_endpoint_classes_are_ignored(rule):
+    assert not analyze_source("""
+class Plain:
+    def method(self):
+        return 1
+""", rule)
