@@ -27,16 +27,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import time
 from pathlib import Path
 
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.fpbackend import active_backend
 from repro.crypto.ibs import batch_verify, sign, verify
 from repro.crypto.ibe import PrivateKeyGenerator
 from repro.crypto.pairing import (PreparedPairing, clear_pairing_cache,
                                   tate_pairing)
 from repro.crypto.params import default_params, test_params
+from repro.crypto.peks import MultiKeywordPeks
 from repro.crypto.precompute import PrecomputedPoint
 from repro.crypto.rng import HmacDrbg
 from repro.sse.index import SecureIndex, clear_index_cache, load_index_cached
@@ -44,6 +48,8 @@ from repro.sse.scheme import Sse1Scheme, keygen
 
 IBS_BATCH = 8
 SEARCH_BATCH = 8
+ENGINE_BATCH = 16
+ENGINE_WORKER_STEPS = (1, 2, 4)
 
 
 def _time(fn, iters: int) -> float:
@@ -169,6 +175,61 @@ def bench_parallel_search(iters: int) -> dict:
             "parallel_ms": batch_s * 1e3, "speedup": serial_s / batch_s}
 
 
+def bench_engine_scaling(params, iters: int) -> dict:
+    """Per-core scaling of the process-parallel crypto engine.
+
+    Runs IBS batch verification and multi-keyword PEKS search (the two
+    pairing-heaviest served batches) serially and through
+    :class:`~repro.crypto.engine.CryptoEngine` pools of 1/2/4 workers.
+    ``cpu_count`` is recorded alongside the timings: process pools scale
+    with *cores*, so a 4-worker speedup is only meaningful relative to
+    the cores the box actually has (on a 1-core machine the pooled runs
+    measure pure IPC overhead, and the 1-worker engine — which never
+    forks — is the never-worse-than-serial guarantee).
+    """
+    rng = HmacDrbg(b"bench-runner-engine")
+    pkg = PrivateKeyGenerator(params, rng)
+    iters = max(2, iters // 4)
+
+    sigs = []
+    for i in range(ENGINE_BATCH):
+        identity = "dr-%d" % i
+        key = pkg.extract(identity)
+        message = b"msg-%d" % i
+        sigs.append((identity, message, sign(params, key, message, rng)))
+
+    role = "2026|ER|bench"
+    role_key = pkg.extract(role)
+    peks = MultiKeywordPeks(params, pkg.public_key)
+    tags = [peks.tag(role, ["kw-%d" % i, "common"], rng)
+            for i in range(ENGINE_BATCH)]
+    trapdoor = MultiKeywordPeks.trapdoor(role_key.private, params, "common")
+
+    def measure(make_call):
+        serial_s = _time(make_call(None), iters)
+        per_worker = {}
+        for workers in ENGINE_WORKER_STEPS:
+            with CryptoEngine(workers, prepare_points=(params.generator,
+                                                       pkg.public_key),
+                              min_parallel=2) as engine:
+                engine.start()  # pay fork + warm-up outside the timer
+                pooled_s = _time(make_call(engine), iters)
+            per_worker[str(workers)] = {"ms": pooled_s * 1e3,
+                                        "speedup": serial_s / pooled_s}
+        return {"batch_size": ENGINE_BATCH, "serial_ms": serial_s * 1e3,
+                "workers": per_worker}
+
+    out = {"cpu_count": os.cpu_count(),
+           "fp_backend": active_backend().name}
+    out["ibs_batch_verify"] = measure(
+        lambda eng: lambda: batch_verify(params, pkg.public_key, sigs,
+                                         engine=eng))
+    out["multi_keyword_search"] = measure(
+        lambda eng: lambda: MultiKeywordPeks.test_batch(tags, trapdoor,
+                                                        engine=eng))
+    return out
+
+
 def bench_index_cache(iters: int) -> dict:
     rng = HmacDrbg(b"bench-runner-cache")
     scheme = Sse1Scheme(keygen(rng))
@@ -221,6 +282,16 @@ def main() -> None:
           % (results["parallel_search"]["serial_ms"],
              results["parallel_search"]["parallel_ms"],
              results["parallel_search"]["speedup"]))
+    print("== engine per-core scaling (%s, n=%d, %s cores) =="
+          % (args.params, ENGINE_BATCH, os.cpu_count()))
+    results["engine_scaling"] = bench_engine_scaling(params, args.iters)
+    for section in ("ibs_batch_verify", "multi_keyword_search"):
+        line = "   %-20s serial %.3f ms" % (
+            section, results["engine_scaling"][section]["serial_ms"])
+        for workers in ENGINE_WORKER_STEPS:
+            entry = results["engine_scaling"][section]["workers"][str(workers)]
+            line += "  %dw %.2fx" % (workers, entry["speedup"])
+        print(line)
     print("== index deserialization cache ==")
     results["index_cache"] = bench_index_cache(args.iters)
     print("   cold %.3f ms  cached %.4f ms  speedup %.0fx"

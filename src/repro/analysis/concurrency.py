@@ -35,6 +35,17 @@ MUTATOR_METHODS = frozenset({
     "extend", "setdefault", "popitem", "discard", "appendleft",
 })
 
+#: Lifecycle transitions on pooled resources (multiprocessing.Pool,
+#: executors, transports).  ``self._pool.terminate()`` racing a
+#: ``with self._lock: self._pool = ctx.Pool(...)`` is the same
+#: lost-update shape as an unlocked ``.append`` — a worker can submit
+#: to a pool another thread is tearing down.  The crypto engine (PR 6)
+#: guards its pool with a lock; this teaches the pass that calling a
+#: lifecycle method *is* a mutation of the attribute holding the pool.
+LIFECYCLE_METHODS = frozenset({
+    "close", "terminate", "join", "shutdown", "start", "cancel",
+})
+
 LOCK_NAME = re.compile(r"lock", re.IGNORECASE)
 HELD_MARKER = re.compile(r"caller\s+holds\s+(self\.)?_?\w*lock",
                          re.IGNORECASE)
@@ -91,7 +102,8 @@ class _MutationWalker:
         elif isinstance(node, ast.Call):
             func = node.func
             if (isinstance(func, ast.Attribute)
-                    and func.attr in MUTATOR_METHODS):
+                    and (func.attr in MUTATOR_METHODS
+                         or func.attr in LIFECYCLE_METHODS)):
                 attr = _self_attr(func.value)
                 if attr is not None:
                     self.mutations.append((attr, node.lineno, locked))

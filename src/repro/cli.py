@@ -338,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --data-dir: write an atomic snapshot "
                              "every N mutations (default 0 = journal "
                              "only)")
+    common.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="crypto worker processes for the batched "
+                             "pairing paths (batch verify, multi-keyword "
+                             "search); 0 or 1 = serial.  Overrides "
+                             "HCPP_CRYPTO_WORKERS for this run")
     parser = argparse.ArgumentParser(
         prog="repro-hcpp",
         description="Drive an in-process HCPP (ICDCS'11) deployment.")
@@ -368,7 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    workers = getattr(args, "workers", 0) or 0
+    if not workers:
+        return args.func(args)
+    # Install the process-wide default engine: every engine-aware hot
+    # path (batch verify, search) picks it up without plumbing.
+    from repro.crypto.engine import configure
+    configure(workers)
+    try:
+        return args.func(args)
+    finally:
+        configure(0)  # drain the pool before the interpreter exits
 
 
 if __name__ == "__main__":

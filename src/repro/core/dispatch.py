@@ -407,13 +407,21 @@ class EntityEndpoint(Endpoint):
 
 # -- binding helpers ---------------------------------------------------------
 def bind_sserver(transport, server: StorageServer, hibc_node=None,
-                 root_public: Point | None = None):
+                 root_public: Point | None = None, engine=None):
     """Ensure an :class:`SServerEndpoint` serves ``server.address``.
 
     When the transport already routes the address to another process
     (static socket routes), nothing is bound locally and None returns.
+
+    ``engine`` (a :class:`repro.crypto.engine.CryptoEngine`) installs a
+    process-parallel crypto pool on the served S-server; the batched
+    search handlers then fan their pairing work across its workers.
+    Passing None leaves the server's existing engine (or the
+    ``HCPP_CRYPTO_WORKERS`` process default) in force.
     """
     endpoint = transport.endpoint_at(server.address)
+    if engine is not None:
+        server.engine = engine
     if endpoint is None:
         if transport.has_route(server.address):
             return None

@@ -26,19 +26,20 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.crypto import engine as engine_mod
 from repro.crypto.broadcast import BroadcastCiphertext
 from repro.crypto.ec import Point
 from repro.crypto.ibe import IbeCiphertext, IdentityKeyPair
 from repro.crypto.hashes import h1_identity
 from repro.crypto.modes import AuthenticatedCipher
-from repro.crypto.nike import shared_key_from_points
+from repro.crypto.nike import SHARED_KEY_SPEC, shared_key_from_points
 from repro.crypto.params import DomainParams
 from repro.crypto.peks import MultiKeywordPeks, MultiKeywordTag, PeksTrapdoor
 from repro.crypto.rng import HmacDrbg
-from repro.sse.index import SecureIndex, Trapdoor, load_index_cached
+from repro.sse.index import (SEARCH_BLOB_SPEC, SecureIndex, Trapdoor,
+                             load_index_cached)
 from repro.sse.multiuser import WrappedTrapdoor, unwrap_trapdoor
 from repro.core.protocols.messages import (Envelope, ReplayGuard,
                                            open_envelope, pack_fields, seal,
@@ -127,12 +128,18 @@ class StorageServer:
     """An HCPP S-server instance."""
 
     def __init__(self, name: str, params: DomainParams,
-                 identity_key: IdentityKeyPair, rng: HmacDrbg) -> None:
+                 identity_key: IdentityKeyPair, rng: HmacDrbg,
+                 engine: "engine_mod.CryptoEngine | None" = None) -> None:
         self.name = name
         self.address = "sserver://" + name
         self.params = params
         self.identity_key = identity_key         # (PK_S, Γ_S)
         self._rng = rng
+        #: Process-parallel crypto engine for the batched search paths.
+        #: None falls back to the HCPP_CRYPTO_WORKERS default at call time
+        #: (see repro.crypto.engine.resolve); results are byte-identical
+        #: either way.
+        self.engine = engine
         self._collections: dict[bytes, StoredCollection] = {}
         self._mhi: list[StoredMhi] = []
         self._guard = ReplayGuard()
@@ -255,31 +262,35 @@ class StorageServer:
     def handle_search_batch(self, requests: "list[SearchRequest]",
                             now: float,
                             max_workers: int | None = None) -> list[Envelope]:
-        """Serve many independent search requests on a worker pool.
+        """Serve many independent search requests, in request order.
 
-        Equivalent to calling :meth:`handle_search` once per request, in
-        request order — the returned envelopes are byte-identical to the
-        serial ones (sealing is deterministic given key, payload, and
-        ``now``).  Replay checking stays sound: :class:`ReplayGuard` is
-        atomic, so a duplicated envelope fails in exactly one worker.
+        Equivalent to calling :meth:`handle_search` once per request —
+        the returned envelopes are byte-identical (sealing is
+        deterministic given key, payload, and ``now``).
 
-        A failing request raises after all workers finish (first failure
-        by request order), matching the serial all-or-nothing contract of
-        one request — callers wanting per-request errors should submit
-        singleton batches.
+        PR 1's thread pool is gone: BENCH_crypto.json measured it at
+        0.95x *slower* than serial (pairings are pure CPython bytecode,
+        so threads just add GIL contention), so the default is a plain
+        serial loop.  When a crypto engine is configured (``--workers``,
+        ``HCPP_CRYPTO_WORKERS``, or the ``engine`` attribute) the SOK
+        session-key derivations — one pairing per request, the dominant
+        batch cost — fan out across worker *processes*; envelope
+        open/search/seal then runs serially in the parent, in request
+        order, so :class:`ReplayGuard` bookkeeping and the reply bytes
+        are exactly the serial ones.  ``max_workers`` is retained for
+        API compatibility and ignored (thread pools lost to serial).
         """
-        if len(requests) <= 1:
-            return [self.handle_search(req.pseudonym, req.collection_id,
-                                       req.envelope, now)
-                    for req in requests]
-        workers = max_workers or min(8, len(requests))
-
-        def run(req: "SearchRequest") -> Envelope:
-            return self.handle_search(req.pseudonym, req.collection_id,
-                                      req.envelope, now)
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run, requests))
+        del max_workers
+        eng = engine_mod.resolve(self.engine)
+        if eng is not None and len(requests) > 1:
+            keys = eng.map(SHARED_KEY_SPEC,
+                           [(self.identity_key.private, req.pseudonym)
+                            for req in requests])
+        else:
+            keys = [self.session_key(req.pseudonym) for req in requests]
+        return [self._search_with_key(key, req.pseudonym.to_bytes(),
+                                      req.collection_id, req.envelope, now)
+                for req, key in zip(requests, keys)]
 
     def handle_search_multi(self, pseudonym: Point,
                             collection_ids: list[bytes], envelope: Envelope,
@@ -288,27 +299,63 @@ class StorageServer:
         """One trapdoor set searched across several collections.
 
         Single envelope, single HMAC/replay check; the same trapdoors run
-        against every listed collection (worker pool across collections)
-        and the results concatenate in the caller's collection order — so
-        the reply is byte-identical to a serial loop over the ids.
+        against every listed collection and the results concatenate in
+        the caller's collection order — so the reply is byte-identical to
+        a serial loop over the ids.
+
+        Serial by default (the PR 1 thread pool measured slower than
+        serial; ``max_workers`` is retained for API compatibility and
+        ignored).  With a crypto engine and every collection blob-backed,
+        each collection's index walk runs in a worker process — workers
+        deserialize through their own index caches — while observation
+        logging and fid → ciphertext resolution stay in the parent, in
+        the same order as the serial loop.
         """
+        del max_workers
         key = self.session_key(pseudonym)
         payload = open_envelope(key, envelope, now, self._guard,
                                 expected_label="phi-retrieve")
         raw_trapdoors = unpack_fields(payload)
         observed = pseudonym.to_bytes()
-        if len(collection_ids) <= 1:
-            chunks = [self._run_trapdoors(observed, cid, raw_trapdoors, now)
-                      for cid in collection_ids]
+        eng = engine_mod.resolve(self.engine)
+        collections = [self._collection(cid) for cid in collection_ids]
+        if (eng is not None and len(collections) > 1
+                and all(c.index_blob is not None for c in collections)):
+            per_collection = eng.map(
+                SEARCH_BLOB_SPEC,
+                [(c.index_blob, raw_trapdoors) for c in collections])
+            chunks = [self._resolve_fids(c, raw_trapdoors, fid_lists,
+                                         observed, now)
+                      for c, fid_lists in zip(collections, per_collection)]
         else:
-            workers = max_workers or min(8, len(collection_ids))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                chunks = list(pool.map(
-                    lambda cid: self._run_trapdoors(observed, cid,
-                                                    raw_trapdoors, now),
-                    collection_ids))
+            chunks = [self._run_trapdoors(observed, c.collection_id,
+                                          raw_trapdoors, now)
+                      for c in collections]
         results = [item for chunk in chunks for item in chunk]
         return seal(key, "phi-results", pack_fields(*results), now)
+
+    def _resolve_fids(self, collection: StoredCollection,
+                      raw_trapdoors: list[bytes],
+                      fid_lists: list[list[bytes]], observed: bytes,
+                      now: float) -> list[bytes]:
+        """Parent-side tail of an engine-run collection search.
+
+        Replays exactly what :meth:`_run_trapdoors` does after the index
+        walk: per-trapdoor observation logging (the observations log is
+        parent state — workers cannot append to it) and fid → ciphertext
+        resolution, in the same order.
+        """
+        results: list[bytes] = []
+        for raw, fids in zip(raw_trapdoors, fid_lists):
+            trapdoor = Trapdoor.from_bytes(raw)
+            self._observe("search", observed, collection.collection_id,
+                          trapdoor.address.to_bytes(16, "big"), now)
+            for fid in fids:
+                ciphertext = collection.files.get(fid)
+                if ciphertext is None:
+                    raise StorageError("index references a missing file")
+                results.append(fid + ciphertext)
+        return results
 
     # -- family / P-device retrieval (§IV.E.1) ---------------------------------
     def handle_get_broadcast(self, pseudonym: Point, collection_id: bytes,
@@ -386,10 +433,15 @@ class StorageServer:
         key = self.session_key(role_public)
         open_envelope(key, envelope, now, self._guard,
                       expected_label="mhi-search")
-        peks = MultiKeywordPeks(self.params, pkg_public)
-        matches = [entry.ciphertext for entry in self._mhi
-                   if entry.role_identity == role_identity
-                   and peks.test(entry.tag, trapdoor)]
+        candidates = [entry for entry in self._mhi
+                      if entry.role_identity == role_identity]
+        # One pairing per stored tag: the batch test fans out across the
+        # crypto engine's workers when one is configured, serial otherwise
+        # — the match set is identical either way.
+        flags = MultiKeywordPeks.test_batch([e.tag for e in candidates],
+                                            trapdoor, engine=self.engine)
+        matches = [entry.ciphertext
+                   for entry, hit in zip(candidates, flags) if hit]
         self._observe("mhi-search", role_public.to_bytes(), b"",
                       role_identity.encode(), now)
         reply = seal(key, "mhi-results",

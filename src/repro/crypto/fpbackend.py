@@ -1,0 +1,196 @@
+"""Pluggable F_p integer arithmetic backend: pure python or gmpy2.
+
+Every modular operation the field and pairing layers perform funnels
+through one of the small backend classes below.  The pure-python backend
+(CPython's built-in big integers plus ``pow``) is always available and is
+the **test oracle**: the gmpy2 backend, when the optional ``gmpy2``
+package is importable, must agree with it bit-for-bit on every operation
+(enforced by ``tests/crypto/test_backend_equiv.py``).
+
+Selection:
+
+* ``HCPP_FP_BACKEND=python`` — force the pure-python oracle.
+* ``HCPP_FP_BACKEND=gmpy2``  — force gmpy2; raises at selection time when
+  the package is missing.
+* unset / ``auto``           — gmpy2 when importable, python otherwise.
+
+All backend entry points accept and return **python ints** — no ``mpz``
+ever escapes this module through ``add``/``mul``/``inv``/``powmod``/
+``sqrt``.  Hot loops that want to keep intermediate values in the
+backend's native representation (the Miller loop) use :func:`wrap` on
+entry and ``int()`` on exit; for the python backend ``wrap`` is the
+identity, for gmpy2 it is ``mpz`` so the loop's ``*``/``%`` operators
+run on GMP limbs.
+
+This module sits below :mod:`repro.crypto.mathutil` and imports only the
+stdlib and :mod:`repro.exceptions`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ParameterError
+
+__all__ = ["FpBackend", "PythonFpBackend", "Gmpy2FpBackend",
+           "active_backend", "set_backend", "available_backends", "wrap"]
+
+try:  # optional accelerator; the pure-python path never needs it
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - exercised only without gmpy2
+    _gmpy2 = None
+
+
+class FpBackend:
+    """Interface: modular F_p arithmetic on python-int boundaries."""
+
+    name = "abstract"
+
+    #: identity for python; mpz for gmpy2 — used by hot loops that keep
+    #: intermediates in native representation.
+    wrap = staticmethod(int)
+
+    @staticmethod
+    def add(a: int, b: int, p: int) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def sub(a: int, b: int, p: int) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def mul(a: int, b: int, p: int) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def inv(a: int, p: int) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def powmod(a: int, e: int, p: int) -> int:
+        raise NotImplementedError
+
+    @classmethod
+    def sqrt(cls, a: int, p: int) -> int:
+        """A square root mod the odd prime ``p ≡ 3 (mod 4)``.
+
+        Residuosity is the caller's problem (``mathutil.sqrt_mod`` checks
+        it first); this is only the exponentiation kernel.
+        """
+        return cls.powmod(a, (p + 1) // 4, p)
+
+
+class PythonFpBackend(FpBackend):
+    """CPython big-int arithmetic — always available, the oracle."""
+
+    name = "python"
+
+    @staticmethod
+    def add(a: int, b: int, p: int) -> int:
+        return (a + b) % p
+
+    @staticmethod
+    def sub(a: int, b: int, p: int) -> int:
+        return (a - b) % p
+
+    @staticmethod
+    def mul(a: int, b: int, p: int) -> int:
+        return a * b % p
+
+    @staticmethod
+    def inv(a: int, p: int) -> int:
+        a %= p
+        if a == 0:
+            raise ParameterError("0 has no inverse modulo %d" % p)
+        try:
+            return pow(a, -1, p)
+        except ValueError as exc:
+            raise ParameterError("%d has no inverse modulo %d"
+                                 % (a, p)) from exc
+
+    @staticmethod
+    def powmod(a: int, e: int, p: int) -> int:
+        return pow(a, e, p)
+
+
+class Gmpy2FpBackend(FpBackend):  # pragma: no cover - needs gmpy2
+    """GMP-backed arithmetic via :mod:`gmpy2` (optional)."""
+
+    name = "gmpy2"
+
+    if _gmpy2 is not None:
+        wrap = staticmethod(_gmpy2.mpz)
+
+    @staticmethod
+    def add(a: int, b: int, p: int) -> int:
+        return int((_gmpy2.mpz(a) + b) % p)
+
+    @staticmethod
+    def sub(a: int, b: int, p: int) -> int:
+        return int((_gmpy2.mpz(a) - b) % p)
+
+    @staticmethod
+    def mul(a: int, b: int, p: int) -> int:
+        return int(_gmpy2.mpz(a) * b % p)
+
+    @staticmethod
+    def inv(a: int, p: int) -> int:
+        a %= p
+        if a == 0:
+            raise ParameterError("0 has no inverse modulo %d" % p)
+        try:
+            return int(_gmpy2.invert(a, p))
+        except ZeroDivisionError as exc:
+            raise ParameterError("%d has no inverse modulo %d"
+                                 % (a, p)) from exc
+
+    @staticmethod
+    def powmod(a: int, e: int, p: int) -> int:
+        return int(_gmpy2.powmod(a, e, p))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends this interpreter can actually run."""
+    if _gmpy2 is not None:
+        return ("python", "gmpy2")
+    return ("python",)
+
+
+def _select(name: str) -> type[FpBackend]:
+    if name == "python":
+        return PythonFpBackend
+    if name == "gmpy2":
+        if _gmpy2 is None:
+            raise ParameterError(
+                "HCPP_FP_BACKEND=gmpy2 but the gmpy2 package is not "
+                "importable (pip install gmpy2, or unset the variable)")
+        return Gmpy2FpBackend
+    if name == "auto":
+        return Gmpy2FpBackend if _gmpy2 is not None else PythonFpBackend
+    raise ParameterError("unknown F_p backend %r (python/gmpy2/auto)" % name)
+
+
+_ACTIVE: type[FpBackend] = _select(
+    os.environ.get("HCPP_FP_BACKEND", "auto").strip().lower() or "auto")
+
+
+def active_backend() -> type[FpBackend]:
+    """The backend every field/pairing operation currently routes through."""
+    return _ACTIVE
+
+
+def set_backend(name: str) -> type[FpBackend]:
+    """Switch backends at runtime (tests / benchmarks); returns the new one.
+
+    Engine worker processes inherit the parent's choice on fork and
+    re-resolve ``HCPP_FP_BACKEND`` on spawn — either way both sides of a
+    pool compute with the same arithmetic.
+    """
+    global _ACTIVE
+    _ACTIVE = _select(name)
+    return _ACTIVE
+
+
+def wrap(value: int):
+    """Lift ``value`` into the active backend's native representation."""
+    return _ACTIVE.wrap(value)

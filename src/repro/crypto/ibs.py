@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.crypto import engine as engine_mod
 from repro.crypto.ec import Point
 from repro.crypto.fields import Fp2Element
 from repro.crypto.hashes import h1_identity, h_to_scalar
@@ -147,13 +148,52 @@ def _batch_deltas(params: DomainParams, count: int, seed: bytes,
     return deltas
 
 
+#: Task spec for :func:`repro.crypto.engine.CryptoEngine.map`.
+_BATCH_VERIFY_SPEC = "repro.crypto.ibs:_batch_verify_task"
+
+
+def _batch_verify_task(item: tuple) -> "tuple[bool, Fp2Element | None, Fp2Element | None]":
+    """Per-signature share of :func:`batch_verify` — engine task.
+
+    Returns ``(ok, term, rhs_factor)``: ``ok`` False when the signature
+    is outright invalid (infinity u or hash-binding failure); ``term``
+    the δ-weighted Miller product and ``rhs_factor`` the matching
+    ``r^δ`` for *hinted* signatures, both None on the recomputation path
+    (where the hash binding alone is full verification).  Pure function
+    of the item tuple — safe to run in any worker process; the prepared
+    registries it consults are per-process caches warmed on first use.
+    """
+    params, pkg_public, identity, message, signature, delta = item
+    if signature.u.is_infinity:
+        return (False, None, None)
+    pk = h1_identity(params, identity)
+    r_val = signature.r_value
+    hinted = r_val is not None and r_val.p == params.p
+    if not hinted:
+        r_val = _recompute_r(params, pkg_public, pk, signature)
+    if h_to_scalar(params, b"hess-ibs", message,
+                   r_val.to_bytes()) != signature.v:
+        return (False, None, None)
+    if not hinted:
+        return (True, None, None)  # recomputed r already proves the equation
+    term = prepared(params.generator).miller(signature.u * delta)
+    neg_vpk = pk * (-signature.v * delta % params.r)
+    if not neg_vpk.is_infinity:
+        term = term * prepared(pkg_public).miller(neg_vpk)
+    return (True, term, _pow_unitary(r_val, delta))
+
+
 def batch_verify(params: DomainParams, pkg_public: Point,
                  items: list[tuple[str, bytes, IbsSignature]],
-                 rng: HmacDrbg | None = None) -> bool:
+                 rng: HmacDrbg | None = None,
+                 engine: "engine_mod.CryptoEngine | None" = None) -> bool:
     """Verify n Hess signatures with one shared final exponentiation.
 
     ``items`` is a list of ``(identity, message, signature)`` triples; the
-    result equals ``all(verify(...))`` for the same triples.
+    result equals ``all(verify(...))`` for the same triples.  When an
+    ``engine`` is supplied (or a process default is configured — see
+    :func:`repro.crypto.engine.resolve`) the per-signature work fans out
+    across worker processes; the accept/reject answer is identical.
 
     Two-part check, per the small-exponents batching technique:
 
@@ -186,32 +226,32 @@ def batch_verify(params: DomainParams, pkg_public: Point,
     for identity, message, signature in items:
         seed_hasher.update(identity.encode() + b"\x00" + message
                            + signature.to_bytes())
+    # δ's are fixed *before* any per-item work, in the same rng order as
+    # ever — the engine fan-out below therefore cannot perturb them.
     deltas = _batch_deltas(params, len(items), seed_hasher.digest(), rng)
 
-    prep_gen = prepared(params.generator)
-    prep_pub = prepared(pkg_public)
+    tasks = [(params, pkg_public, identity, message, signature, delta)
+             for (identity, message, signature), delta in zip(items, deltas)]
+    eng = engine_mod.resolve(engine)
+    if eng is not None:
+        shares = eng.map(_BATCH_VERIFY_SPEC, tasks)
+        if any(not ok for ok, _, _ in shares):
+            return False
+    else:
+        shares = []
+        for task in tasks:
+            share = _batch_verify_task(task)
+            if not share[0]:
+                return False  # serial path keeps its early exit
+            shares.append(share)
+
     product_acc: Fp2Element | None = None
     rhs = Fp2Element.one(params.p)
-    for (identity, message, signature), delta in zip(items, deltas):
-        if signature.u.is_infinity:
-            return False
-        pk = h1_identity(params, identity)
-        r_val = signature.r_value
-        hinted = r_val is not None and r_val.p == params.p
-        if not hinted:
-            r_val = _recompute_r(params, pkg_public, pk, signature)
-        if h_to_scalar(params, b"hess-ibs", message,
-                       r_val.to_bytes()) != signature.v:
-            return False
-        if not hinted:
+    for _, term, rhs_factor in shares:
+        if term is None:
             continue  # recomputed r already satisfies the pairing equation
-        # Accumulate δ_j-weighted Miller loops for the product test.
-        term = prep_gen.miller(signature.u * delta)
-        neg_vpk = pk * (-signature.v * delta % params.r)
-        if not neg_vpk.is_infinity:
-            term = term * prep_pub.miller(neg_vpk)
         product_acc = term if product_acc is None else product_acc * term
-        rhs = rhs * _pow_unitary(r_val, delta)
+        rhs = rhs * rhs_factor
     if product_acc is None:
         return True  # every signature took the recomputation path
     lhs = final_exponentiation(product_acc, params.curve)

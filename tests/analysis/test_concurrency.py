@@ -110,3 +110,43 @@ class Endpoint:
                 self._mutations = 1
         return on_remember
 """, rule)
+
+
+POOL_MIXED = """
+class Engine:
+    def start(self):
+        with self._lock:
+            self._pool = make_pool()
+
+    def stop(self):
+        self._pool.terminate()
+"""
+
+POOL_SWAPPED = """
+class Engine:
+    def start(self):
+        with self._lock:
+            self._pool = make_pool()
+
+    def stop(self):
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+"""
+
+
+def test_unlocked_pool_lifecycle_call_flags(rule):
+    # .terminate() on an attribute assigned under the lock is the same
+    # lost-update hazard as an unlocked .append.
+    findings = analyze_source(POOL_MIXED, rule)
+    assert len(findings) == 1
+    assert "_pool" in findings[0].message
+    assert "stop" in findings[0].message
+
+
+def test_swap_under_lock_then_close_local_is_clean(rule):
+    # The engine's close(): detach under the lock, tear down the local
+    # reference outside it — no self-attribute mutates unlocked.
+    assert not analyze_source(POOL_SWAPPED, rule)

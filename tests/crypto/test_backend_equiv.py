@@ -1,0 +1,181 @@
+"""Cross-backend F_p equivalence: gmpy2 must match the python oracle.
+
+The pure-python backend is the test oracle; when gmpy2 is importable
+every operation must agree with it bit-for-bit across random operands
+and the classic edge values 0, 1, p−1.  Without gmpy2 the cross-backend
+tests skip cleanly and the oracle's own algebraic laws still run, so
+this file is never silently empty.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.crypto import fpbackend
+from repro.crypto.fpbackend import (Gmpy2FpBackend, PythonFpBackend,
+                                    available_backends, set_backend)
+from repro.crypto.mathutil import inv_mod, sqrt_mod
+from repro.crypto.params import test_params as _test_params
+from repro.exceptions import ParameterError
+
+PARAMS = _test_params()
+P = PARAMS.curve.p
+
+HAS_GMPY2 = "gmpy2" in available_backends()
+needs_gmpy2 = pytest.mark.skipif(not HAS_GMPY2,
+                                 reason="gmpy2 is not installed")
+
+operand = st.integers(min_value=0, max_value=P - 1)
+exponent = st.integers(min_value=0, max_value=2 * P)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Whatever a test selects, the suite leaves the process as it found it."""
+    before = fpbackend.active_backend()
+    yield
+    set_backend(before.name)
+
+
+# -- cross-backend equivalence (gmpy2 vs the python oracle) ----------------
+
+@needs_gmpy2
+@settings(max_examples=200, deadline=None)
+@given(a=operand, b=operand)
+@example(a=0, b=0)
+@example(a=0, b=1)
+@example(a=1, b=P - 1)
+@example(a=P - 1, b=P - 1)
+def test_add_sub_mul_equiv(a, b):
+    for op in ("add", "sub", "mul"):
+        py = getattr(PythonFpBackend, op)(a, b, P)
+        gm = getattr(Gmpy2FpBackend, op)(a, b, P)
+        assert py == gm, "%s(%d, %d) diverged" % (op, a, b)
+        assert isinstance(gm, int) and type(gm) is int
+
+
+@needs_gmpy2
+@settings(max_examples=100, deadline=None)
+@given(a=operand)
+@example(a=1)
+@example(a=P - 1)
+def test_inv_equiv(a):
+    if a == 0:
+        with pytest.raises(ParameterError):
+            PythonFpBackend.inv(a, P)
+        with pytest.raises(ParameterError):
+            Gmpy2FpBackend.inv(a, P)
+        return
+    py = PythonFpBackend.inv(a, P)
+    gm = Gmpy2FpBackend.inv(a, P)
+    assert py == gm
+    assert a * gm % P == 1
+
+
+@needs_gmpy2
+@settings(max_examples=100, deadline=None)
+@given(a=operand, e=exponent)
+@example(a=0, e=0)
+@example(a=1, e=P - 1)
+@example(a=P - 1, e=2)
+def test_powmod_equiv(a, e):
+    assert PythonFpBackend.powmod(a, e, P) == Gmpy2FpBackend.powmod(a, e, P)
+
+
+@needs_gmpy2
+@settings(max_examples=100, deadline=None)
+@given(a=operand)
+@example(a=0)
+@example(a=1)
+@example(a=P - 1)
+def test_sqrt_kernel_equiv(a):
+    # The kernel exponentiation itself, residue or not: both backends
+    # must produce the same candidate root.
+    assert PythonFpBackend.sqrt(a, P) == Gmpy2FpBackend.sqrt(a, P)
+
+
+@needs_gmpy2
+def test_inv_zero_rejected_by_both():
+    for backend in (PythonFpBackend, Gmpy2FpBackend):
+        with pytest.raises(ParameterError):
+            backend.inv(0, P)
+        with pytest.raises(ParameterError):
+            backend.inv(P, P)  # ≡ 0 mod p
+
+
+# -- oracle self-consistency (always runs, gmpy2 or not) -------------------
+
+@settings(max_examples=100, deadline=None)
+@given(a=operand, b=operand)
+@example(a=0, b=P - 1)
+@example(a=P - 1, b=P - 1)
+def test_python_oracle_ring_laws(a, b):
+    add, sub, mul = (PythonFpBackend.add, PythonFpBackend.sub,
+                     PythonFpBackend.mul)
+    assert add(a, b, P) == add(b, a, P)
+    assert sub(a, b, P) == (P - sub(b, a, P)) % P
+    assert mul(a, b, P) == mul(b, a, P)
+    assert add(sub(a, b, P), b, P) == a % P
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=st.integers(min_value=1, max_value=P - 1))
+@example(a=1)
+@example(a=P - 1)
+def test_python_oracle_inverse_law(a):
+    assert a * PythonFpBackend.inv(a, P) % P == 1
+    assert inv_mod(a, P) == PythonFpBackend.inv(a, P)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=operand)
+@example(a=0)
+@example(a=1)
+def test_sqrt_mod_roundtrip(a):
+    square = a * a % P
+    root = sqrt_mod(square, P)
+    assert root is not None
+    assert root * root % P == square
+
+
+# -- selection machinery ----------------------------------------------------
+
+def test_set_backend_python_always_works():
+    backend = set_backend("python")
+    assert backend is PythonFpBackend
+    assert fpbackend.active_backend() is PythonFpBackend
+    assert fpbackend.wrap(5) == 5
+
+
+def test_set_backend_auto_prefers_gmpy2_when_available():
+    backend = set_backend("auto")
+    if HAS_GMPY2:
+        assert backend is Gmpy2FpBackend
+    else:
+        assert backend is PythonFpBackend
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ParameterError):
+        set_backend("fpga")
+
+
+def test_gmpy2_selection_without_package_raises():
+    if HAS_GMPY2:
+        assert set_backend("gmpy2") is Gmpy2FpBackend
+    else:
+        with pytest.raises(ParameterError):
+            set_backend("gmpy2")
+
+
+@needs_gmpy2
+def test_field_arithmetic_identical_across_backends():
+    """A full pairing computed under each backend is bit-identical."""
+    from repro.crypto.pairing import tate_pairing
+    set_backend("python")
+    oracle = tate_pairing(PARAMS.generator, PARAMS.generator * 5)
+    set_backend("gmpy2")
+    accelerated = tate_pairing(PARAMS.generator, PARAMS.generator * 5)
+    assert oracle == accelerated
+    assert oracle.to_bytes() == accelerated.to_bytes()
