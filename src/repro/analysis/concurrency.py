@@ -20,6 +20,18 @@ Private helpers that are *always called with the lock held* declare it
 with a comment — ``# Caller holds self._lock.`` — the same marker
 ``ReplayGuard._prune`` already carries.  The pass treats the whole
 function body as locked when the marker appears.
+
+The async transport (PR 7) adds two idioms the pass understands:
+
+* ``async with self._lock`` (an :class:`asyncio.Lock`) is a lock
+  context exactly like its synchronous twin — before PR 7 the walker
+  only special-cased ``ast.With``, so async code could neither take
+  credit for its locks nor be caught mutating outside them;
+* state owned by an event loop is serialized *by the loop*, not by a
+  lock: a function whose body carries a ``# Loop-affine: ...`` marker
+  (all mutations happen on the loop thread, cross-thread access goes
+  through ``run_coroutine_threadsafe``) is treated as locked, the same
+  way the caller-holds marker works.
 """
 
 from __future__ import annotations
@@ -49,6 +61,9 @@ LIFECYCLE_METHODS = frozenset({
 LOCK_NAME = re.compile(r"lock", re.IGNORECASE)
 HELD_MARKER = re.compile(r"caller\s+holds\s+(self\.)?_?\w*lock",
                          re.IGNORECASE)
+#: Event-loop affinity: the function's mutations all happen on the
+#: owning event loop's thread, so the loop itself is the serializer.
+LOOP_MARKER = re.compile(r"loop.affine", re.IGNORECASE)
 
 
 def _self_attr(node: ast.AST) -> str | None:
@@ -80,7 +95,7 @@ class _MutationWalker:
         self.mutations: list[tuple[str, int, bool]] = []
 
     def walk(self, node: ast.AST, locked: bool) -> None:
-        if isinstance(node, ast.With):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
             inner = locked or any(_is_lock_context(item)
                                   for item in node.items)
             for child in node.body:
@@ -146,7 +161,9 @@ class ConcurrencyRule(Rule):
                 continue
             if func.name == "__init__":
                 continue
-            held = bool(HELD_MARKER.search(module.segment(func)))
+            segment = module.segment(func)
+            held = bool(HELD_MARKER.search(segment)
+                        or LOOP_MARKER.search(segment))
             walker = _MutationWalker()
             for stmt in func.body:
                 walker.walk(stmt, held)

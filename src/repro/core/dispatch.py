@@ -16,6 +16,7 @@ into error responses and re-raise client-side as the same class.
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Callable
 
 from repro.crypto.ec import Point
@@ -62,6 +63,17 @@ class Endpoint:
     handlers on recovery.  Read-only opcodes stay off the journal; their
     replay-guard commitments are persisted separately (see
     :meth:`guards`).
+
+    **Reentrancy contract** (the multiplexed async backend dispatches
+    pipelined frames from a thread pool, so ``handle_frame`` must
+    tolerate concurrent entry): mutating opcodes are *single-writer* —
+    they serialize on :attr:`_write_lock`, which keeps the durable
+    layer's journal append order well-defined — while read-only opcodes
+    run concurrently with each other and with at most one writer.
+    Handlers for read opcodes must therefore never mutate shared state
+    except through their own locks (:class:`ReplayGuard` is internally
+    locked; the S-server's session table has
+    :attr:`SServerEndpoint._sessions_lock`).
     """
 
     MUTATING_OPS: frozenset = frozenset()
@@ -69,6 +81,9 @@ class Endpoint:
     def __init__(self) -> None:
         self._transport = None
         self._ops: dict[bytes, Callable[[list[bytes]], bytes]] = {}
+        # Single-writer lock: at most one mutating frame is in a handler
+        # at any moment, so journal commits observe a total order.
+        self._write_lock = threading.Lock()
 
     def guards(self) -> list:
         """The :class:`ReplayGuard` instances whose windows must survive
@@ -93,6 +108,9 @@ class Endpoint:
             handler = self._ops.get(opcode)
             if handler is None:
                 raise TransportError("unknown opcode %r" % opcode)
+            if opcode in self.MUTATING_OPS:
+                with self._write_lock:
+                    return wire.ok_response(handler(fields))
             return wire.ok_response(handler(fields))
         except ReproError as exc:
             return wire.error_response(exc)
@@ -125,7 +143,11 @@ class SServerEndpoint(Endpoint):
         self.hibc_node = hibc_node
         self.root_public = root_public
         # Established cross-domain session keys, by transcript handle.
+        # OP_XD_HANDSHAKE is a *read* opcode (see MUTATING_OPS note), so
+        # concurrent handshakes and searches race on this table; the
+        # fine-grained lock keeps each access atomic.
         self._sessions: dict[bytes, bytes] = {}
+        self._sessions_lock = threading.Lock()
         self._ops = {
             wire.OP_STORE: self._op_store,
             wire.OP_SEARCH: self._op_search,
@@ -237,12 +259,14 @@ class SServerEndpoint(Endpoint):
             self.hibc_node, handshake, self.server.params, self.root_public)
         handle = crossdomain.session_handle(
             patient_tuple, self.hibc_node.id_tuple, ciphertext)
-        self._sessions[handle] = session_key
+        with self._sessions_lock:
+            self._sessions[handle] = session_key
         return b""
 
     def _op_xd_search(self, fields: list[bytes]) -> bytes:
         handle, collection_id, env_b = self._expect(fields, 3)
-        session_key = self._sessions.get(handle)
+        with self._sessions_lock:
+            session_key = self._sessions.get(handle)
         if session_key is None:
             raise AuthenticationError("unknown cross-domain session")
         reply = self.server.handle_search_session(

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 from repro.crypto import engine as engine_mod
 from repro.crypto.broadcast import BroadcastCiphertext
@@ -45,6 +46,18 @@ from repro.core.protocols.messages import (Envelope, ReplayGuard,
                                            open_envelope, pack_fields, seal,
                                            unpack_fields)
 from repro.exceptions import ParameterError, StorageError
+
+
+def _warn_max_workers(max_workers, method: str) -> None:
+    """PR 1's search thread pool is gone (measured 0.95x vs serial —
+    GIL-bound); parallelism now comes from the process-parallel crypto
+    engine.  Passing the dead parameter gets a warning, not silence."""
+    if max_workers is not None:
+        warnings.warn(
+            "StorageServer.%s(max_workers=...) is deprecated and has no "
+            "effect; configure a crypto engine (HCPP_CRYPTO_WORKERS, "
+            "--workers, or server.engine) instead" % method,
+            DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -277,10 +290,13 @@ class StorageServer:
         batch cost — fan out across worker *processes*; envelope
         open/search/seal then runs serially in the parent, in request
         order, so :class:`ReplayGuard` bookkeeping and the reply bytes
-        are exactly the serial ones.  ``max_workers`` is retained for
-        API compatibility and ignored (thread pools lost to serial).
+        are exactly the serial ones.
+
+        .. deprecated:: PR 7
+           ``max_workers`` (the PR 1 thread pool size) has no effect;
+           configure a crypto engine instead.  Passing it warns.
         """
-        del max_workers
+        _warn_max_workers(max_workers, "handle_search_batch")
         eng = engine_mod.resolve(self.engine)
         if eng is not None and len(requests) > 1:
             keys = eng.map(SHARED_KEY_SPEC,
@@ -304,14 +320,17 @@ class StorageServer:
         a serial loop over the ids.
 
         Serial by default (the PR 1 thread pool measured slower than
-        serial; ``max_workers`` is retained for API compatibility and
-        ignored).  With a crypto engine and every collection blob-backed,
+        serial).  With a crypto engine and every collection blob-backed,
         each collection's index walk runs in a worker process — workers
         deserialize through their own index caches — while observation
         logging and fid → ciphertext resolution stay in the parent, in
         the same order as the serial loop.
+
+        .. deprecated:: PR 7
+           ``max_workers`` (the PR 1 thread pool size) has no effect;
+           configure a crypto engine instead.  Passing it warns.
         """
-        del max_workers
+        _warn_max_workers(max_workers, "handle_search_multi")
         key = self.session_key(pseudonym)
         payload = open_envelope(key, envelope, now, self._guard,
                                 expected_label="phi-retrieve")
@@ -404,8 +423,13 @@ class StorageServer:
         plaintext = AuthenticatedCipher(key).decrypt(payload)
         d_new, broadcast_blob = unpack_fields(plaintext, expected=2)
         collection = self._collection(collection_id)
-        collection.group_secret_d = d_new
-        collection.broadcast_d = _deserialize_broadcast(broadcast_blob)
+        # Publish the new group state as one reference swap: a search
+        # running concurrently with the (single-writer) revoke sees the
+        # old (d, BE_U(d)) pair or the new one, never a d′ paired with a
+        # stale broadcast.
+        self._collections[collection_id] = replace(
+            collection, group_secret_d=d_new,
+            broadcast_d=_deserialize_broadcast(broadcast_blob))
         self._observe("revoke", pseudonym.to_bytes(), collection_id, b"", now)
 
     # -- MHI (§IV.E.2) -------------------------------------------------------

@@ -29,8 +29,10 @@ __all__ = [
     "OP_XD_SEARCH", "OP_REGISTER_PDEVICE", "OP_EMERGENCY_AUTH",
     "OP_ROLE_KEY", "OP_ASSIGN", "OP_PASSCODE",
     "make_frame", "parse_frame", "ok_response", "error_response",
-    "parse_response", "encode_files", "decode_files", "files_digest",
+    "parse_response", "transient_error_in", "encode_files",
+    "decode_files", "files_digest",
     "ts_to_bytes", "ts_from_bytes",
+    "CORR_MAGIC", "MAX_CORR_ID", "wrap_corr", "unwrap_corr",
 ]
 
 # -- opcodes (first frame field; also the dispatch routing key) -------------
@@ -101,6 +103,64 @@ def parse_response(response: bytes) -> bytes:
                              "response" % name) from None
     cls = _EXCEPTIONS_BY_NAME.get(name_text, TransportError)
     raise cls(message.decode(errors="replace"))
+
+
+def transient_error_in(response: bytes) -> str | None:
+    """The message of a serialized TransientTransportError, or None.
+
+    Over the in-process loopback a refusal (a durable endpoint that is
+    down, or one that crashed mid journal write) *raises* through the
+    transport, where the retry layer catches it.  Over a real carrier
+    the server's blanket handler serializes the same exception into an
+    ordinary error response — the retry layer peeks with this helper so
+    remote refusals retry exactly like in-process ones.
+    """
+    if len(response) < 2 or response[0] != _STATUS_ERROR:
+        return None
+    try:
+        name, message = unpack_fields(response[1:], expected=2)
+    except ReproError:
+        return None
+    if name != b"TransientTransportError":
+        return None
+    return message.decode(errors="replace")
+
+
+# -- correlation ids (multiplexed transports) -------------------------------
+# A multiplexing transport pipelines many frames over one connection and
+# must match each response to its caller.  The envelope is versioned by
+# its leading byte: id 0 encodes as the *identity* (the exact bytes every
+# blocking backend puts on the wire, so single-in-flight traffic stays
+# byte-identical across all four backends and a legacy peer needs no
+# upgrade), and nonzero ids prepend ``CORR_MAGIC ‖ u32-BE id``.  The
+# magic starts with 0xff: a legacy frame starts with the u32-BE length
+# of its opcode field (a few dozen bytes) and a response starts with a
+# 0x00/0x01 status byte, so neither can ever collide with the prefix.
+CORR_MAGIC = b"\xffMX1"
+MAX_CORR_ID = 0xFFFFFFFF
+
+
+def wrap_corr(frame_id: int, blob: bytes) -> bytes:
+    """Prefix ``blob`` with correlation id ``frame_id`` (0 = identity)."""
+    if frame_id == 0:
+        return blob
+    if not 0 < frame_id <= MAX_CORR_ID:
+        raise ParameterError("correlation id %r outside the u32 wire range"
+                             % frame_id)
+    return CORR_MAGIC + frame_id.to_bytes(4, "big") + blob
+
+
+def unwrap_corr(blob: bytes) -> tuple[int, bytes]:
+    """Split a wire blob into (correlation id, frame-or-response bytes)."""
+    if not blob.startswith(CORR_MAGIC):
+        return 0, blob
+    if len(blob) < len(CORR_MAGIC) + 4:
+        raise TransportError("truncated correlation-id prefix")
+    frame_id = int.from_bytes(blob[4:8], "big")
+    if frame_id == 0:
+        raise TransportError("explicit correlation id 0 is reserved for "
+                             "the identity encoding")
+    return frame_id, blob[8:]
 
 
 # -- timestamps -------------------------------------------------------------

@@ -33,6 +33,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.core import wire
 from repro.exceptions import TransientTransportError, TransportError
 
 _DEFAULT_ATTEMPT_TIMEOUT_S = 5.0
@@ -168,8 +169,8 @@ class Transport(abc.ABC):
                  reply_label: str, bill_reply: bool) -> bytes:
         faults = self._fault_policy
         if faults is None:
-            return self._carry_frame(src, dst, frame, label, reply_label,
-                                     bill_reply)
+            return self._screen(self._carry_frame(src, dst, frame, label,
+                                                  reply_label, bill_reply))
         plan = faults.plan(src, dst, label, frame)
         if plan.refused:
             raise TransientTransportError(
@@ -198,6 +199,21 @@ class Transport(abc.ABC):
                                           label + DUPLICATE_SUFFIX,
                                           reply_label, False)
             faults.note_duplicate_reply(label, dup_reply)
+        return self._screen(response)
+
+    @staticmethod
+    def _screen(response: bytes) -> bytes:
+        """Re-raise a *serialized* transient refusal so retry fires.
+
+        In-process backends let a crashed durable endpoint's
+        ``TransientTransportError`` propagate up through the attempt;
+        socket/async servers serialize the same exception into an error
+        response.  Without this, remote refusals would dodge the retry
+        loop and surface in protocol code instead.
+        """
+        message = wire.transient_error_in(response)
+        if message is not None:
+            raise TransientTransportError(message)
         return response
 
     # -- shared plumbing ----------------------------------------------------

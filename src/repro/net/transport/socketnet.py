@@ -102,9 +102,35 @@ class _FrameHandler(socketserver.BaseRequestHandler):
             pass  # client already gone; nothing left to tell it
 
 
+def _tune_socket(conn: socket.socket) -> None:
+    """Latency/rebind hygiene applied to every socket, both sides.
+
+    ``TCP_NODELAY`` matters because frames are small write-then-wait
+    exchanges: with Nagle on, the 4-byte length prefix and the frame
+    body can be held back waiting for the peer's delayed ACK, which is
+    pure added latency for a pipelined workload.  ``SO_REUSEADDR``
+    lets a restarted process rebind its fixed smoke-test port while the
+    old connection lingers in TIME_WAIT.
+    """
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    except OSError:  # pragma: no cover - non-TCP test doubles
+        pass
+
+
 class _EndpointServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+
+    def server_bind(self) -> None:
+        _tune_socket(self.socket)
+        super().server_bind()
+
+    def get_request(self):
+        conn, addr = super().get_request()
+        _tune_socket(conn)
+        return conn, addr
 
 
 def serve_endpoint(endpoint, host: str = "127.0.0.1", port: int = 0,
@@ -211,8 +237,10 @@ class SocketTransport(Transport):
             if attempt:
                 time.sleep(self._connect_retry_delay_s)
             try:
-                return socket.create_connection(route,
+                conn = socket.create_connection(route,
                                                 timeout=self._timeout)
+                _tune_socket(conn)
+                return conn
             except _TRANSIENT_OS_ERRORS as exc:
                 last = exc
             except OSError as exc:

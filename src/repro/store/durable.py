@@ -145,7 +145,10 @@ class DurableEndpoint:
         self._lock = threading.RLock()
         self._transport = None
         self._inner = None
-        self._suspend_journal = False
+        # Thread currently inside a mutating handler (guard journaling
+        # is suspended for that thread only: replay regenerates its
+        # commitments, but *concurrent* read-op guards must still land).
+        self._suspend_thread: int | None = None
         self._fault_policy = None
         self._snapshot_id = 0
         self._mutations = 0
@@ -172,46 +175,60 @@ class DurableEndpoint:
 
     # -- the wire boundary ---------------------------------------------------
     def handle_frame(self, frame: bytes) -> bytes:
+        try:
+            opcode, _ = wire.parse_frame(frame)
+        except Exception:
+            opcode = None
         with self._lock:
             inner = self._inner
             if inner is None:
                 raise TransientTransportError(
                     "durable endpoint %r is down" % self.address)
-            try:
-                opcode, _ = wire.parse_frame(frame)
-            except Exception:
-                opcode = None
-            if opcode not in type(inner).MUTATING_OPS:
-                response = inner.handle_frame(frame)
-                # A guard-listener append may have torn mid-handling (an
-                # armed crash): the inner endpoint's blanket exception
-                # wrapper turned that into an error response, but a dead
-                # process answers nothing — surface it as the transport
-                # refusal it really is so the client's retry fires.
-                if self._inner is None:
-                    raise TransientTransportError(
-                        "durable endpoint %r crashed mid-write"
-                        % self.address)
-                return response
-            # Mutating frame: suspend guard journaling — replay will
-            # regenerate the guard commitment through the same handler,
-            # and journaling it separately would make the replayed tag
-            # collide with the replayed frame.
-            # The journaled timestamp is the clock the handler *started*
-            # under: nested pushes (the A-server's step 3) advance the
-            # clock mid-handler, and replay must mint byte-identical
-            # artifacts (t_issue in the TR) from the original time.
-            started = self._transport.now if self._transport else 0.0
-            self._suspend_journal = True
-            try:
-                response = inner.handle_frame(frame)
-            finally:
-                self._suspend_journal = False
-            if response[:1] == _STATUS_OK:
-                # Commit point: the record is fsynced before the ack
-                # leaves.  An acknowledged mutation survives any crash.
-                self._commit(frame, started)
-            return response
+            if opcode in type(inner).MUTATING_OPS:
+                return self._handle_mutating(inner, frame)
+        # Read-only frame: handled *outside* the wrapper lock, so the
+        # pipelined async backend can run reads concurrently (with each
+        # other and with at most one writer — the inner endpoint's
+        # reentrancy contract).  Durability is untouched: the only disk
+        # write a read can cause is its guard commitment, and the
+        # on_remember listener takes this lock itself.
+        response = inner.handle_frame(frame)
+        with self._lock:
+            # A guard-listener append may have torn mid-handling (an
+            # armed crash): the inner endpoint's blanket exception
+            # wrapper turned that into an error response, but a dead
+            # process answers nothing — surface it as the transport
+            # refusal it really is so the client's retry fires.
+            if self._inner is None:
+                raise TransientTransportError(
+                    "durable endpoint %r crashed mid-write"
+                    % self.address)
+        return response
+
+    def _handle_mutating(self, inner, frame: bytes) -> bytes:
+        # Caller holds self._lock — mutations are single-writer through
+        # here AND through the inner endpoint's own _write_lock, so the
+        # journal append order is the order handlers ran in.
+        #
+        # Suspend guard journaling for this thread: replay will
+        # regenerate the guard commitment through the same handler, and
+        # journaling it separately would make the replayed tag collide
+        # with the replayed frame.
+        # The journaled timestamp is the clock the handler *started*
+        # under: nested pushes (the A-server's step 3) advance the
+        # clock mid-handler, and replay must mint byte-identical
+        # artifacts (t_issue in the TR) from the original time.
+        started = self._transport.now if self._transport else 0.0
+        self._suspend_thread = threading.get_ident()
+        try:
+            response = inner.handle_frame(frame)
+        finally:
+            self._suspend_thread = None
+        if response[:1] == _STATUS_OK:
+            # Commit point: the record is fsynced before the ack
+            # leaves.  An acknowledged mutation survives any crash.
+            self._commit(frame, started)
+        return response
 
     def _commit(self, frame: bytes, started: float) -> None:
         # Caller holds self._lock.
@@ -366,7 +383,8 @@ class DurableEndpoint:
     def _make_guard_listener(self, index: int):
         def on_remember(tag: bytes, timestamp: float) -> None:
             with self._lock:
-                if self._suspend_journal or self._inner is None:
+                if (self._suspend_thread == threading.get_ident()
+                        or self._inner is None):
                     return
                 try:
                     self._store.writer().append(

@@ -137,6 +137,71 @@ class Engine:
 """
 
 
+ASYNC_MIXED = """
+class Mux:
+    async def send(self, frame):
+        async with self._write_lock:
+            self._pending[1] = frame
+
+    async def drop(self, frame_id):
+        self._pending.pop(frame_id, None)
+"""
+
+ASYNC_LOCKED = """
+class Mux:
+    async def send(self, frame):
+        async with self._write_lock:
+            self._pending[1] = frame
+
+    async def drop(self, frame_id):
+        async with self._write_lock:
+            self._pending.pop(frame_id, None)
+"""
+
+LOOP_AFFINE = """
+class Transport:
+    async def connect(self, dst):
+        async with self._conn_lock:
+            self._conns[dst] = open_conn(dst)
+
+    async def shutdown(self):
+        # Loop-affine: runs on the event loop thread, which owns the
+        # connection table.
+        self._conns.clear()
+"""
+
+
+def test_async_with_lock_counts_as_locked(rule):
+    # ``async with self._lock`` is a lock context exactly like its
+    # synchronous twin: the locked variant is clean...
+    assert not analyze_source(ASYNC_LOCKED, rule)
+
+
+def test_async_mutation_outside_lock_flags(rule):
+    # ...and the unlocked one is the same torn-write hazard as in
+    # threaded code.
+    findings = analyze_source(ASYNC_MIXED, rule)
+    assert len(findings) == 1
+    assert "_pending" in findings[0].message
+    assert "drop" in findings[0].message
+
+
+def test_loop_affine_marker_suppresses(rule):
+    # State owned by an event loop is serialized by the loop itself;
+    # the marker takes credit for it the way caller-holds does.
+    assert not analyze_source(LOOP_AFFINE, rule)
+
+
+def test_loop_affine_marker_is_per_function(rule):
+    # The marker only covers the function that carries it.
+    findings = analyze_source(LOOP_AFFINE + """
+    async def evict(self, dst):
+        self._conns.pop(dst, None)
+""", rule)
+    assert len(findings) == 1
+    assert "evict" in findings[0].message
+
+
 def test_unlocked_pool_lifecycle_call_flags(rule):
     # .terminate() on an attribute assigned under the lock is the same
     # lost-update hazard as an unlocked .append.

@@ -1,11 +1,14 @@
-"""Transport parity: one protocol suite, three interchangeable carriers.
+"""Transport parity: one protocol suite, four interchangeable carriers.
 
 The same seeded deployment is driven through every protocol over the
-in-process loopback, the discrete-event simulator, and real TCP sockets.
-Because protocols serialize to wire frames before any transport touches
-them, the retrieved plaintext AND the per-protocol frame accounting
-(message count, byte total) must be identical across all three backends
-— the simulator measures exactly what a socket deployment would send.
+in-process loopback, the discrete-event simulator, real TCP sockets,
+and the asyncio multiplexed backend.  Because protocols serialize to
+wire frames before any transport touches them, the retrieved plaintext
+AND the per-protocol frame accounting (message count, byte total) must
+be identical across all four backends — the simulator measures exactly
+what a socket deployment would send, and single-in-flight async
+traffic (correlation id 0 encodes as the identity bytes) weighs the
+same as blocking-socket traffic.
 """
 
 from __future__ import annotations
@@ -23,10 +26,10 @@ from repro.core.protocols.privilege import (assign_privilege,
                                             revoke_privilege)
 from repro.core.protocols.retrieval import common_case_retrieval
 from repro.core.protocols.storage import private_phi_storage
-from repro.net.transport import (LoopbackTransport, SimTransport,
-                                 SocketTransport)
+from repro.net.transport import (AsyncTransport, LoopbackTransport,
+                                 SimTransport, SocketTransport)
 
-BACKENDS = ["loopback", "sim", "socket"]
+BACKENDS = ["loopback", "sim", "socket", "async"]
 
 
 def _make_transport(backend: str, system):
@@ -34,11 +37,13 @@ def _make_transport(backend: str, system):
         return LoopbackTransport()
     if backend == "sim":
         return system.network
+    if backend == "async":
+        return AsyncTransport()
     return SocketTransport()
 
 
 def _close(net) -> None:
-    if isinstance(net, SocketTransport):
+    if isinstance(net, (SocketTransport, AsyncTransport)):
         net.close()
 
 
@@ -141,6 +146,8 @@ def _crossdomain_federation(backend: str):
         net.connect(patient.address, server.address, LinkClass.INTERNET)
     elif backend == "socket":
         net = SocketTransport()
+    elif backend == "async":
+        net = AsyncTransport()
     else:
         net = LoopbackTransport()
 
@@ -164,16 +171,16 @@ def run_crossdomain(backend: str) -> dict:
 
 
 class TestTransportParity:
-    """All six protocols, three backends, byte-identical accounting."""
+    """All six protocols, four backends, byte-identical accounting."""
 
     def test_protocol_suite_identical_across_backends(self):
         baseline = run_suite("loopback")
-        for backend in ("sim", "socket"):
+        for backend in ("sim", "socket", "async"):
             assert run_suite(backend) == baseline, backend
 
     def test_crossdomain_identical_across_backends(self):
         baseline = run_crossdomain("loopback")
-        for backend in ("sim", "socket"):
+        for backend in ("sim", "socket", "async"):
             assert run_crossdomain(backend) == baseline, backend
 
     def test_pinned_message_counts_hold_on_loopback(self):

@@ -27,9 +27,9 @@ from repro.core.protocols.privilege import (assign_privilege,
 from repro.core.protocols.retrieval import common_case_retrieval
 from repro.core.protocols.storage import private_phi_storage
 from repro.core.system import build_system
-from repro.net.transport import (FaultPolicy, LoopbackTransport,
-                                 RetryPolicy, SocketTransport,
-                                 parse_fault_spec)
+from repro.net.transport import (AsyncTransport, FaultPolicy,
+                                 LoopbackTransport, RetryPolicy,
+                                 SocketTransport, parse_fault_spec)
 from repro.exceptions import (ParameterError, ReplayError, ReproError,
                               TransientTransportError, TransportError)
 
@@ -40,7 +40,7 @@ CARDIO_TEXT = "Prior MI (2024); ejection fraction 45%."
 # at least once each over the ~30 frames of the full suite.
 CHAOS_SEED = 15
 
-BACKENDS = ["loopback", "sim", "socket"]
+BACKENDS = ["loopback", "sim", "socket", "async"]
 
 
 class _Echo:
@@ -62,11 +62,13 @@ def _make_transport(backend: str, system):
         return LoopbackTransport()
     if backend == "sim":
         return system.network
+    if backend == "async":
+        return AsyncTransport()
     return SocketTransport()
 
 
 def _close(net) -> None:
-    if isinstance(net, SocketTransport):
+    if isinstance(net, (SocketTransport, AsyncTransport)):
         net.close()
 
 

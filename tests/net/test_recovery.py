@@ -29,7 +29,9 @@ from repro.core.protocols.privilege import (assign_privilege,
 from repro.core.protocols.retrieval import common_case_retrieval
 from repro.core.protocols.storage import private_phi_storage
 from repro.core.system import build_system
-from repro.net.transport import FaultPolicy, LoopbackTransport, RetryPolicy
+from repro.net.transport import (AsyncTransport, FaultPolicy,
+                                 LoopbackTransport, RetryPolicy,
+                                 SocketTransport)
 from repro.store import (DurableStore, bind_durable_aserver,
                          bind_durable_pdevice, bind_durable_sserver)
 
@@ -40,9 +42,25 @@ CARDIO_TEXT = "Prior MI (2024); ejection fraction 45%."
 CHAOS_SEED = 15
 
 
-def _durable_deployment(tmp_path, *, seed, faults, snapshot_every=0):
+def _make_transport(backend: str, system):
+    if backend == "sim":
+        return system.network
+    if backend == "socket":
+        return SocketTransport()
+    if backend == "async":
+        return AsyncTransport()
+    return LoopbackTransport()
+
+
+def _close(net) -> None:
+    if isinstance(net, (SocketTransport, AsyncTransport)):
+        net.close()
+
+
+def _durable_deployment(tmp_path, *, seed, faults, snapshot_every=0,
+                        backend="loopback"):
     system = build_system(seed=seed)
-    net = with_policies(LoopbackTransport(),
+    net = with_policies(_make_transport(backend, system),
                         retry=RetryPolicy(attempt_timeout_s=0.2,
                                           base_backoff_s=0.01),
                         faults=faults)
@@ -164,6 +182,32 @@ class TestChaosRecoveryMatrix:
         assert faults.counts["refused"] >= 1
         assert faults.counts["restarted"] >= 3
         durable = endpoints[victim]
+        assert durable.recoveries >= 4  # initial boot + 3 crashes
+        assert durable._store.torn_repairs >= 1
+
+    @pytest.mark.parametrize("backend", ["sim", "socket", "async"])
+    def test_suite_survives_crashes_on_every_backend(self, tmp_path,
+                                                     backend):
+        # The loopback matrix above, re-run over the other three
+        # carriers — in particular the asyncio multiplexed backend,
+        # where recovery must compose with pipelined dispatch: the
+        # crashed endpoint's refusals ride back as serialized transient
+        # errors over the persistent connection and the client retries
+        # against the recovered state.
+        faults = FaultPolicy(seed=CHAOS_SEED, drop_rate=0.05,
+                             duplicate_rate=0.02)
+        system, net, endpoints = _durable_deployment(
+            tmp_path, seed=b"recovery-" + backend.encode(), faults=faults,
+            backend=backend)
+        try:
+            patient, server, _ = _run_suite_with_crashes(
+                system, net, faults, system.sserver.address,
+                torn_write_victim=system.sserver.address)
+            _assert_evidence_intact(system, patient, server, net)
+        finally:
+            _close(net)
+        assert faults.counts["restarted"] >= 3
+        durable = endpoints["sserver"]
         assert durable.recoveries >= 4  # initial boot + 3 crashes
         assert durable._store.torn_repairs >= 1
 

@@ -248,6 +248,57 @@ class TestSocketTransport:
             server.server_close()
 
 
+class TestSocketTuning:
+    """Both sides of every TCP exchange disable Nagle (small
+    write-then-wait frames must not sit out a delayed ACK) and allow
+    address reuse (fixed smoke-test ports rebind through TIME_WAIT)."""
+
+    def test_server_listener_options(self):
+        import socket as socket_mod
+        transport = SocketTransport()
+        try:
+            transport.bind("svc://a", EchoEndpoint())
+            listener = transport._servers[0].socket
+            assert listener.getsockopt(socket_mod.SOL_SOCKET,
+                                       socket_mod.SO_REUSEADDR)
+            assert listener.getsockopt(socket_mod.IPPROTO_TCP,
+                                       socket_mod.TCP_NODELAY)
+        finally:
+            transport.close()
+
+    def test_accepted_and_client_connections_get_nodelay(self):
+        import socket as socket_mod
+        from repro.net.transport import socketnet
+
+        transport = SocketTransport()
+        seen = []
+        original_tune = socketnet._tune_socket
+
+        def spy(conn):
+            original_tune(conn)
+            try:
+                seen.append((
+                    conn.getsockopt(socket_mod.IPPROTO_TCP,
+                                    socket_mod.TCP_NODELAY),
+                    conn.getsockopt(socket_mod.SOL_SOCKET,
+                                    socket_mod.SO_REUSEADDR)))
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+
+        socketnet._tune_socket = spy
+        try:
+            transport.bind("svc://a", EchoEndpoint())
+            transport.request("cli://x", "svc://a",
+                              wire.make_frame(b"echo", b"t"), label="step")
+        finally:
+            socketnet._tune_socket = original_tune
+            transport.close()
+        # Listener + accepted server socket + client socket all pass
+        # through _tune_socket and come out with both options set.
+        assert len(seen) >= 3
+        assert all(nodelay and reuse for nodelay, reuse in seen)
+
+
 class TestFrameRecord:
     def test_latency_property(self):
         record = FrameRecord(src="a", dst="b", label="l", nbytes=1,

@@ -20,11 +20,19 @@ fresh child over the same directory, and the retrieval must still
 return the identical plaintext — recovered purely from the on-disk
 write-ahead journal.
 
+``--async`` swaps both processes onto the asyncio multiplexed backend:
+after the upload, the client pre-seals a batch of keyword searches and
+fires them from concurrent threads down ONE pipelined TCP connection —
+every caller must get its own keyword's files back (correlation ids
+route the out-of-order replies) and the measured peak in-flight depth
+must exceed one, proving genuine cross-process pipelining.
+
 Usage::
 
     python tools/socket_smoke.py --auto            # spawns its own server
     python tools/socket_smoke.py --auto --chaos    # + connect failures/drops
     python tools/socket_smoke.py --auto --durable /tmp/smokedata  # + kill -9
+    python tools/socket_smoke.py --async           # pipelined mux smoke
     python tools/socket_smoke.py --serve           # prints "PORT <n>"
     python tools/socket_smoke.py --client --port <n>
 """
@@ -40,8 +48,10 @@ import time
 
 SEED = b"socket-smoke"
 EXPECTED = "Severe penicillin allergy; carries epinephrine."
+CARDIO = "Prior MI (2024); ejection fraction 45%."
 CHAOS_SERVE_DELAY_S = 1.5
 CHAOS_FAULT_SPEC = dict(seed=11, drop_rate=0.2, duplicate_rate=0.2)
+CONCURRENT_SEARCHES = 8
 
 
 def _build_system():
@@ -50,16 +60,16 @@ def _build_system():
 
 
 def serve(port: int = 0, delay_s: float = 0.0,
-          data_dir: str | None = None) -> int:
+          data_dir: str | None = None, use_async: bool = False) -> int:
     from repro.core import dispatch
-    from repro.net.transport import SocketTransport
+    from repro.net.transport import AsyncTransport, SocketTransport
     system = _build_system()
     if delay_s:
         # Chaos mode: the port is agreed in advance and we bind late, so
         # the client's early connects are refused — its bounded connect
         # retry must bridge the gap.
         time.sleep(delay_s)
-    transport = SocketTransport()
+    transport = AsyncTransport() if use_async else SocketTransport()
     if data_dir:
         # Durable mode: binding over an existing data dir IS recovery —
         # a fresh OS process rebuilds the S-server from the journal.
@@ -123,6 +133,101 @@ def run_client(port: int, chaos: bool = False) -> int:
         print("chaos: %s" % dict(counts))
     print("SMOKE OK: PHI stored and retrieved across two OS processes"
           + (" under injected faults" if chaos else ""))
+    return 0
+
+
+def run_async_client(port: int) -> int:
+    """Upload over the mux connection, then prove pipelining: N
+    pre-sealed searches fired from N threads share one TCP connection,
+    and correlation ids hand each caller its own keyword's files."""
+    import threading
+
+    from repro.ehr.records import Category
+    from repro.core import wire
+    from repro.core.protocols.messages import (Envelope, open_envelope,
+                                               pack_fields, seal,
+                                               unpack_fields)
+    from repro.core.protocols.storage import private_phi_storage
+    from repro.net.transport import AsyncTransport
+
+    system = _build_system()
+    patient, server = system.patient, system.sserver
+    transport = AsyncTransport(connect_retries=30,
+                               connect_retry_delay_s=0.2)
+    transport.add_route(server.address, "127.0.0.1", port)
+    assert transport.endpoint_at(server.address) is None, \
+        "client must hold no server endpoint — that is the point"
+
+    patient.add_record(Category.ALLERGIES, ["allergies", "penicillin"],
+                       EXPECTED, server.address)
+    patient.add_record(Category.CARDIOLOGY, ["cardiology"], CARDIO,
+                       server.address)
+    store = private_phi_storage(patient, server, transport)
+    print("stored: collection=%s %d B in %d frame(s)"
+          % (store.collection_id.hex()[:16], store.stats.bytes_total,
+             store.stats.messages))
+
+    # The Patient's RNG draws are not thread-safe, so every request is
+    # sealed serially up front; only the wire traffic is concurrent.
+    expected_by_keyword = {"allergies": [EXPECTED], "penicillin": [EXPECTED],
+                           "cardiology": [CARDIO]}
+    keywords = sorted(expected_by_keyword)
+    collection_id = patient.collection_ids[server.address]
+    prepared = []
+    for i in range(CONCURRENT_SEARCHES):
+        keyword = keywords[i % len(keywords)]
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(server.identity_key.public, pseudonym)
+        request = seal(nu, "phi-retrieve",
+                       pack_fields(patient.trapdoor(keyword).to_bytes()),
+                       transport.now)
+        frame = wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                                collection_id, request.to_bytes())
+        prepared.append((keyword, nu, frame))
+
+    barrier = threading.Barrier(CONCURRENT_SEARCHES)
+    responses: list[bytes | None] = [None] * CONCURRENT_SEARCHES
+    errors: list[BaseException] = []
+
+    def fire(slot: int, frame: bytes) -> None:
+        try:
+            barrier.wait()
+            responses[slot] = transport.request(
+                patient.address, server.address, frame,
+                label="retrieval/request", reply_label="retrieval/response")
+        except BaseException as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=fire, args=(i, frame))
+               for i, (_, _, frame) in enumerate(prepared)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    peak = transport.peak_in_flight()  # before close() drops the conns
+    transport.close()
+    if errors:
+        print("SMOKE FAIL: concurrent search raised %r" % errors[0])
+        return 1
+
+    for (keyword, nu, _), response in zip(prepared, responses):
+        reply = Envelope.from_bytes(wire.parse_response(response))
+        payload = open_envelope(nu, reply, transport.now,
+                                patient.replay_guard,
+                                expected_label="phi-results")
+        contents = [f.medical_content
+                    for f in patient.decrypt_results(unpack_fields(payload))]
+        if sorted(contents) != sorted(expected_by_keyword[keyword]):
+            print("SMOKE FAIL: %r returned %r" % (keyword, contents))
+            return 1
+    if peak < 2:
+        print("SMOKE FAIL: peak in-flight was %d — the %d concurrent "
+              "searches never overlapped on the wire"
+              % (peak, CONCURRENT_SEARCHES))
+        return 1
+    print("SMOKE OK: %d searches pipelined on one mux connection "
+          "across two OS processes (peak in-flight %d)"
+          % (CONCURRENT_SEARCHES, peak))
     return 0
 
 
@@ -199,9 +304,11 @@ def run_durable(data_dir: str) -> int:
         child.wait(timeout=10)
 
 
-def run_auto(chaos: bool = False) -> int:
+def run_auto(chaos: bool = False, use_async: bool = False) -> int:
     command = [sys.executable, __file__, "--serve"]
     port = None
+    if use_async:
+        command += ["--async"]
     if chaos:
         port = _free_port()
         command += ["--port", str(port),
@@ -216,6 +323,8 @@ def run_auto(chaos: bool = False) -> int:
             port = int(line.split()[1])
         # In chaos mode the client starts BEFORE the server is up, on a
         # pre-agreed port — the first connects are refused on purpose.
+        if use_async:
+            return run_async_client(port)
         return run_client(port, chaos=chaos)
     finally:
         child.terminate()
@@ -224,13 +333,17 @@ def run_auto(chaos: bool = False) -> int:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    mode = parser.add_mutually_exclusive_group(required=True)
+    mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--auto", action="store_true",
                       help="spawn a server child process and run the client")
     mode.add_argument("--serve", action="store_true",
                       help="host the S-server endpoint; prints PORT")
     mode.add_argument("--client", action="store_true",
                       help="run the client against --port")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="use the asyncio multiplexed backend and fire "
+                             "concurrent pipelined searches (alone: implies "
+                             "--auto)")
     parser.add_argument("--port", type=int, default=None)
     parser.add_argument("--serve-delay", type=float, default=0.0,
                         help="(with --serve) bind the port only after this "
@@ -243,16 +356,26 @@ def main() -> int:
                              "server mid-run, restart it, and retrieve; "
                              "(with --serve) serve durably from DIR")
     args = parser.parse_args()
+    if not (args.auto or args.serve or args.client):
+        if not args.use_async:
+            parser.error("one of --auto/--serve/--client is required")
+        args.auto = True
+    if args.use_async and (args.chaos or args.durable):
+        # Fault/crash coverage for the async backend lives in the pytest
+        # chaos matrix (tests/net/test_faults.py, test_recovery.py).
+        parser.error("--async does not combine with --chaos/--durable")
     if args.serve:
         return serve(port=args.port or 0, delay_s=args.serve_delay,
-                     data_dir=args.durable)
+                     data_dir=args.durable, use_async=args.use_async)
     if args.client:
         if args.port is None:
             parser.error("--client requires --port")
+        if args.use_async:
+            return run_async_client(args.port)
         return run_client(args.port, chaos=args.chaos)
     if args.durable:
         return run_durable(args.durable)
-    return run_auto(chaos=args.chaos)
+    return run_auto(chaos=args.chaos, use_async=args.use_async)
 
 
 if __name__ == "__main__":
