@@ -1,0 +1,221 @@
+"""Federation scaling benchmark: shard count vs build/search/recovery.
+
+Drives the sharded S-server federation (router + consistent-hash ring)
+at shard counts 1/2/4/8 and appends a run entry to a trajectory JSON
+file (default ``BENCH_scale.json`` at the repo root) with:
+
+1. population workload — descriptor generation throughput for the
+   synthetic Zipf population and its ring placement balance,
+2. index build — wall time to build and store ``--collections`` real
+   SSE collections through the router onto durable shards,
+3. search latency — per-request latency for Zipf-drawn keyword
+   searches routed scatter/gather through the router,
+4. single-shard recovery — wall time to replay one shard's journal
+   into a fresh endpoint (shrinks as 1/N with shard count: each shard
+   journals only its slice of the population).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench_scale.py \
+        --patients 100000 --out BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from repro.ehr.population import PopulationWorkload
+from repro.ehr.records import Category
+from repro.core import wire
+from repro.core.federation import bind_federated_sserver, shard_servers
+from repro.core.protocols.messages import pack_fields, seal
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.shard import HashRing
+from repro.core.system import build_system
+from repro.net.transport import LoopbackTransport
+from repro.store.durable import DurableStore, bind_durable_sserver
+
+SHARD_COUNTS = (1, 2, 4, 8)
+HEAD_KEYWORDS = tuple("kw-%04d" % i for i in range(8))
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def bench_population(n_patients: int, shard_counts) -> dict:
+    """Descriptor throughput and ring balance for the Zipf population."""
+    workload = PopulationWorkload(n_patients, seed=b"bench-scale-pop")
+    t0 = time.perf_counter()
+    keys = [patient.routing_key for patient in workload.patients()]
+    generate_s = time.perf_counter() - t0
+    placement = {}
+    for shards in shard_counts:
+        ring = HashRing(["sserver://bench-shard-%d" % i
+                         for i in range(shards)])
+        held: dict[bytes, int] = {}
+        for key in keys:
+            owner = ring.owner(key)
+            held[owner] = held.get(owner, 0) + 1
+        loads = sorted(held.values())
+        placement[str(shards)] = {
+            "min_fraction": loads[0] / len(keys),
+            "max_fraction": loads[-1] / len(keys),
+        }
+    return {
+        "n_patients": n_patients,
+        "generate_s": generate_s,
+        "patients_per_s": n_patients / generate_s,
+        "ring_placement": placement,
+    }
+
+
+def _search_frame(system, cid: bytes, keyword: str, now: float) -> bytes:
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    request = seal(nu, "phi-retrieve",
+                   pack_fields(patient.trapdoor(keyword).to_bytes()), now)
+    return wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                           cid, request.to_bytes())
+
+
+def bench_shard_count(shards: int, data_root: Path, workload,
+                      n_collections: int, n_queries: int) -> dict:
+    """Build, search, and recover one federated deployment."""
+    system = build_system(seed=b"bench-scale")
+    net = LoopbackTransport()
+    server = system.sserver
+    data_dir = data_root / ("shards-%d" % shards)
+    data_dir.mkdir(parents=True)
+    bind_federated_sserver(net, server, shards, data_dir=str(data_dir))
+    router = net.endpoint_at(server.address)
+
+    # -- index build: real SSE collections stored through the router ----
+    cids = []
+    t0 = time.perf_counter()
+    for i in range(n_collections):
+        system.patient.add_record(
+            Category.ALLERGIES, list(HEAD_KEYWORDS),
+            "population record %d" % i, server.address)
+        private_phi_storage(system.patient, server, net)
+        cids.append(system.patient.collection_ids[server.address])
+    build_s = time.perf_counter() - t0
+
+    # -- search latency: Zipf query stream scattered through the router -
+    samples = []
+    for patient_index, keyword in workload.queries(n_queries):
+        cid = cids[patient_index % len(cids)]
+        head = HEAD_KEYWORDS[int(keyword.split("-")[1]) % len(HEAD_KEYWORDS)]
+        frame = _search_frame(system, cid, head, net.now)
+        t0 = time.perf_counter()
+        response = router.handle_frame(frame)
+        samples.append(time.perf_counter() - t0)
+        wire.parse_response(response)  # raises on error replies
+
+    # -- single-shard recovery: replay shard 0's journal from disk ------
+    shard0 = shard_servers(server, shards)[0]
+    fresh_net = LoopbackTransport()
+    store = DurableStore(str(data_dir), "sserver-shard-0")
+    t0 = time.perf_counter()
+    endpoint = bind_durable_sserver(fresh_net, shard0, store)
+    recovery_s = time.perf_counter() - t0
+    recovered = endpoint.server.collection_count()
+
+    journal_bytes = sum(p.stat().st_size
+                        for p in data_dir.glob("*.journal"))
+    return {
+        "shards": shards,
+        "collections": n_collections,
+        "index_build_s": build_s,
+        "build_per_collection_ms": build_s / n_collections * 1e3,
+        "search_p50_ms": statistics.median(samples) * 1e3,
+        "search_p95_ms": _percentile(samples, 0.95) * 1e3,
+        "search_samples": len(samples),
+        "shard0_recovery_ms": recovery_s * 1e3,
+        "shard0_recovered_collections": recovered,
+        "journal_bytes_total": journal_bytes,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--patients", type=int, default=100_000,
+                        help="synthetic population size for the workload")
+    parser.add_argument("--collections", type=int, default=12,
+                        help="real SSE collections stored per deployment")
+    parser.add_argument("--queries", type=int, default=40,
+                        help="search latency samples per shard count")
+    parser.add_argument("--shards", default=",".join(
+        str(n) for n in SHARD_COUNTS),
+        help="comma-separated shard counts to sweep")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_scale.json")
+    args = parser.parse_args()
+    shard_counts = [int(token) for token in args.shards.split(",")]
+    if args.patients < 1 or args.collections < 1 or args.queries < 1:
+        parser.error("--patients/--collections/--queries must be >= 1")
+    if any(n < 1 for n in shard_counts):
+        parser.error("--shards entries must be >= 1")
+
+    print("== population workload (%d patients) ==" % args.patients)
+    population = bench_population(args.patients, shard_counts)
+    print("   generated in %.2f s (%.0f patients/s)"
+          % (population["generate_s"], population["patients_per_s"]))
+    for shards in shard_counts:
+        entry = population["ring_placement"][str(shards)]
+        print("   %d shard(s): load %.3f..%.3f of population"
+              % (shards, entry["min_fraction"], entry["max_fraction"]))
+
+    workload = PopulationWorkload(args.patients, seed=b"bench-scale-pop")
+    sweep = []
+    with tempfile.TemporaryDirectory(prefix="hcpp-bench-scale-") as tmp:
+        for shards in shard_counts:
+            print("== federation at %d shard(s) ==" % shards)
+            entry = bench_shard_count(shards, Path(tmp), workload,
+                                      args.collections, args.queries)
+            sweep.append(entry)
+            print("   build %.2f s (%.1f ms/collection)  "
+                  "search p50 %.2f ms p95 %.2f ms  "
+                  "shard-0 recovery %.1f ms (%d collection(s))"
+                  % (entry["index_build_s"],
+                     entry["build_per_collection_ms"],
+                     entry["search_p50_ms"], entry["search_p95_ms"],
+                     entry["shard0_recovery_ms"],
+                     entry["shard0_recovered_collections"]))
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "patients": args.patients,
+        "collections": args.collections,
+        "queries": args.queries,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": {"population": population, "shard_sweep": sweep},
+    }
+    trajectory = {"runs": []}
+    if args.out.exists():
+        try:
+            trajectory = json.loads(args.out.read_text())
+        except (ValueError, OSError):
+            pass
+        if not isinstance(trajectory.get("runs"), list):
+            trajectory = {"runs": []}
+    trajectory["runs"].append(entry)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print("appended run to %s (%d run(s) recorded)"
+          % (args.out, len(trajectory["runs"])))
+
+
+if __name__ == "__main__":
+    main()

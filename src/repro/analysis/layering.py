@@ -106,6 +106,16 @@ CONTRACTS = (
                         "repro.core.protocols", "repro.crypto.engine"),
              why="transports carry bytes; entities, protocols, and the "
                  "crypto worker pool live above/below the wire"),
+    Contract(prefix="repro.core.shard",
+             allowed=("repro.core.shard", "repro.exceptions"),
+             why="the consistent-hash ring is pure placement math below "
+                 "dispatch: no wire, no endpoints, no crypto"),
+    Contract(prefix="repro.core.router",
+             allowed=("repro.core.router", "repro.core.wire",
+                      "repro.core.shard", "repro.exceptions"),
+             why="the federation router forwards opaque frames by ring "
+                 "position; it must never import entity or protocol "
+                 "layers (it cannot open what it routes)"),
     Contract(prefix="repro.core.protocols",
              forbidden=("repro.net.sim", "repro.crypto.engine"),
              frames_only=True,

@@ -51,36 +51,49 @@ def _net(args, system):
     return carrier
 
 
-def _bind_durable(args, system, net):
-    """With ``--data-dir``, serve the three stateful surfaces through
-    durable endpoints: every acknowledged mutation is journaled under
-    the directory, and binding over an existing directory *is* recovery.
-    Returns the endpoints (or None without ``--data-dir``)."""
+def _bind_servers(args, system, net):
+    """Bind the configured server surfaces onto the carrier.
+
+    ``--shards N`` (N > 1) fronts the S-server with an N-shard
+    federation: the router serves the logical address, so every
+    protocol step runs unchanged.  ``--data-dir`` makes the surfaces
+    durable — each shard journals under its own ``sserver-shard-<i>``
+    series — and binding over an existing directory *is* recovery.
+    Returns the bound endpoints (or None when nothing special is on)."""
+    shards = getattr(args, "shards", 1) or 1
     data_dir = getattr(args, "data_dir", None)
-    if not data_dir:
+    if shards <= 1 and not data_dir:
         return None
     from repro.net.transport import as_transport
-    from repro.store import (DurableStore, bind_durable_aserver,
-                             bind_durable_pdevice, bind_durable_sserver)
-    # The sim carrier is a plain Network; durable endpoints bind on its
-    # cached SimTransport adapter — the same one every protocol call
-    # resolves via as_transport(), so the bindings are visible to them.
+    # The sim carrier is a plain Network; endpoints bind on its cached
+    # SimTransport adapter — the same one every protocol call resolves
+    # via as_transport(), so the bindings are visible to them.
     net = as_transport(net)
     snapshot_every = getattr(args, "snapshot_every", 0) or 0
-    return {
-        "sserver": bind_durable_sserver(
+    bound = {}
+    if shards > 1:
+        from repro.core.federation import bind_federated_sserver
+        bound["federation"] = bind_federated_sserver(
+            net, system.sserver, shards, data_dir=data_dir,
+            snapshot_every=snapshot_every)
+    if not data_dir:
+        return bound
+    from repro.store import (DurableStore, bind_durable_aserver,
+                             bind_durable_pdevice, bind_durable_sserver)
+    if shards <= 1:
+        bound["sserver"] = bind_durable_sserver(
             net, system.sserver,
             DurableStore(data_dir, "sserver",
-                         snapshot_every=snapshot_every)),
-        "aserver": bind_durable_aserver(
-            net, system.state,
-            DurableStore(data_dir, "aserver",
-                         snapshot_every=snapshot_every)),
-        "pdevice": bind_durable_pdevice(
-            net, system.pdevice, system.params,
-            DurableStore(data_dir, "pdevice",
-                         snapshot_every=snapshot_every)),
-    }
+                         snapshot_every=snapshot_every))
+    bound["aserver"] = bind_durable_aserver(
+        net, system.state,
+        DurableStore(data_dir, "aserver",
+                     snapshot_every=snapshot_every))
+    bound["pdevice"] = bind_durable_pdevice(
+        net, system.pdevice, system.params,
+        DurableStore(data_dir, "pdevice",
+                     snapshot_every=snapshot_every))
+    return bound
 
 
 def _prepared_system(args, with_privileges: bool = False):
@@ -92,7 +105,7 @@ def _prepared_system(args, with_privileges: bool = False):
                                  server_address=system.sserver.address)
     system.patient.import_collection(workload)
     net = _net(args, system)
-    _bind_durable(args, system, net)
+    args._bound = _bind_servers(args, system, net)
     result = private_phi_storage(system.patient, system.sserver, net)
     if with_privileges:
         assign_privilege(system.patient, system.family, system.sserver, net)
@@ -102,14 +115,19 @@ def _prepared_system(args, with_privileges: bool = False):
 
 def cmd_store(args) -> int:
     system, result = _prepared_system(args)
+    federation = (getattr(args, "_bound", None) or {}).get("federation")
+    servers = (list(federation.shards) if federation is not None
+               else [system.sserver])
     print("Stored %d PHI files at %s" % (args.files, system.sserver.name))
     print("  index: %7d B   files: %7d B   wire: %7d B in %d message(s)"
           % (result.index_bytes, result.files_bytes,
              result.stats.bytes_total, result.stats.messages))
     print("  patient-side secret: %d B (constant)"
           % system.patient.sse_keys.size_bytes())
-    print("  server-side total:   %d B (O(N))"
-          % system.sserver.total_storage_bytes())
+    print("  server-side total:   %d B (O(N))%s"
+          % (sum(s.total_storage_bytes() for s in servers),
+             " across %d shard(s)" % len(servers)
+             if federation is not None else ""))
     return 0
 
 
@@ -232,15 +250,21 @@ def cmd_recover(args) -> int:
     system = build_system(seed=args.seed.encode())
     net = _net(args, system)
     try:
-        _bind_durable(args, system, net)
+        bound = _bind_servers(args, system, net)
     except Exception as exc:
         print("recovery FAILED: %s: %s" % (type(exc).__name__, exc))
         return 1
-    server, state, pdevice = system.sserver, system.state, system.pdevice
+    state, pdevice = system.state, system.pdevice
+    federation = (bound or {}).get("federation")
+    storage_servers = (list(federation.shards) if federation is not None
+                       else [system.sserver])
     print("Recovered from %s (seed=%r):" % (args.data_dir, args.seed))
-    print("  S-server: %d collection(s), %d MHI window(s), %d B stored"
-          % (server.collection_count(), server.mhi_count(),
-             server.total_storage_bytes()))
+    print("  S-server%s: %d collection(s), %d MHI window(s), %d B stored"
+          % (" (%d shards)" % len(storage_servers)
+             if federation is not None else "",
+             sum(s.collection_count() for s in storage_servers),
+             sum(s.mhi_count() for s in storage_servers),
+             sum(s.total_storage_bytes() for s in storage_servers)))
     print("  A-server: %d trace(s), audit log size %d"
           % (len(state.traces), len(state.audit_log)))
     print("  P-device: %d RD record(s), ASSIGN package %s"
@@ -338,6 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --data-dir: write an atomic snapshot "
                              "every N mutations (default 0 = journal "
                              "only)")
+    common.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="partition the S-server index across N "
+                             "consistent-hash shards behind a federation "
+                             "router (default 1 = single server); "
+                             "composes with --data-dir (one journal per "
+                             "shard)")
     common.add_argument("--workers", type=int, default=0, metavar="N",
                         help="crypto worker processes for the batched "
                              "pairing paths (batch verify, multi-keyword "

@@ -32,13 +32,16 @@ from repro.core.entities import AssignPackage, PDevice, _PrivilegedEntity
 from repro.core.protocols.messages import (Envelope, ReplayGuard,
                                            open_envelope, pack_fields,
                                            unpack_fields)
-from repro.core.sserver import StorageServer, _deserialize_broadcast
+from repro.core.router import RouterEndpoint
+from repro.core.sserver import (SearchRequest, StorageServer,
+                                _deserialize_broadcast)
 from repro.exceptions import (AccessDenied, AuthenticationError,
                               IntegrityError, ParameterError, ReplayError,
                               ReproError, TransportError)
 
 __all__ = ["Endpoint", "SServerEndpoint", "AServerEndpoint",
-           "EntityEndpoint", "bind_sserver", "bind_aserver", "bind_entity"]
+           "EntityEndpoint", "RouterEndpoint", "bind_sserver",
+           "bind_aserver", "bind_entity"]
 
 
 def _pack_guard(guard: ReplayGuard) -> bytes:
@@ -151,6 +154,10 @@ class SServerEndpoint(Endpoint):
         self._ops = {
             wire.OP_STORE: self._op_store,
             wire.OP_SEARCH: self._op_search,
+            wire.OP_SEARCH_BATCH: self._op_search_batch,
+            wire.OP_SEARCH_MULTI: self._op_search_multi,
+            wire.OP_SEARCH_SHARD: self._op_search_shard,
+            wire.OP_SEARCH_MERGE: self._op_search_merge,
             wire.OP_GET_BROADCAST: self._op_get_broadcast,
             wire.OP_SEARCH_WRAPPED: self._op_search_wrapped,
             wire.OP_GROUP_UPDATE: self._op_group_update,
@@ -196,6 +203,60 @@ class SServerEndpoint(Endpoint):
         reply = self.server.handle_search(
             Point.from_bytes(pseud_b, self._curve), collection_id,
             Envelope.from_bytes(env_b), self.now)
+        return reply.to_bytes()
+
+    # -- batched / federated search ------------------------------------------
+    def _op_search_batch(self, fields: list[bytes]) -> bytes:
+        """Many independent searches in one frame.
+
+        Each frame field is one ``(pseudonym, Λ, envelope)`` entry; the
+        reply packs one *full status-framed response* per entry — entry k
+        carries its own ok/error encoding, independent of its neighbours.
+        Per-entry framing is what lets the federation router scatter
+        sub-batches to shards and splice the per-entry responses back
+        together byte-identically to one server serving the whole batch.
+        """
+        requests = []
+        for entry in fields:
+            pseud_b, collection_id, env_b = unpack_fields(entry, expected=3)
+            requests.append(SearchRequest(
+                pseudonym=Point.from_bytes(pseud_b, self._curve),
+                collection_id=collection_id,
+                envelope=Envelope.from_bytes(env_b)))
+        outcomes = self.server.handle_search_each(requests, self.now)
+        return pack_fields(*[
+            wire.error_response(exc) if exc is not None
+            else wire.ok_response(reply.to_bytes())
+            for reply, exc in outcomes])
+
+    def _op_search_multi(self, fields: list[bytes]) -> bytes:
+        pseud_b, cids_b, env_b = self._expect(fields, 3)
+        reply = self.server.handle_search_multi(
+            Point.from_bytes(pseud_b, self._curve),
+            list(unpack_fields(cids_b)), Envelope.from_bytes(env_b),
+            self.now)
+        return reply.to_bytes()
+
+    def _op_search_shard(self, fields: list[bytes]) -> bytes:
+        """Router→shard leg: guard-free sub-search, raw chunk reply."""
+        pseud_b, cids_b, env_b = self._expect(fields, 3)
+        chunks = self.server.handle_search_shard(
+            Point.from_bytes(pseud_b, self._curve),
+            list(unpack_fields(cids_b)), Envelope.from_bytes(env_b),
+            self.now)
+        return pack_fields(*[pack_fields(*chunk) for chunk in chunks])
+
+    def _op_search_merge(self, fields: list[bytes]) -> bytes:
+        """Router→shard leg: single guarded open + spliced sealed reply."""
+        pseud_b, cids_b, env_b, foreign_b = self._expect(fields, 4)
+        foreign: dict[bytes, list[bytes]] = {}
+        for entry in unpack_fields(foreign_b):
+            cid, chunk_b = unpack_fields(entry, expected=2)
+            foreign[cid] = list(unpack_fields(chunk_b))
+        reply = self.server.handle_search_merge(
+            Point.from_bytes(pseud_b, self._curve),
+            list(unpack_fields(cids_b)), Envelope.from_bytes(env_b),
+            foreign, self.now)
         return reply.to_bytes()
 
     # -- §IV.E.1 family-style emergency --------------------------------------

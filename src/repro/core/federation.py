@@ -1,0 +1,116 @@
+"""Federated S-server deployment: shards + router, wired to a transport.
+
+:func:`bind_federated_sserver` turns one logical S-server into an
+N-shard federation behind a :class:`~repro.core.router.RouterEndpoint`
+bound at the logical address — so every existing protocol flow (which
+resolves the S-server by ``server.address``) runs unchanged, and
+``dispatch.bind_sserver`` finds the router and returns it like any
+other already-bound endpoint.
+
+Every shard is its own :class:`~repro.core.sserver.StorageServer`
+holding the *same* SOK identity key as the logical server: ν =
+KDF(ê(Γ_S, client_public)) depends only on that key, so a client's
+sealed envelopes verify on whichever shard the router picks.  What the
+shards do **not** share is mutable state — each has its own collection
+map, replay guard, MHI store, and (when ``data_dir`` is given) its own
+journal/snapshot series under ``sserver-shard-<i>.*``, so one shard
+crashes, tears, and recovers independently of its peers.
+
+``n_shards=1`` degenerates to a router fronting a single shard —
+useful for parity testing; production-equivalent to a plain bind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import dispatch
+from repro.core.router import RouterEndpoint
+from repro.core.shard import DEFAULT_VNODES, HashRing
+from repro.core.sserver import StorageServer
+from repro.crypto.rng import HmacDrbg
+from repro.exceptions import ParameterError, TransportError
+from repro.net.transport import as_transport
+from repro.store.durable import DurableStore, bind_durable_sserver
+
+__all__ = ["Federation", "shard_servers", "bind_federated_sserver"]
+
+
+@dataclass
+class Federation:
+    """One bound federation: the router plus its shard deployment."""
+
+    router: RouterEndpoint
+    ring: HashRing
+    shards: tuple
+    endpoints: tuple
+
+    @property
+    def shard_addresses(self) -> tuple:
+        return tuple(shard.address for shard in self.shards)
+
+
+def shard_servers(server: StorageServer, n_shards: int) -> list:
+    """N shard servers for one logical S-server.
+
+    Names and addresses derive from the logical server's
+    (``hospital-a`` → ``hospital-a-shard-0`` …), deterministically, so a
+    restarted deployment rebuilds the identical ring.  Each shard gets
+    its own domain-separated DRBG; the identity key and crypto engine
+    are shared with the logical server.
+    """
+    if n_shards < 1:
+        raise ParameterError("a federation needs at least one shard")
+    shards = []
+    for i in range(n_shards):
+        name = "%s-shard-%d" % (server.name, i)
+        shards.append(StorageServer(
+            name, server.params, server.identity_key,
+            HmacDrbg(b"hcpp-shard/" + name.encode()),
+            engine=server.engine))
+    return shards
+
+
+def bind_federated_sserver(transport, server: StorageServer, n_shards: int,
+                           *, hibc_node=None, root_public=None, engine=None,
+                           data_dir: str | None = None,
+                           snapshot_every: int = 0, fault_policy=None,
+                           vnodes: int = DEFAULT_VNODES) -> Federation:
+    """Serve ``server.address`` with an N-shard federation.
+
+    With ``data_dir`` each shard binds durably (its own
+    ``DurableStore`` under ``sserver-shard-<i>``; binding over an
+    existing directory *is* recovery) and registers with
+    ``fault_policy`` for crash/restart injection.  Without it, shards
+    are plain in-memory endpoints.  The router itself is stateless and
+    needs no durability.
+    """
+    transport = as_transport(transport)
+    if transport.endpoint_at(server.address) is not None:
+        raise TransportError("address %r is already served"
+                             % server.address)
+    if engine is not None:
+        server.engine = engine
+    shards = shard_servers(server, n_shards)
+    endpoints = []
+    for i, shard in enumerate(shards):
+        if data_dir is not None:
+            store = DurableStore(data_dir, "sserver-shard-%d" % i,
+                                 snapshot_every=snapshot_every)
+            endpoint = bind_durable_sserver(
+                transport, shard, store, hibc_node=hibc_node,
+                root_public=root_public, fault_policy=fault_policy)
+        else:
+            endpoint = dispatch.bind_sserver(transport, shard,
+                                             hibc_node=hibc_node,
+                                             root_public=root_public)
+        endpoints.append(endpoint)
+    router = RouterEndpoint(server.address,
+                            [shard.address for shard in shards],
+                            vnodes=vnodes)
+    if hibc_node is not None:
+        router._hibc_node = hibc_node      # already applied per shard above
+        router._root_public = root_public
+    transport.bind(server.address, router)
+    return Federation(router=router, ring=router.ring,
+                      shards=tuple(shards), endpoints=tuple(endpoints))

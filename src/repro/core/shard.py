@@ -1,0 +1,131 @@
+"""Consistent-hash shard ring: stable key → shard placement.
+
+The federation layer partitions the S-server's per-collection state
+across N shards.  Placement must satisfy two hard requirements:
+
+* **deterministic across processes and restarts** — a collection stored
+  through the router yesterday must route to the same shard today, in a
+  different interpreter, under a different ``PYTHONHASHSEED``.  Every
+  ring position is therefore derived with SHA-256 (never ``hash()``,
+  never dict iteration order), and lookups walk a sorted position list.
+* **minimal movement on membership change** — consistent hashing with
+  virtual nodes: each shard owns ``vnodes`` pseudo-random arcs of the
+  2^64 ring, so adding or removing one shard remaps only the arcs it
+  owned (≈ 1/N of the keyspace), not everything.
+
+What gets hashed: HCPP pseudonyms are *fresh and unlinkable per
+request* (§IV.A), so the pseudonym itself cannot be a stable routing
+key.  The stable handle every collection op carries is the collection
+id — itself a SHA-256 of the accepted store envelope's tag (see
+:func:`collection_id_for_tag`, shared with
+:mod:`repro.core.sserver`) — and MHI ops carry the stable role-identity
+bytes.  The router hashes whichever stable key the opcode carries; the
+ring itself is key-agnostic bytes-in, shard-out.
+
+This module sits below :mod:`repro.core.dispatch`: stdlib plus
+:mod:`repro.exceptions` only (enforced by the hcpplint layering
+contract), so the router, the server, and out-of-process tooling can
+all agree on placement without importing any upper layer.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.exceptions import ParameterError
+
+__all__ = ["DEFAULT_VNODES", "HashRing", "collection_id_for_tag",
+           "ring_position"]
+
+#: Virtual nodes per shard.  128 arcs keeps the keyspace imbalance
+#: between shards under a few percent at the shard counts the
+#: federation targets (1–64) while the ring stays tiny (N×128 ints).
+DEFAULT_VNODES = 128
+
+_POSITION_BYTES = 8  # u64 ring coordinates
+
+
+def ring_position(shard_id: bytes, vnode_index: int) -> int:
+    """The u64 ring coordinate of one virtual node.
+
+    ``SHA-256(shard_id ‖ ':' ‖ vnode_index)`` truncated to 8 bytes —
+    pure bytes arithmetic, identical in every process regardless of
+    ``PYTHONHASHSEED`` (the bugfix this module's regression test pins).
+    """
+    digest = hashlib.sha256(
+        b"hcpp-shard-ring:" + shard_id + b":" + b"%d" % vnode_index
+    ).digest()
+    return int.from_bytes(digest[:_POSITION_BYTES], "big")
+
+
+def collection_id_for_tag(tag: bytes) -> bytes:
+    """Deterministic collection id from a store envelope's HMAC tag.
+
+    The single source of truth for the id both sides derive
+    independently: the S-server mints it when it accepts an upload
+    (:mod:`repro.core.sserver`), and the router re-derives it from the
+    OP_STORE frame's envelope to pick the owning shard — so the shard
+    that stores a collection is exactly the shard every later search
+    for it routes to.
+    """
+    return hashlib.sha256(b"hcpp-collection-id:" + tag).digest()[:16]
+
+
+class HashRing:
+    """Consistent-hash ring over a fixed set of shard ids.
+
+    Shard ids are opaque byte strings (the federation uses shard
+    *addresses*).  Construction order does not matter: the ring sorts
+    its positions, and every position is a pure SHA-256 of the shard id
+    — two rings built from the same id set are identical, whatever
+    order, process, or hash seed built them.
+    """
+
+    def __init__(self, shard_ids, vnodes: int = DEFAULT_VNODES) -> None:
+        ids = [sid.encode() if isinstance(sid, str) else bytes(sid)
+               for sid in shard_ids]
+        if not ids:
+            raise ParameterError("a hash ring needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ParameterError("duplicate shard id in ring")
+        if vnodes < 1:
+            raise ParameterError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.shard_ids = tuple(sorted(ids))
+        points: list[tuple[int, bytes]] = []
+        for sid in self.shard_ids:
+            for v in range(vnodes):
+                points.append((ring_position(sid, v), sid))
+        # A u64 collision between two 128-vnode shards is ~2^-40 per
+        # ring; sorting the (position, shard-id) pair makes even that
+        # case deterministic.
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [sid for _, sid in points]
+
+    def key_position(self, key: bytes) -> int:
+        """Where ``key`` lands on the ring (u64)."""
+        digest = hashlib.sha256(b"hcpp-shard-key:" + key).digest()
+        return int.from_bytes(digest[:_POSITION_BYTES], "big")
+
+    def owner(self, key: bytes) -> bytes:
+        """The shard id owning ``key``: the first virtual node at or
+        clockwise-after the key's ring position (wrapping at the top)."""
+        index = bisect.bisect_left(self._positions, self.key_position(key))
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+    def owner_str(self, key: bytes) -> str:
+        return self.owner(key).decode()
+
+    def distribution(self, keys) -> dict[bytes, int]:
+        """How many of ``keys`` each shard owns (diagnostics/tests)."""
+        counts = {sid: 0 for sid in self.shard_ids}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)

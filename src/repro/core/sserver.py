@@ -45,7 +45,8 @@ from repro.sse.multiuser import WrappedTrapdoor, unwrap_trapdoor
 from repro.core.protocols.messages import (Envelope, ReplayGuard,
                                            open_envelope, pack_fields, seal,
                                            unpack_fields)
-from repro.exceptions import ParameterError, StorageError
+from repro.core.shard import collection_id_for_tag
+from repro.exceptions import ParameterError, ReproError, StorageError
 
 
 def _warn_max_workers(max_workers, method: str) -> None:
@@ -133,8 +134,12 @@ def _collection_id_for(envelope: Envelope) -> bytes:
     we get here) and — unlike an RNG draw — reproducible during crash
     recovery, where the journal replays the same envelope against a
     fresh server whose DRBG is back at its initial state.
+
+    The derivation lives in :mod:`repro.core.shard` so the federation
+    router — which must pick the owning shard from the OP_STORE frame
+    *before* any server has accepted it — mints the identical id.
     """
-    return hashlib.sha256(b"hcpp-collection-id:" + envelope.tag).digest()[:16]
+    return collection_id_for_tag(envelope.tag)
 
 
 class StorageServer:
@@ -307,6 +312,88 @@ class StorageServer:
         return [self._search_with_key(key, req.pseudonym.to_bytes(),
                                       req.collection_id, req.envelope, now)
                 for req, key in zip(requests, keys)]
+
+    def handle_search_each(self, requests: "list[SearchRequest]",
+                           now: float) -> "list[tuple[Envelope | None, Exception | None]]":
+        """Per-request outcomes for the batched wire op (OP_SEARCH_BATCH).
+
+        Same key-derivation fan-out as :meth:`handle_search_batch`, but
+        each request resolves independently to ``(reply, None)`` or
+        ``(None, exception)`` instead of the whole batch failing at the
+        first error.  Independence is what lets the federation router
+        splice per-shard sub-batches back together with responses
+        byte-identical to one server handling the whole batch: entry k's
+        outcome depends only on entry k, never on its neighbours.
+        """
+        eng = engine_mod.resolve(self.engine)
+        if eng is not None and len(requests) > 1:
+            keys = eng.map(SHARED_KEY_SPEC,
+                           [(self.identity_key.private, req.pseudonym)
+                            for req in requests])
+        else:
+            keys = [self.session_key(req.pseudonym) for req in requests]
+        outcomes: list[tuple[Envelope | None, Exception | None]] = []
+        for req, key in zip(requests, keys):
+            try:
+                outcomes.append((self._search_with_key(
+                    key, req.pseudonym.to_bytes(), req.collection_id,
+                    req.envelope, now), None))
+            except ReproError as exc:
+                outcomes.append((None, exc))
+        return outcomes
+
+    def handle_search_shard(self, pseudonym: Point,
+                            collection_ids: list[bytes], envelope: Envelope,
+                            now: float) -> list[list[bytes]]:
+        """The guard-free shard leg of a scattered multi-collection search.
+
+        Verifies the envelope fully — label, HMAC_ν, freshness — but does
+        **not** consume the replay window and seals nothing: the merge
+        shard (the one collection-owner that splices the combined reply,
+        :meth:`handle_search_merge`) performs the single guarded open, so
+        a scattered request burns exactly one replay-guard commitment —
+        the same as one server serving OP_SEARCH_MULTI alone.  Returns
+        one raw ``fid ‖ ct`` result list per requested collection, in
+        the caller's collection order.
+        """
+        key = self.session_key(pseudonym)
+        payload = open_envelope(key, envelope, now, None,
+                                expected_label="phi-retrieve")
+        raw_trapdoors = unpack_fields(payload)
+        observed = pseudonym.to_bytes()
+        return [self._run_trapdoors(observed, cid, raw_trapdoors, now)
+                for cid in collection_ids]
+
+    def handle_search_merge(self, pseudonym: Point,
+                            collection_ids: list[bytes], envelope: Envelope,
+                            foreign_chunks: "dict[bytes, list[bytes]]",
+                            now: float) -> Envelope:
+        """The guarded merge leg of a scattered multi-collection search.
+
+        Opens the envelope exactly like :meth:`handle_search_multi`
+        (consuming the replay window), searches the locally-owned
+        collections, and splices the foreign shards' pre-computed result
+        chunks in at their positions in the caller's collection order —
+        so the sealed reply is byte-identical to one server that held
+        every collection.  The router sends this leg *last*: if any
+        foreign shard fails, the guard here was never consumed and the
+        client's retry replays cleanly.
+        """
+        key = self.session_key(pseudonym)
+        payload = open_envelope(key, envelope, now, self._guard,
+                                expected_label="phi-retrieve")
+        raw_trapdoors = unpack_fields(payload)
+        observed = pseudonym.to_bytes()
+        chunks = []
+        for cid in collection_ids:
+            foreign = foreign_chunks.get(cid)
+            if foreign is not None:
+                chunks.append(foreign)
+            else:
+                chunks.append(self._run_trapdoors(observed, cid,
+                                                  raw_trapdoors, now))
+        results = [item for chunk in chunks for item in chunk]
+        return seal(key, "phi-results", pack_fields(*results), now)
 
     def handle_search_multi(self, pseudonym: Point,
                             collection_ids: list[bytes], envelope: Envelope,

@@ -28,6 +28,8 @@ __all__ = [
     "OP_GROUP_UPDATE", "OP_MHI_STORE", "OP_MHI_SEARCH", "OP_XD_HANDSHAKE",
     "OP_XD_SEARCH", "OP_REGISTER_PDEVICE", "OP_EMERGENCY_AUTH",
     "OP_ROLE_KEY", "OP_ASSIGN", "OP_PASSCODE",
+    "OP_SEARCH_BATCH", "OP_SEARCH_MULTI", "OP_SEARCH_SHARD",
+    "OP_SEARCH_MERGE",
     "make_frame", "parse_frame", "ok_response", "error_response",
     "parse_response", "transient_error_in", "encode_files",
     "decode_files", "files_digest",
@@ -50,6 +52,17 @@ OP_EMERGENCY_AUTH = b"emergency-auth"    # §IV.E.2 steps 1-2
 OP_ROLE_KEY = b"role-key"                # §IV.E.2 Γ_r issuance
 OP_ASSIGN = b"assign"                    # §IV.C ASSIGN to an entity
 OP_PASSCODE = b"ibe-passcode"            # §IV.E.2 step 3 (server push)
+
+# Batched / federated search surface.  BATCH and MULTI are public ops a
+# client (or the router, scatter-gathering) may send; SHARD and MERGE
+# are the router→shard internal legs of a cross-shard MULTI: SHARD
+# verifies the envelope *without* consuming the replay window and
+# returns raw per-collection chunks, MERGE performs the single guarded
+# open on the owning shard and seals the one combined reply.
+OP_SEARCH_BATCH = b"phi-search-batch"    # many independent searches
+OP_SEARCH_MULTI = b"phi-search-multi"    # one trapdoor set, many Λ
+OP_SEARCH_SHARD = b"phi-search-shard"    # internal: guard-free sub-search
+OP_SEARCH_MERGE = b"phi-search-merge"    # internal: guarded splice + seal
 
 _STATUS_OK = 0x00
 _STATUS_ERROR = 0x01

@@ -17,7 +17,10 @@ population grows.
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.crypto.rng import HmacDrbg
 from repro.ehr.phi import generate_workload
@@ -137,3 +140,183 @@ class PopulationSimulation:
             retrieval_latencies=latencies,
             distinct_pseudonyms=len(pseudonyms),
         )
+
+
+# ---------------------------------------------------------------------------
+# Population-scale workload generation (no crypto).
+#
+# ``PopulationSimulation`` builds real crypto objects per patient, which is
+# right for protocol-level experiments but caps the population at a few
+# hundred.  The federation benchmarks need healthcare-system scale — 100k+
+# patients — where only the *shape* of the workload matters: which routing
+# key each record lands on, and which keywords the query stream asks for.
+# ``PopulationWorkload`` streams that shape lazily and deterministically
+# without paying any pairing or SSE cost per patient.
+
+
+@dataclass(frozen=True)
+class SyntheticPatient:
+    """A lightweight patient descriptor for population-scale runs."""
+
+    patient_id: str
+    routing_key: bytes          # 16-byte stable key, ring-compatible
+    keywords: tuple[str, ...]   # Zipf-sampled from the shared vocabulary
+    n_files: int
+
+
+class ZipfSampler:
+    """Inverse-CDF sampler for Zipf(s) over ranks ``0..n-1``.
+
+    Rank ``r`` (0-based) has weight ``1 / (r + 1) ** exponent``; sampling
+    bisects the precomputed cumulative weights, so each draw costs one
+    uniform variate plus an O(log n) search — no numpy required.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.07) -> None:
+        if n < 1:
+            raise ParameterError("Zipf support must be non-empty")
+        if exponent <= 0:
+            raise ParameterError("Zipf exponent must be positive")
+        self.n = n
+        self.exponent = exponent
+        cdf: list[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / float(rank + 1) ** exponent
+            cdf.append(total)
+        self._cdf = cdf
+        self._total = total
+
+    def sample(self, u: float) -> int:
+        """Map a uniform ``u`` in [0, 1) to a rank by inverse CDF."""
+        index = bisect.bisect_right(self._cdf, u * self._total)
+        return min(index, self.n - 1)
+
+
+class _UniformStream:
+    """Buffered uniform draws over an :class:`HmacDrbg`.
+
+    ``HmacDrbg.random()`` pays a full key-update per draw; a 100k-patient
+    stream needs ~half a million variates, so we pull the DRBG output in
+    large blocks and slice 8-byte words from the buffer instead.
+    """
+
+    _CHUNK_WORDS = 4096
+
+    def __init__(self, rng: HmacDrbg) -> None:
+        self._rng = rng
+        self._buf = b""
+        self._pos = 0
+
+    def next_u64(self) -> int:
+        if self._pos >= len(self._buf):
+            self._buf = self._rng.random_bytes(8 * self._CHUNK_WORDS)
+            self._pos = 0
+        word = int.from_bytes(self._buf[self._pos:self._pos + 8], "big")
+        self._pos += 8
+        return word
+
+    def next_float(self) -> float:
+        """A float in [0, 1)."""
+        return self.next_u64() / float(1 << 64)
+
+    def next_int(self, lo: int, hi: int) -> int:
+        """An integer in the inclusive range [lo, hi].
+
+        Uses modulo reduction: over a 2^64 word the bias for the small
+        spans used here is below 2^-50, irrelevant for workload synthesis.
+        """
+        if lo > hi:
+            raise ParameterError("next_int requires lo <= hi")
+        return lo + self.next_u64() % (hi - lo + 1)
+
+
+class PopulationWorkload:
+    """Streaming, deterministic population-scale workload generator.
+
+    Yields :class:`SyntheticPatient` descriptors and a Zipf-distributed
+    query stream for populations of 100k+ without building any crypto
+    state.  Every stream restarts from the seed, so two iterations of
+    :meth:`patients` — or two interpreter runs — produce identical output.
+    """
+
+    def __init__(self, n_patients: int, *, vocabulary_size: int = 512,
+                 zipf_exponent: float = 1.07,
+                 files_per_patient: tuple[int, int] = (2, 8),
+                 keywords_per_patient: tuple[int, int] = (2, 6),
+                 seed: bytes = b"population-scale") -> None:
+        if n_patients < 1:
+            raise ParameterError("need at least one patient")
+        if vocabulary_size < 1:
+            raise ParameterError("vocabulary must be non-empty")
+        lo, hi = files_per_patient
+        if lo < 1 or hi < lo:
+            raise ParameterError("files_per_patient must be 1 <= lo <= hi")
+        klo, khi = keywords_per_patient
+        if klo < 1 or khi < klo:
+            raise ParameterError(
+                "keywords_per_patient must be 1 <= lo <= hi")
+        self.n_patients = n_patients
+        self.files_per_patient = files_per_patient
+        self.keywords_per_patient = keywords_per_patient
+        self.seed = seed
+        self.vocabulary = tuple("kw-%04d" % i for i in range(vocabulary_size))
+        self._zipf = ZipfSampler(vocabulary_size, zipf_exponent)
+
+    @staticmethod
+    def routing_key_for(patient_id: str) -> bytes:
+        """The stable 16-byte ring key for a synthetic patient.
+
+        Same width as a real collection id, so the key feeds directly
+        into :class:`repro.core.shard.HashRing` placement studies.
+        """
+        digest = hashlib.sha256(
+            b"hcpp-population-routing:" + patient_id.encode())
+        return digest.digest()[:16]
+
+    def patients(self) -> Iterator[SyntheticPatient]:
+        """Lazily stream every patient descriptor, in order."""
+        stream = _UniformStream(HmacDrbg(self.seed, b"/patients"))
+        lo, hi = self.files_per_patient
+        klo, khi = self.keywords_per_patient
+        for i in range(self.n_patients):
+            patient_id = "patient-%07d" % i
+            n_keywords = stream.next_int(klo, khi)
+            # Zipf with rejection of duplicates within one patient: a
+            # patient's chart lists each condition once.
+            chosen: list[str] = []
+            seen: set[int] = set()
+            while len(chosen) < n_keywords:
+                rank = self._zipf.sample(stream.next_float())
+                if rank in seen:
+                    continue
+                seen.add(rank)
+                chosen.append(self.vocabulary[rank])
+            yield SyntheticPatient(
+                patient_id=patient_id,
+                routing_key=self.routing_key_for(patient_id),
+                keywords=tuple(chosen),
+                n_files=stream.next_int(lo, hi),
+            )
+
+    def queries(self, n: int) -> Iterator[tuple[int, str]]:
+        """Stream ``n`` (patient_index, keyword) query pairs.
+
+        Patients are drawn uniformly; keywords follow the same Zipf law
+        as the stored records, so popular conditions dominate the search
+        mix exactly as they dominate the index.
+        """
+        stream = _UniformStream(HmacDrbg(self.seed, b"/queries"))
+        for _ in range(n):
+            patient = stream.next_int(0, self.n_patients - 1)
+            keyword = self.vocabulary[self._zipf.sample(stream.next_float())]
+            yield patient, keyword
+
+    def keyword_histogram(self, n_samples: int) -> dict[str, int]:
+        """Empirical keyword frequency over ``n_samples`` Zipf draws."""
+        stream = _UniformStream(HmacDrbg(self.seed, b"/histogram"))
+        counts: dict[str, int] = {}
+        for _ in range(n_samples):
+            keyword = self.vocabulary[self._zipf.sample(stream.next_float())]
+            counts[keyword] = counts.get(keyword, 0) + 1
+        return counts

@@ -28,6 +28,7 @@ marks the tail of a list.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -265,12 +266,46 @@ def build_secure_index(
 # full `from_bytes` (FKS rebuild included) on every search of a blob-backed
 # collection.  Cache the deserialized object per blob hash so repeated
 # searches of hot collections skip the parse entirely.
+#
+# Two deployment realities shape the implementation (federation PR):
+#
+# * N co-located S-server shards (loopback/sim transports, tests, the
+#   CLI with --shards) share this one process-global cache, so the old
+#   fixed 32-entry capacity thrashed.  ``HCPP_INDEX_CACHE`` (read at
+#   call time) sizes it per deployment.
+# * Concurrent misses on the *same* blob — pipelined async searches of
+#   one hot collection — each paid a full duplicate ``from_bytes``.
+#   Misses now collapse: the first caller becomes the loader, later
+#   callers wait on its event and share the one deserialized object
+#   (counted in ``index_cache_stats["collapsed"]``).
 # ---------------------------------------------------------------------------
 
-_INDEX_CACHE_CAPACITY = 32
+_INDEX_CACHE_CAPACITY = 32          # default when HCPP_INDEX_CACHE is unset
+_INDEX_CACHE_ENV = "HCPP_INDEX_CACHE"
 _index_cache: "OrderedDict[bytes, SecureIndex]" = OrderedDict()
 _index_cache_lock = threading.Lock()
-index_cache_stats = {"hits": 0, "misses": 0}
+#: In-flight loads by blob hash; waiters block on the event instead of
+#: re-parsing.  Guarded by _index_cache_lock.
+_index_loading: "dict[bytes, threading.Event]" = {}
+index_cache_stats = {"hits": 0, "misses": 0, "collapsed": 0}
+
+
+def index_cache_capacity() -> int:
+    """Resolved cache capacity: ``HCPP_INDEX_CACHE`` or the default.
+
+    Read per call so tests and long-lived deployments can retune
+    without reimporting; invalid or negative values fall back to the
+    default (a cache must never crash a search).
+    """
+    raw = os.environ.get(_INDEX_CACHE_ENV)
+    if raw:
+        try:
+            capacity = int(raw)
+        except ValueError:
+            return _INDEX_CACHE_CAPACITY
+        if capacity >= 1:
+            return capacity
+    return _INDEX_CACHE_CAPACITY
 
 
 def load_index_cached(blob: bytes) -> SecureIndex:
@@ -279,30 +314,57 @@ def load_index_cached(blob: bytes) -> SecureIndex:
     Callers must treat the returned index as read-only — it is shared
     between every caller that presents the same blob (including concurrent
     search workers; :meth:`SecureIndex.search` never mutates the index).
+
+    Concurrent misses on one key collapse to a single deserialization:
+    one thread loads, the rest wait and share its result.  If the load
+    raises, waiters retry the load themselves (counted as their own
+    misses) rather than inheriting the leader's exception blindly.
     """
     key = hashlib.sha256(blob).digest()
-    with _index_cache_lock:
-        hit = _index_cache.get(key)
-        if hit is not None:
-            _index_cache.move_to_end(key)
-            index_cache_stats["hits"] += 1
-            return hit
-        index_cache_stats["misses"] += 1
-    loaded = SecureIndex.from_bytes(blob)
-    with _index_cache_lock:
-        _index_cache[key] = loaded
-        _index_cache.move_to_end(key)
-        while len(_index_cache) > _INDEX_CACHE_CAPACITY:
-            _index_cache.popitem(last=False)
-    return loaded
+    while True:
+        with _index_cache_lock:
+            hit = _index_cache.get(key)
+            if hit is not None:
+                _index_cache.move_to_end(key)
+                index_cache_stats["hits"] += 1
+                return hit
+            pending = _index_loading.get(key)
+            if pending is None:
+                # This thread is the loader for `key`.
+                _index_loading[key] = threading.Event()
+                index_cache_stats["misses"] += 1
+                break
+            index_cache_stats["collapsed"] += 1
+        pending.wait()
+        # Loader finished (or failed); loop to re-check the cache.
+    loaded = None
+    try:
+        loaded = SecureIndex.from_bytes(blob)
+        return loaded
+    finally:
+        with _index_cache_lock:
+            if loaded is not None:
+                _index_cache[key] = loaded
+                _index_cache.move_to_end(key)
+                capacity = index_cache_capacity()
+                while len(_index_cache) > capacity:
+                    _index_cache.popitem(last=False)
+            event = _index_loading.pop(key, None)
+        if event is not None:
+            event.set()
 
 
 def clear_index_cache() -> None:
-    """Drop all cached indexes and reset the hit/miss counters."""
+    """Drop all cached indexes and reset every counter.
+
+    In-flight loads are left to finish (their events still fire); their
+    results land in the now-empty cache.
+    """
     with _index_cache_lock:
         _index_cache.clear()
         index_cache_stats["hits"] = 0
         index_cache_stats["misses"] = 0
+        index_cache_stats["collapsed"] = 0
 
 
 # ---------------------------------------------------------------------------

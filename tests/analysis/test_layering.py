@@ -143,3 +143,45 @@ def test_sserver_may_import_the_engine(rule):
     assert not analyze_source(
         "from repro.crypto import engine as engine_mod\n", rule,
         path="src/repro/core/sserver.py")
+
+
+def test_shard_ring_is_pure_placement_math(rule):
+    # The ring sits below dispatch: even wire is off-limits.
+    assert analyze_source(
+        "from repro.core.wire import make_frame\n", rule,
+        path="src/repro/core/shard.py")
+    assert analyze_source(
+        "from repro.core.dispatch import bind_sserver\n", rule,
+        path="src/repro/core/shard.py")
+    assert not analyze_source(
+        "import bisect\nimport hashlib\n"
+        "from repro.exceptions import ParameterError\n",
+        rule, path="src/repro/core/shard.py")
+
+
+def test_router_forwards_frames_without_entity_knowledge(rule):
+    # wire + shard + exceptions are the router's whole world.
+    assert not analyze_source(
+        "import repro.core.wire as wire\n"
+        "from repro.core.shard import HashRing\n"
+        "from repro.exceptions import TransportError\n",
+        rule, path="src/repro/core/router.py")
+    for banned in ("from repro.core.sserver import StorageServer\n",
+                   "from repro.core.entities import Patient\n",
+                   "from repro.core.protocols.messages import seal\n",
+                   "from repro.crypto.rng import HmacDrbg\n"):
+        findings = analyze_source(banned, rule,
+                                  path="src/repro/core/router.py")
+        assert findings and "repro.core.router" in findings[0].message
+
+
+def test_router_is_not_frames_only():
+    # The router legitimately dispatches co-located shards directly via
+    # .handle_frame(); the frames-only call ban applies to protocol
+    # flows, not to the frame-forwarding router itself.
+    contract = contract_for("repro.core.router")
+    assert contract is not None
+    assert contract.prefix == "repro.core.router"
+    assert not contract.frames_only
+    shard = contract_for("repro.core.shard")
+    assert shard is not None and shard.prefix == "repro.core.shard"

@@ -109,3 +109,39 @@ class TestCliDurable:
                    for p in tmp_path.iterdir())
         assert main(["recover"] + args) == 0
         assert "1 collection(s)" in capsys.readouterr().out
+
+
+class TestCliFederated:
+    """``--shards N`` fronts the S-server with the federation router."""
+
+    def _fed(self, extra=None):
+        return (["--seed", "cli-fed", "--files", "5", "--shards", "2"]
+                + (extra or []))
+
+    def test_demo_through_router(self, capsys):
+        assert main(["demo"] + self._fed()) == 0
+        out = capsys.readouterr().out
+        for step in ("[1]", "[2]", "[3]", "[4]", "[5]"):
+            assert step in out
+
+    def test_store_reports_shards(self, capsys):
+        assert main(["store"] + self._fed()) == 0
+        out = capsys.readouterr().out
+        assert "across 2 shard(s)" in out
+
+    def test_search_through_router_loopback(self, capsys):
+        assert main(["search"] + self._fed(["--transport",
+                                            "loopback"])) == 0
+        assert "file(s)" in capsys.readouterr().out
+
+    def test_durable_shards_then_recover(self, capsys, tmp_path):
+        args = self._fed(["--data-dir", str(tmp_path)])
+        assert main(["search"] + args) == 0
+        capsys.readouterr()
+        assert (tmp_path / "sserver-shard-0.journal").exists()
+        assert (tmp_path / "sserver-shard-1.journal").exists()
+        assert main(["recover"] + args) == 0
+        out = capsys.readouterr().out
+        assert "(2 shards)" in out
+        assert "1 collection(s)" in out
+        assert "FAILED" not in out

@@ -1,0 +1,315 @@
+"""Federation parity: N shards behind the router ≡ one S-server.
+
+The acceptance bar for the federation is *byte parity*: every protocol
+round through the :class:`~repro.core.router.RouterEndpoint` — any
+shard count, all four transports — must produce responses
+byte-identical to a single S-server holding all the data.  These tests
+drive the full protocol suite through federations of 1/2/4/8 shards
+and compare fingerprints (message counts, byte totals, plaintext)
+against the unfederated baseline, then pin frame-level response bytes
+directly against a same-seed single server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ehr.mhi import AnomalyKind
+from repro.ehr.records import Category
+from repro.core import dispatch, wire
+from repro.core.federation import bind_federated_sserver, shard_servers
+from repro.core.protocols.emergency import (family_based_retrieval,
+                                            pdevice_emergency_retrieval)
+from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
+                                      role_identity_for)
+from repro.core.protocols.privilege import (assign_privilege,
+                                            revoke_privilege)
+from repro.core.protocols.retrieval import common_case_retrieval
+from repro.core.protocols.storage import private_phi_storage
+from repro.core.protocols.messages import pack_fields, seal, unpack_fields
+from repro.core.router import RouterEndpoint
+from repro.core.system import build_system
+from repro.exceptions import (ParameterError, ReplayError, StorageError,
+                              TransportError)
+from repro.net.transport import (AsyncTransport, LoopbackTransport,
+                                 SocketTransport)
+
+BACKENDS = ["loopback", "sim", "socket", "async"]
+
+
+def _make_transport(backend: str, system):
+    if backend == "loopback":
+        return LoopbackTransport()
+    if backend == "sim":
+        return system.network
+    if backend == "async":
+        return AsyncTransport()
+    return SocketTransport()
+
+
+def _close(net) -> None:
+    if isinstance(net, (SocketTransport, AsyncTransport)):
+        net.close()
+
+
+def _fingerprint(stats, files=None):
+    entry = {"messages": stats.messages, "bytes": stats.bytes_total}
+    if files is not None:
+        entry["plaintext"] = sorted(f.medical_content for f in files)
+    return entry
+
+
+def run_suite(backend: str, shards: int = 0) -> dict:
+    """The transport-parity protocol suite, optionally federated.
+
+    ``shards=0`` binds the plain single S-server (the baseline);
+    ``shards>=1`` fronts it with a router over that many shards.
+    """
+    system = build_system(seed=b"federation-parity")
+    net = _make_transport(backend, system)
+    patient, server = system.patient, system.sserver
+    try:
+        if shards:
+            bind_federated_sserver(net, server, shards)
+        patient.add_record(
+            Category.ALLERGIES, ["allergies", "penicillin"],
+            "Severe penicillin allergy; carries epinephrine.",
+            server.address)
+        patient.add_record(
+            Category.CARDIOLOGY, ["cardiology", "heart-attack"],
+            "Prior MI (2024); ejection fraction 45%.", server.address)
+
+        out = {}
+        st = private_phi_storage(patient, server, net)
+        out["storage"] = _fingerprint(st.stats)
+
+        af = assign_privilege(patient, system.family, server, net)
+        ap = assign_privilege(patient, system.pdevice, server, net)
+        out["assign-family"] = _fingerprint(af.stats)
+        out["assign-pdevice"] = _fingerprint(ap.stats)
+
+        rt = common_case_retrieval(patient, server, net, ["allergies"])
+        out["retrieval"] = _fingerprint(rt.stats, rt.files)
+
+        fam = family_based_retrieval(system.family, server, net,
+                                     ["cardiology"])
+        out["family-emergency"] = _fingerprint(fam.stats, fam.files)
+
+        physician = system.any_physician()
+        system.state.sign_in(physician.hospital, physician.physician_id)
+        window = system.pdevice.vitals.generate_day(
+            "2026-07-01", anomalies=[(36000.0, AnomalyKind.TACHYCARDIA)])
+        role = role_identity_for("2026-07-01")
+        ms = mhi_store(system.pdevice, server, system.state.public_key,
+                       net, window, role)
+        out["mhi-store"] = _fingerprint(ms.stats)
+
+        pd = pdevice_emergency_retrieval(physician, system.pdevice,
+                                         system.state, server, net,
+                                         ["cardiology"])
+        out["pdevice-emergency"] = _fingerprint(pd.stats, pd.files)
+
+        mr = mhi_retrieve(physician, system.state, server, net, role,
+                          "2026-07-03")
+        out["mhi-retrieve"] = _fingerprint(mr.stats)
+        out["mhi-days"] = sorted(w.day for w in mr.windows)
+
+        rv = revoke_privilege(patient, system.pdevice.name, server, net)
+        out["revoke"] = _fingerprint(rv.stats)
+        return out
+    finally:
+        _close(net)
+
+
+class TestSuiteParity:
+    """Full protocol suite: federated fingerprints == single-server."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_suite("loopback", shards=0)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_loopback_any_shard_count(self, baseline, shards):
+        assert run_suite("loopback", shards=shards) == baseline
+
+    @pytest.mark.parametrize("backend", ["sim", "socket", "async"])
+    def test_every_backend_two_shards(self, baseline, backend):
+        assert run_suite(backend, shards=2) == baseline
+
+
+def _stored_deployment(shards: int, n_collections: int = 5):
+    """A same-seed deployment with several stored collections.
+
+    Returns (system, net, collection_ids) — collection ids are captured
+    after each store (``patient.collection_ids`` keeps only the latest).
+    Identical seeds make the single-server and federated deployments
+    frame-for-frame comparable.
+    """
+    system = build_system(seed=b"federation-frames")
+    net = LoopbackTransport()
+    server = system.sserver
+    if shards:
+        bind_federated_sserver(net, server, shards)
+    else:
+        dispatch.bind_sserver(net, server)
+    cids = []
+    contents = ["allergies", "cardiology", "surgeries", "labs", "imaging"]
+    for i in range(n_collections):
+        kw = contents[i % len(contents)]
+        system.patient.add_record(Category.ALLERGIES, [kw],
+                                  "record %d about %s" % (i, kw),
+                                  server.address)
+        private_phi_storage(system.patient, server, net)
+        cids.append(system.patient.collection_ids[server.address])
+    return system, net, cids
+
+
+def _search_frame(system, cid, keywords, now):
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+    request = seal(nu, "phi-retrieve", pack_fields(*trapdoors), now)
+    return wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                           cid, request.to_bytes())
+
+
+def _multi_frame(system, cids, keywords, now):
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+    request = seal(nu, "phi-retrieve", pack_fields(*trapdoors), now)
+    return wire.make_frame(wire.OP_SEARCH_MULTI, pseudonym.public.to_bytes(),
+                           pack_fields(*cids), request.to_bytes())
+
+
+def _batch_frame(system, cids, keywords, now):
+    patient = system.patient
+    entries = []
+    for cid in cids:
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(system.sserver.identity_key.public,
+                                      pseudonym)
+        trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+        request = seal(nu, "phi-retrieve", pack_fields(*trapdoors), now)
+        entries.append(pack_fields(pseudonym.public.to_bytes(), cid,
+                                   request.to_bytes()))
+    return wire.make_frame(wire.OP_SEARCH_BATCH, *entries)
+
+
+class TestFrameParity:
+    """Raw frame in, raw response out: router bytes == single-server."""
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_single_search_byte_identical(self, shards):
+        single_sys, single_net, cids = _stored_deployment(0)
+        fed_sys, fed_net, fed_cids = _stored_deployment(shards)
+        assert cids == fed_cids  # same seed → same envelopes → same ids
+        single = single_net.endpoint_at(single_sys.sserver.address)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        assert isinstance(router, RouterEndpoint)
+        for cid in cids:
+            frame = _search_frame(single_sys, cid, ["allergies"],
+                                  single_net.now)
+            fed_frame = _search_frame(fed_sys, cid, ["allergies"],
+                                      fed_net.now)
+            assert frame == fed_frame
+            assert single.handle_frame(frame) == router.handle_frame(
+                fed_frame)
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_cross_shard_multi_byte_identical(self, shards):
+        single_sys, single_net, cids = _stored_deployment(0)
+        fed_sys, fed_net, _ = _stored_deployment(shards)
+        single = single_net.endpoint_at(single_sys.sserver.address)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        # 5 collections over >=2 shards guarantees a cross-shard set.
+        owners = {router.ring.owner_str(cid) for cid in cids}
+        if shards > 1:
+            assert len(owners) > 1
+        frame = _multi_frame(single_sys, cids, ["allergies", "labs"],
+                             single_net.now)
+        fed_frame = _multi_frame(fed_sys, cids, ["allergies", "labs"],
+                                 fed_net.now)
+        assert frame == fed_frame
+        assert single.handle_frame(frame) == router.handle_frame(fed_frame)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_batch_byte_identical_including_errors(self, shards):
+        single_sys, single_net, cids = _stored_deployment(0)
+        fed_sys, fed_net, _ = _stored_deployment(shards)
+        single = single_net.endpoint_at(single_sys.sserver.address)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        # Entry 2 targets an unknown collection: its error must come
+        # back per-entry, byte-identical, without poisoning neighbours.
+        target_cids = [cids[0], cids[1], b"\x00" * 16, cids[2]]
+        frame = _batch_frame(single_sys, target_cids, ["allergies"],
+                             single_net.now)
+        fed_frame = _batch_frame(fed_sys, target_cids, ["allergies"],
+                                 fed_net.now)
+        assert frame == fed_frame
+        single_resp = single.handle_frame(frame)
+        fed_resp = router.handle_frame(fed_frame)
+        assert single_resp == fed_resp
+        entries = unpack_fields(wire.parse_response(fed_resp))
+        assert len(entries) == 4
+        for i, entry in enumerate(entries):
+            if i == 2:
+                with pytest.raises(StorageError):
+                    wire.parse_response(entry)
+            else:
+                wire.parse_response(entry)  # status OK
+
+    def test_replay_rejected_through_router(self):
+        fed_sys, fed_net, cids = _stored_deployment(2)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        frame = _search_frame(fed_sys, cids[0], ["allergies"], fed_net.now)
+        wire.parse_response(router.handle_frame(frame))
+        with pytest.raises(ReplayError):
+            wire.parse_response(router.handle_frame(frame))
+
+    def test_multi_replay_rejected_through_router(self):
+        fed_sys, fed_net, cids = _stored_deployment(4)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        frame = _multi_frame(fed_sys, cids, ["allergies"], fed_net.now)
+        wire.parse_response(router.handle_frame(frame))
+        # The scattered form consumes exactly one replay window (on the
+        # merge shard); re-presenting the frame must be rejected there.
+        with pytest.raises(ReplayError):
+            wire.parse_response(router.handle_frame(frame))
+
+
+class TestRouterSurface:
+    def test_unknown_opcode_is_error_response(self):
+        fed_sys, fed_net, _ = _stored_deployment(2)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        with pytest.raises(TransportError):
+            wire.parse_response(router.handle_frame(
+                wire.make_frame(b"no-such-op", b"x")))
+
+    def test_requires_at_least_one_shard(self):
+        with pytest.raises(ParameterError):
+            RouterEndpoint("sserver://x", [])
+
+    def test_double_bind_rejected(self):
+        system = build_system(seed=b"federation-parity")
+        net = LoopbackTransport()
+        bind_federated_sserver(net, system.sserver, 2)
+        with pytest.raises(TransportError):
+            bind_federated_sserver(net, system.sserver, 2)
+
+    def test_collections_spread_across_shards(self):
+        _, fed_net, cids = _stored_deployment(4, n_collections=5)
+        router = fed_net.endpoint_at("sserver://tn-hospital-0")
+        shards = [fed_net.endpoint_at(a) for a in router.shard_addresses]
+        held = [len(ep.server._collections) for ep in shards]
+        assert sum(held) == len(cids)
+        assert sum(1 for h in held if h) >= 2  # genuinely partitioned
+
+    def test_shard_servers_share_identity_key(self):
+        system = build_system(seed=b"federation-parity")
+        for shard in shard_servers(system.sserver, 3):
+            assert shard.identity_key is system.sserver.identity_key

@@ -74,3 +74,94 @@ class TestPopulation:
             assert result.files == []
         except ReproError:
             pass  # node/file decryption failure is equally acceptable
+
+
+class TestPopulationWorkload:
+    """The crypto-free population-scale generator (federation benches)."""
+
+    def _workload(self, n=2_000, **kwargs):
+        from repro.ehr.population import PopulationWorkload
+        kwargs.setdefault("seed", b"workload-tests")
+        return PopulationWorkload(n, **kwargs)
+
+    def test_streams_are_deterministic_and_restartable(self):
+        workload = self._workload(200)
+        first = list(workload.patients())
+        second = list(workload.patients())
+        assert first == second
+        assert list(workload.queries(100)) == list(workload.queries(100))
+
+    def test_patient_descriptors_are_well_formed(self):
+        workload = self._workload(300, files_per_patient=(2, 8),
+                                  keywords_per_patient=(2, 6))
+        patients = list(workload.patients())
+        assert len(patients) == 300
+        assert len({p.patient_id for p in patients}) == 300
+        for p in patients:
+            assert len(p.routing_key) == 16
+            assert 2 <= p.n_files <= 8
+            assert 2 <= len(p.keywords) <= 6
+            assert len(set(p.keywords)) == len(p.keywords)
+
+    def test_routing_keys_are_stable_and_ring_balanced(self):
+        from repro.core.shard import HashRing
+        from repro.ehr.population import PopulationWorkload
+        workload = self._workload(2_000)
+        assert (PopulationWorkload.routing_key_for("patient-0000000")
+                == workload.routing_key_for("patient-0000000"))
+        ring = HashRing(["sserver://h-shard-%d" % i for i in range(4)])
+        held = {shard: 0 for shard in ring.shard_ids}
+        for patient in workload.patients():
+            held[ring.owner(patient.routing_key)] += 1
+        assert all(200 < count < 900 for count in held.values())
+
+    def test_keyword_distribution_is_zipf_shaped(self):
+        workload = self._workload(10, vocabulary_size=128,
+                                  zipf_exponent=1.07)
+        counts = workload.keyword_histogram(20_000)
+        # Head dominates: rank 0 is the single most frequent keyword and
+        # the top 8 ranks outweigh the entire bottom half.
+        assert counts["kw-0000"] == max(counts.values())
+        head = sum(counts.get("kw-%04d" % r, 0) for r in range(8))
+        tail = sum(counts.get("kw-%04d" % r, 0) for r in range(64, 128))
+        assert head > tail
+        assert counts["kw-0000"] > 2 * counts.get("kw-0015", 0)
+
+    def test_queries_follow_the_same_law(self):
+        workload = self._workload(1_000, vocabulary_size=64)
+        counts = {}
+        for patient, keyword in workload.queries(5_000):
+            assert 0 <= patient < 1_000
+            counts[keyword] = counts.get(keyword, 0) + 1
+        assert counts["kw-0000"] == max(counts.values())
+
+    def test_hundred_thousand_patients_stream_lazily(self):
+        """100k descriptors generate in bounded time, without a list."""
+        import time
+        workload = self._workload(100_000)
+        t0 = time.perf_counter()
+        n = 0
+        top_rank_hits = 0
+        for patient in workload.patients():
+            n += 1
+            if "kw-0000" in patient.keywords:
+                top_rank_hits += 1
+        elapsed = time.perf_counter() - t0
+        assert n == 100_000
+        assert top_rank_hits > 10_000  # Zipf head shows up at scale
+        assert elapsed < 60.0
+
+    def test_parameter_validation(self):
+        from repro.ehr.population import PopulationWorkload, ZipfSampler
+        with pytest.raises(ParameterError):
+            PopulationWorkload(0)
+        with pytest.raises(ParameterError):
+            PopulationWorkload(10, vocabulary_size=0)
+        with pytest.raises(ParameterError):
+            PopulationWorkload(10, files_per_patient=(3, 2))
+        with pytest.raises(ParameterError):
+            PopulationWorkload(10, keywords_per_patient=(0, 2))
+        with pytest.raises(ParameterError):
+            ZipfSampler(0)
+        with pytest.raises(ParameterError):
+            ZipfSampler(8, exponent=0.0)

@@ -16,6 +16,7 @@ import pytest
 from repro.ehr.mhi import AnomalyKind
 from repro.ehr.records import Category
 from repro.core import wire
+from repro.core.federation import bind_federated_sserver
 from repro.core.protocols.base import with_policies
 from repro.core.protocols.emergency import (family_based_retrieval,
                                             pdevice_emergency_retrieval)
@@ -225,6 +226,29 @@ class TestChaosMatrix:
         # Lost attempts still bill their bytes.
         for s in stats.values():
             assert s.bytes_total > 0 and s.messages > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chaos_matrix_through_the_router(self, backend):
+        # Same matrix, S-server federated behind the 2-shard router:
+        # every drop/duplicate now crosses the scatter-gather path, and
+        # the router's TransientTransportError propagation must keep
+        # the client-side retry accounting exact.
+        system = build_system(seed=b"chaos-router")
+        faults = FaultPolicy(seed=CHAOS_SEED, drop_rate=0.05,
+                             duplicate_rate=0.02)
+        net = with_policies(_make_transport(backend, system),
+                            retry=RetryPolicy(attempt_timeout_s=0.2,
+                                              base_backoff_s=0.01),
+                            faults=faults)
+        try:
+            bind_federated_sserver(net, system.sserver, 2)
+            stats = _run_full_suite(net, system)
+        finally:
+            _close(net)
+        assert faults.counts["dropped"] >= 1
+        assert faults.counts["duplicated"] >= 1
+        assert sum(s.retries for s in stats.values()) \
+            == faults.counts["dropped"]
 
     def test_fault_free_run_and_chaos_run_agree_on_plaintext(self):
         # Same deployment, clean wire: the chaos run above returned the

@@ -19,7 +19,11 @@ import pytest
 
 from repro.ehr.mhi import AnomalyKind
 from repro.ehr.records import Category
+from repro.core import wire
+from repro.core.federation import bind_federated_sserver
 from repro.core.protocols.base import with_policies
+from repro.core.protocols.messages import (Envelope, open_envelope,
+                                           pack_fields, seal, unpack_fields)
 from repro.core.protocols.emergency import (family_based_retrieval,
                                             pdevice_emergency_retrieval)
 from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
@@ -34,6 +38,7 @@ from repro.net.transport import (AsyncTransport, FaultPolicy,
                                  SocketTransport)
 from repro.store import (DurableStore, bind_durable_aserver,
                          bind_durable_pdevice, bind_durable_sserver)
+from repro.exceptions import ReplayError, TransientTransportError
 
 ALLERGY_TEXT = "Severe penicillin allergy; carries epinephrine."
 CARDIO_TEXT = "Prior MI (2024); ejection fraction 45%."
@@ -262,3 +267,135 @@ class TestChaosRecoveryMatrix:
         crash_all()
         _assert_evidence_intact(system, patient, server, net)
         assert all(e.recoveries >= 5 for e in endpoints.values())
+
+
+def _federated_search(system, net, cid, keyword):
+    """One frame-level search through the router; returns (frame, ν)."""
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    request = seal(nu, "phi-retrieve",
+                   pack_fields(patient.trapdoor(keyword).to_bytes()),
+                   net.now)
+    frame = wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                            cid, request.to_bytes())
+    return frame, nu
+
+
+def _result_entries(nu, response, now):
+    """Open a sealed phi-results reply; returns the flattened entries."""
+    envelope = Envelope.from_bytes(wire.parse_response(response))
+    payload = open_envelope(nu, envelope, now, None,
+                            expected_label="phi-results")
+    return unpack_fields(payload)
+
+
+class TestFederatedShardRecovery:
+    """One shard of the federation killed -9 mid ``OP_STORE``: the torn
+    journal tail is repaired on restart, the scatter-gather search comes
+    back complete, and replay protection holds through the router."""
+
+    def _deployment(self, tmp_path, faults, shards=2):
+        system = build_system(seed=b"recovery-federated")
+        net = with_policies(LoopbackTransport(),
+                            retry=RetryPolicy(attempt_timeout_s=0.2,
+                                              base_backoff_s=0.01),
+                            faults=faults)
+        federation = bind_federated_sserver(
+            net, system.sserver, shards, data_dir=str(tmp_path),
+            fault_policy=faults)
+        return system, net, federation
+
+    def _store(self, system, net, text):
+        server = system.sserver
+        system.patient.add_record(Category.ALLERGIES, ["allergies"],
+                                  text, server.address)
+        private_phi_storage(system.patient, server, net)
+        return system.patient.collection_ids[server.address]
+
+    def test_shard_killed_mid_store_recovers_complete(self, tmp_path):
+        faults = FaultPolicy(seed=CHAOS_SEED)
+        system, net, federation = self._deployment(tmp_path, faults)
+        server = system.sserver
+        victim = federation.shard_addresses[0]
+        victim_endpoint = next(e for e in federation.endpoints
+                               if e.address == victim)
+
+        # Seed enough collections that both shards hold data.
+        cids = [self._store(system, net, "pre-crash record %d" % i)
+                for i in range(4)]
+        owners = {federation.ring.owner_str(cid) for cid in cids}
+        assert owners == set(federation.shard_addresses)
+
+        # kill -9 mid OP_STORE: arm a torn journal append on the victim,
+        # then keep storing until a collection routes to it — that store
+        # dies mid-commit, unacknowledged, and the client's retries see
+        # the dead shard as a typed transient failure (no hang).
+        faults.crash(victim, during_write=True)
+        torn = False
+        for i in range(8):
+            try:
+                cids.append(self._store(system, net,
+                                        "mid-crash record %d" % i))
+            except TransientTransportError:
+                torn = True
+                break
+        assert torn, "no store ever routed to the armed shard"
+
+        # While the victim is down, its collections are unreachable —
+        # but the surviving shard keeps serving its slice.
+        dead_cid = next(c for c in cids
+                        if federation.ring.owner_str(c) == victim)
+        live_cid = next(c for c in cids
+                        if federation.ring.owner_str(c) != victim)
+        frame, _ = _federated_search(system, net, dead_cid, "allergies")
+        with pytest.raises(TransientTransportError):
+            net.request("patient://probe", server.address, frame,
+                        "phi/search")
+        frame, nu = _federated_search(system, net, live_cid, "allergies")
+        reply = net.request("patient://probe", server.address, frame,
+                            "phi/search")
+        assert _result_entries(nu, reply, net.now)
+
+        # Supervisor restart: recovery replays the journal and repairs
+        # the torn tail; only the never-acknowledged store was lost.
+        faults.restart(victim)
+        assert victim_endpoint.recoveries >= 2  # boot + this restart
+        assert victim_endpoint._store.torn_repairs >= 1
+
+        # The interrupted upload retries cleanly after recovery.
+        cids.append(self._store(system, net, "post-restart record"))
+
+        # Scatter-gather completeness: every collection on every shard
+        # answers, and each search carries its matching files.
+        per_cid = []
+        for cid in cids:
+            frame, nu = _federated_search(system, net, cid, "allergies")
+            reply = net.request("patient://probe", server.address, frame,
+                                "phi/search")
+            entries = _result_entries(nu, reply, net.now)
+            assert entries, "collection %r lost its files" % cid.hex()
+            per_cid.append(len(entries))
+        assert len(per_cid) == len(cids)
+
+    def test_replay_through_router_rejected_after_restart(self, tmp_path):
+        faults = FaultPolicy(seed=CHAOS_SEED)
+        system, net, federation = self._deployment(tmp_path, faults)
+        server = system.sserver
+        cid = self._store(system, net, "replay target")
+        victim = federation.ring.owner_str(cid)
+
+        # Crash + restart the owning shard, then prove the recovered
+        # replay-guard window still rejects a duplicated request routed
+        # through the router (windows survive the journal round trip).
+        faults.crash(victim)
+        faults.restart(victim)
+        frame, nu = _federated_search(system, net, cid, "allergies")
+        reply = net.request("patient://probe", server.address, frame,
+                            "phi/search")
+        assert _result_entries(nu, reply, net.now)
+        duplicate = net.request("patient://probe", server.address, frame,
+                                "phi/search")
+        with pytest.raises(ReplayError, match="replayed"):
+            wire.parse_response(duplicate)

@@ -1,0 +1,160 @@
+"""The index deserialization cache: capacity, miss collapse, stats.
+
+Federation-PR bugfix coverage: N co-located shards share this
+process-global cache, so capacity must be tunable (``HCPP_INDEX_CACHE``)
+and concurrent misses on one blob must collapse to a single
+``from_bytes`` instead of duplicate deserializations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.sse import index as index_mod
+from repro.sse.index import (SecureIndex, clear_index_cache,
+                             index_cache_capacity, index_cache_stats,
+                             load_index_cached)
+from repro.sse.scheme import Sse1Scheme, keygen
+
+
+def _blob(seed: bytes) -> bytes:
+    rng = HmacDrbg(seed)
+    scheme = Sse1Scheme(keygen(rng))
+    keyword_map = {"kw-%d" % i: [rng.random_bytes(16)] for i in range(8)}
+    return scheme.build_index(keyword_map, rng).to_bytes()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_index_cache()
+    yield
+    clear_index_cache()
+
+
+class TestCapacity:
+    def test_default_capacity(self, monkeypatch):
+        monkeypatch.delenv("HCPP_INDEX_CACHE", raising=False)
+        assert index_cache_capacity() == index_mod._INDEX_CACHE_CAPACITY
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("HCPP_INDEX_CACHE", "3")
+        assert index_cache_capacity() == 3
+        for i in range(6):
+            load_index_cached(_blob(b"cap-%d" % i))
+        assert len(index_mod._index_cache) == 3
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("HCPP_INDEX_CACHE", "not-a-number")
+        assert index_cache_capacity() == index_mod._INDEX_CACHE_CAPACITY
+        monkeypatch.setenv("HCPP_INDEX_CACHE", "0")
+        assert index_cache_capacity() == index_mod._INDEX_CACHE_CAPACITY
+        monkeypatch.setenv("HCPP_INDEX_CACHE", "-5")
+        assert index_cache_capacity() == index_mod._INDEX_CACHE_CAPACITY
+
+    def test_eviction_is_lru(self, monkeypatch):
+        monkeypatch.setenv("HCPP_INDEX_CACHE", "2")
+        a, b, c = _blob(b"lru-a"), _blob(b"lru-b"), _blob(b"lru-c")
+        load_index_cached(a)
+        load_index_cached(b)
+        load_index_cached(a)      # refresh a; b is now LRU
+        load_index_cached(c)      # evicts b
+        stats_before = dict(index_cache_stats)
+        load_index_cached(a)
+        assert index_cache_stats["hits"] == stats_before["hits"] + 1
+        load_index_cached(b)      # miss: was evicted
+        assert index_cache_stats["misses"] == stats_before["misses"] + 1
+
+
+class TestStatsAccuracy:
+    def test_hit_miss_accounting(self):
+        blob = _blob(b"stats")
+        assert index_cache_stats == {"hits": 0, "misses": 0, "collapsed": 0}
+        load_index_cached(blob)
+        assert index_cache_stats == {"hits": 0, "misses": 1, "collapsed": 0}
+        load_index_cached(blob)
+        load_index_cached(blob)
+        assert index_cache_stats == {"hits": 2, "misses": 1, "collapsed": 0}
+
+    def test_clear_resets_all_counters(self):
+        load_index_cached(_blob(b"reset"))
+        clear_index_cache()
+        assert index_cache_stats == {"hits": 0, "misses": 0, "collapsed": 0}
+        assert not index_mod._index_cache
+
+
+class TestMissCollapse:
+    def test_concurrent_misses_deserialize_once(self, monkeypatch):
+        """Many threads miss on one blob → exactly one from_bytes."""
+        blob = _blob(b"collapse")
+        calls = []
+        barrier = threading.Barrier(8)
+        release = threading.Event()
+        real_from_bytes = SecureIndex.from_bytes.__func__
+
+        def counted(cls, data):
+            calls.append(threading.get_ident())
+            # Hold the load open until every other thread has had time
+            # to register as a waiter — makes the collapse observable.
+            release.wait(timeout=5.0)
+            return real_from_bytes(cls, data)
+
+        monkeypatch.setattr(SecureIndex, "from_bytes",
+                            classmethod(counted))
+        results = [None] * 8
+
+        def worker(i):
+            barrier.wait()
+            results[i] = load_index_cached(blob)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        # Wait until the 7 non-loaders are parked on the in-flight
+        # event, then let the loader finish.
+        deadline = threading.Event()
+        for _ in range(500):
+            if index_cache_stats["collapsed"] >= 7:
+                break
+            deadline.wait(0.01)
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(r is results[0] for r in results)
+        stats = index_cache_stats
+        assert stats["misses"] == 1
+        assert stats["collapsed"] == 7
+        assert stats["hits"] == 7  # each waiter re-checks and hits
+
+    def test_failed_load_releases_waiters(self, monkeypatch):
+        """A loader that raises must not wedge concurrent waiters."""
+        blob = _blob(b"fail-once")
+        attempts = []
+        real_from_bytes = SecureIndex.from_bytes.__func__
+
+        def flaky(cls, data):
+            attempts.append(None)
+            if len(attempts) == 1:
+                raise ValueError("injected parse failure")
+            return real_from_bytes(cls, data)
+
+        monkeypatch.setattr(SecureIndex, "from_bytes", classmethod(flaky))
+        with pytest.raises(ValueError):
+            load_index_cached(blob)
+        # The key must not be left marked in-flight: the next caller
+        # becomes a fresh loader and succeeds.
+        assert not index_mod._index_loading
+        index = load_index_cached(blob)
+        assert len(attempts) == 2
+        assert load_index_cached(blob) is index  # now cached
+
+    def test_distinct_blobs_do_not_collapse(self):
+        a, b = _blob(b"distinct-a"), _blob(b"distinct-b")
+        ia, ib = load_index_cached(a), load_index_cached(b)
+        assert ia is not ib
+        assert index_cache_stats["misses"] == 2
+        assert index_cache_stats["collapsed"] == 0
