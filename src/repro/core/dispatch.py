@@ -140,11 +140,16 @@ class SServerEndpoint(Endpoint):
                               wire.OP_MHI_STORE})
 
     def __init__(self, server: StorageServer, hibc_node=None,
-                 root_public: Point | None = None) -> None:
+                 root_public: Point | None = None,
+                 federation_key: bytes | None = None) -> None:
         super().__init__()
         self.server = server
         self.hibc_node = hibc_node
         self.root_public = root_public
+        # Shards of a federation hold the shared internal-frame key; a
+        # standalone server keeps None and rejects every SHARD/MERGE
+        # frame (those opcodes are router→shard legs, never client ops).
+        self.federation_key = federation_key
         # Established cross-domain session keys, by transcript handle.
         # OP_XD_HANDSHAKE is a *read* opcode (see MUTATING_OPS note), so
         # concurrent handshakes and searches race on this table; the
@@ -238,7 +243,15 @@ class SServerEndpoint(Endpoint):
         return reply.to_bytes()
 
     def _op_search_shard(self, fields: list[bytes]) -> bytes:
-        """Router→shard leg: guard-free sub-search, raw chunk reply."""
+        """Router→shard leg: guard-free sub-search, raw chunk reply.
+
+        Federation-authenticated: the trailing tag must verify under
+        the shared federation key *before* anything else happens — this
+        leg skips the replay-guard commit and answers raw chunks, so an
+        unauthenticated peer must never reach it.
+        """
+        fields = wire.open_internal_frame(self.federation_key,
+                                          wire.OP_SEARCH_SHARD, fields)
         pseud_b, cids_b, env_b = self._expect(fields, 3)
         chunks = self.server.handle_search_shard(
             Point.from_bytes(pseud_b, self._curve),
@@ -247,7 +260,14 @@ class SServerEndpoint(Endpoint):
         return pack_fields(*[pack_fields(*chunk) for chunk in chunks])
 
     def _op_search_merge(self, fields: list[bytes]) -> bytes:
-        """Router→shard leg: single guarded open + spliced sealed reply."""
+        """Router→shard leg: single guarded open + spliced sealed reply.
+
+        Federation-authenticated: the tag covers the cid list and every
+        foreign chunk, so the spliced-and-sealed reply can only contain
+        chunks the router gathered — never attacker-supplied data.
+        """
+        fields = wire.open_internal_frame(self.federation_key,
+                                          wire.OP_SEARCH_MERGE, fields)
         pseud_b, cids_b, env_b, foreign_b = self._expect(fields, 4)
         foreign: dict[bytes, list[bytes]] = {}
         for entry in unpack_fields(foreign_b):
@@ -492,7 +512,8 @@ class EntityEndpoint(Endpoint):
 
 # -- binding helpers ---------------------------------------------------------
 def bind_sserver(transport, server: StorageServer, hibc_node=None,
-                 root_public: Point | None = None, engine=None):
+                 root_public: Point | None = None, engine=None,
+                 federation_key: bytes | None = None):
     """Ensure an :class:`SServerEndpoint` serves ``server.address``.
 
     When the transport already routes the address to another process
@@ -503,6 +524,10 @@ def bind_sserver(transport, server: StorageServer, hibc_node=None,
     search handlers then fan their pairing work across its workers.
     Passing None leaves the server's existing engine (or the
     ``HCPP_CRYPTO_WORKERS`` process default) in force.
+
+    ``federation_key`` marks the server as a federation shard: the
+    internal OP_SEARCH_SHARD/OP_SEARCH_MERGE legs are accepted when
+    their tags verify under it (None — the default — rejects them all).
     """
     endpoint = transport.endpoint_at(server.address)
     if engine is not None:
@@ -511,12 +536,15 @@ def bind_sserver(transport, server: StorageServer, hibc_node=None,
         if transport.has_route(server.address):
             return None
         endpoint = SServerEndpoint(server, hibc_node=hibc_node,
-                                   root_public=root_public)
+                                   root_public=root_public,
+                                   federation_key=federation_key)
         transport.bind(server.address, endpoint)
         return endpoint
     if hibc_node is not None:
         endpoint.hibc_node = hibc_node
         endpoint.root_public = root_public
+    if federation_key is not None:
+        endpoint.federation_key = federation_key
     return endpoint
 
 

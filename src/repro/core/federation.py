@@ -22,6 +22,9 @@ useful for parity testing; production-equivalent to a plain bind.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
 
 from repro.core import dispatch
@@ -29,11 +32,63 @@ from repro.core.router import RouterEndpoint
 from repro.core.shard import DEFAULT_VNODES, HashRing
 from repro.core.sserver import StorageServer
 from repro.crypto.rng import HmacDrbg
-from repro.exceptions import ParameterError, TransportError
+from repro.exceptions import ParameterError, RecoveryError, TransportError
 from repro.net.transport import as_transport
 from repro.store.durable import DurableStore, bind_durable_sserver
 
-__all__ = ["Federation", "shard_servers", "bind_federated_sserver"]
+__all__ = ["Federation", "federation_key_for", "shard_servers",
+           "bind_federated_sserver", "MANIFEST_NAME"]
+
+#: The federation manifest: ring geometry persisted beside the shard
+#: journals, so recovering a data_dir under different ``--shards``/
+#: ``vnodes`` fails loudly instead of silently stranding journals and
+#: rerouting keys to different owners.
+MANIFEST_NAME = "federation.json"
+
+
+def federation_key_for(identity_key) -> bytes:
+    """The federation-internal frame key for one logical S-server.
+
+    Derived (domain-separated SHA-256) from the server's private
+    identity key Γ_S — the one secret every shard of the federation
+    already shares and no client or network observer holds.  The router
+    tags the internal OP_SEARCH_SHARD/OP_SEARCH_MERGE legs with an HMAC
+    under this key; shards reject untagged or forged internal frames
+    (:func:`repro.core.wire.open_internal_frame`).
+    """
+    return hashlib.sha256(b"hcpp-federation-key:"
+                          + identity_key.private.to_bytes()).digest()
+
+
+def _check_manifest(data_dir: str, n_shards: int, vnodes: int,
+                    shard_names: "list[str]") -> None:
+    """Persist the ring geometry on first bind; reject a mismatch.
+
+    Journals are named per shard index and keys are placed by the ring,
+    so binding an existing ``data_dir`` with a different shard count or
+    vnode count would silently ignore journals for indexes ≥ N and
+    route previously stored collections to different owners.  The
+    manifest turns that into a loud :class:`RecoveryError`.
+    """
+    manifest = {"n_shards": n_shards, "vnodes": vnodes,
+                "shards": list(shard_names)}
+    path = os.path.join(data_dir, MANIFEST_NAME)
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if existing != manifest:
+            raise RecoveryError(
+                "federation manifest mismatch in %r: directory was laid "
+                "out as %r, refusing to recover as %r (journals would be "
+                "stranded and keys rerouted)" % (data_dir, existing,
+                                                 manifest))
+        return
+    os.makedirs(data_dir, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
 
 
 @dataclass
@@ -84,6 +139,13 @@ def bind_federated_sserver(transport, server: StorageServer, n_shards: int,
     ``fault_policy`` for crash/restart injection.  Without it, shards
     are plain in-memory endpoints.  The router itself is stateless and
     needs no durability.
+
+    The ring geometry is pinned in ``<data_dir>/federation.json`` at
+    first bind; recovering with a different ``n_shards`` or ``vnodes``
+    raises :class:`~repro.exceptions.RecoveryError` instead of silently
+    stranding journals.  Router and shards share the federation frame
+    key (:func:`federation_key_for`), which authenticates the internal
+    OP_SEARCH_SHARD/OP_SEARCH_MERGE legs.
     """
     transport = as_transport(transport)
     if transport.endpoint_at(server.address) is not None:
@@ -92,6 +154,10 @@ def bind_federated_sserver(transport, server: StorageServer, n_shards: int,
     if engine is not None:
         server.engine = engine
     shards = shard_servers(server, n_shards)
+    fed_key = federation_key_for(server.identity_key)
+    if data_dir is not None:
+        _check_manifest(data_dir, n_shards, vnodes,
+                        [shard.name for shard in shards])
     endpoints = []
     for i, shard in enumerate(shards):
         if data_dir is not None:
@@ -99,15 +165,17 @@ def bind_federated_sserver(transport, server: StorageServer, n_shards: int,
                                  snapshot_every=snapshot_every)
             endpoint = bind_durable_sserver(
                 transport, shard, store, hibc_node=hibc_node,
-                root_public=root_public, fault_policy=fault_policy)
+                root_public=root_public, fault_policy=fault_policy,
+                federation_key=fed_key)
         else:
             endpoint = dispatch.bind_sserver(transport, shard,
                                              hibc_node=hibc_node,
-                                             root_public=root_public)
+                                             root_public=root_public,
+                                             federation_key=fed_key)
         endpoints.append(endpoint)
     router = RouterEndpoint(server.address,
                             [shard.address for shard in shards],
-                            vnodes=vnodes)
+                            vnodes=vnodes, federation_key=fed_key)
     if hibc_node is not None:
         router._hibc_node = hibc_node      # already applied per shard above
         router._root_public = root_public

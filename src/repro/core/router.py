@@ -33,6 +33,17 @@ deterministic: results concatenate in the caller's collection order
 (OP_SEARCH_MULTI) or splice back by entry index (OP_SEARCH_BATCH),
 never in shard or completion order.
 
+**Internal-leg authentication.**  The router→shard legs of a
+cross-shard OP_SEARCH_MULTI (OP_SEARCH_SHARD / OP_SEARCH_MERGE) are
+*not* client opcodes: each carries a trailing HMAC over opcode ‖
+operands under the federation-internal key
+(:func:`repro.core.wire.seal_internal_frame`), and shards reject the
+opcodes outright unless the tag verifies — the guard-free raw-chunk
+path and the chunk-splicing merge are unreachable for clients and
+network attackers.  The router itself never routes those opcodes (they
+are absent from its table), so they cannot arrive through the public
+logical address either.
+
 **Retry semantics.**  A crashed/torn shard raises
 :class:`~repro.exceptions.TransientTransportError`; the router lets it
 propagate (a serialized transient error from a remote shard is
@@ -50,13 +61,15 @@ layering contract) — never entities, protocols, or the net backends.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import repro.core.wire as wire
 from repro.core.shard import DEFAULT_VNODES, HashRing
 from repro.core.shard import collection_id_for_tag
-from repro.exceptions import (ParameterError, ReproError,
-                              TransientTransportError, TransportError)
+from repro.exceptions import (AuthenticationError, ParameterError,
+                              ReproError, TransientTransportError,
+                              TransportError)
 
 __all__ = ["RouterEndpoint"]
 
@@ -85,15 +98,27 @@ class RouterEndpoint:
     """
 
     def __init__(self, address: str, shard_addresses: "list[str]",
-                 vnodes: int = DEFAULT_VNODES) -> None:
+                 vnodes: int = DEFAULT_VNODES,
+                 federation_key: "bytes | None" = None) -> None:
         if not shard_addresses:
             raise ParameterError("a router needs at least one shard")
         self.address = address
         self.shard_addresses = tuple(shard_addresses)
         self.ring = HashRing(self.shard_addresses, vnodes=vnodes)
+        # Authenticates the internal OP_SEARCH_SHARD/OP_SEARCH_MERGE
+        # legs (wire.seal_internal_frame); shards reject those opcodes
+        # from anyone who cannot produce the tag, so a router without
+        # the key cannot scatter a cross-shard OP_SEARCH_MULTI.
+        self._federation_key = federation_key
         self._transport = None
         self._hibc_node = None
         self._root_public = None
+        # One bounded scatter pool per router, created on first
+        # concurrent scatter (serial transports never pay for it) and
+        # reused across frames — not per frame, which would put thread
+        # spawn/teardown on the hot path of every scattered request.
+        self._scatter_pool = None
+        self._scatter_pool_lock = threading.Lock()
         self._routes = {
             wire.OP_STORE: self._route_store,
             wire.OP_SEARCH: self._route_by_cid,
@@ -196,22 +221,35 @@ class RouterEndpoint:
             raise TransientTransportError(message)
         return response
 
+    def _executor(self) -> ThreadPoolExecutor:
+        pool = self._scatter_pool
+        if pool is None:
+            with self._scatter_pool_lock:
+                pool = self._scatter_pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=min(len(self.shard_addresses), 16),
+                        thread_name_prefix="hcpp-router")
+                    self._scatter_pool = pool
+        return pool
+
     def _scatter(self, targets: "list[tuple[str, bytes]]",
                  label: str) -> "list[bytes]":
         """Forward one frame per (shard, frame) pair; responses by index.
 
-        Pipelined (a thread per shard) when the transport multiplexes
-        concurrent requests (``CONCURRENT_REQUESTS``, the async
-        backend); serial in target order otherwise.  Either way the
-        gathered list is indexed like ``targets`` — deterministic merge
-        order never depends on completion order.
+        Pipelined (the router's persistent scatter pool) when the
+        transport multiplexes concurrent requests
+        (``CONCURRENT_REQUESTS``, the async backend); serial in target
+        order otherwise.  Either way the gathered list is indexed like
+        ``targets`` — deterministic merge order never depends on
+        completion order.
         """
         if len(targets) > 1 and getattr(self._transport,
                                         "CONCURRENT_REQUESTS", False):
-            with ThreadPoolExecutor(max_workers=len(targets)) as pool:
-                futures = [pool.submit(self._forward, shard, frame, label)
-                           for shard, frame in targets]
-                return [future.result() for future in futures]
+            futures = [self._executor().submit(self._forward, shard, frame,
+                                               label)
+                       for shard, frame in targets]
+            return [future.result() for future in futures]
         return [self._forward(shard, frame, label)
                 for shard, frame in targets]
 
@@ -320,12 +358,16 @@ class RouterEndpoint:
         merge_shard = owners[0] if owners else self.shard_addresses[0]
         if all(owner == merge_shard for owner in owners):
             return self._forward(merge_shard, frame, "router/scatter")
+        if self._federation_key is None:
+            raise AuthenticationError(
+                "router holds no federation key; cannot scatter a "
+                "cross-shard search over authenticated internal legs")
         foreign: dict[str, list[bytes]] = {}
         for cid, owner in zip(cids, owners):
             if owner != merge_shard:
                 foreign.setdefault(owner, []).append(cid)
-        targets = [(shard, wire.make_frame(
-                        wire.OP_SEARCH_SHARD, pseud_b,
+        targets = [(shard, wire.seal_internal_frame(
+                        self._federation_key, wire.OP_SEARCH_SHARD, pseud_b,
                         wire.pack_fields(*shard_cids), env_b))
                    for shard, shard_cids in sorted(foreign.items())]
         responses = self._scatter(targets, "router/scatter")
@@ -340,9 +382,9 @@ class RouterEndpoint:
             chunk_entries.extend(
                 wire.pack_fields(cid, chunk)
                 for cid, chunk in zip(shard_cids, chunks))
-        merge_frame = wire.make_frame(
-            wire.OP_SEARCH_MERGE, pseud_b, cids_b, env_b,
-            wire.pack_fields(*chunk_entries))
+        merge_frame = wire.seal_internal_frame(
+            self._federation_key, wire.OP_SEARCH_MERGE, pseud_b, cids_b,
+            env_b, wire.pack_fields(*chunk_entries))
         return self._forward(merge_shard, merge_frame, "router/merge")
 
     @staticmethod

@@ -20,8 +20,10 @@ from __future__ import annotations
 import hashlib
 
 import repro.exceptions as _exceptions
+from repro.crypto.hmac_impl import constant_time_equal, hmac_sha256
 from repro.core.protocols.messages import pack_fields, unpack_fields
-from repro.exceptions import ParameterError, ReproError, TransportError
+from repro.exceptions import (AuthenticationError, ParameterError,
+                              ReproError, TransportError)
 
 __all__ = [
     "OP_STORE", "OP_SEARCH", "OP_GET_BROADCAST", "OP_SEARCH_WRAPPED",
@@ -33,6 +35,7 @@ __all__ = [
     "make_frame", "parse_frame", "ok_response", "error_response",
     "parse_response", "transient_error_in", "encode_files",
     "decode_files", "files_digest",
+    "seal_internal_frame", "open_internal_frame",
     "ts_to_bytes", "ts_from_bytes",
     "CORR_MAGIC", "MAX_CORR_ID", "wrap_corr", "unwrap_corr",
 ]
@@ -58,7 +61,12 @@ OP_PASSCODE = b"ibe-passcode"            # §IV.E.2 step 3 (server push)
 # are the router→shard internal legs of a cross-shard MULTI: SHARD
 # verifies the envelope *without* consuming the replay window and
 # returns raw per-collection chunks, MERGE performs the single guarded
-# open on the owning shard and seals the one combined reply.
+# open on the owning shard and seals the one combined reply.  Both
+# internal legs carry a trailing federation tag
+# (:func:`seal_internal_frame`) and a shard rejects any SHARD/MERGE
+# frame whose tag does not verify under the federation-internal key —
+# a client (or a network attacker re-framing a captured envelope)
+# cannot reach the guard-free/raw-chunk paths.
 OP_SEARCH_BATCH = b"phi-search-batch"    # many independent searches
 OP_SEARCH_MULTI = b"phi-search-multi"    # one trapdoor set, many Λ
 OP_SEARCH_SHARD = b"phi-search-shard"    # internal: guard-free sub-search
@@ -137,6 +145,53 @@ def transient_error_in(response: bytes) -> str | None:
     if name != b"TransientTransportError":
         return None
     return message.decode(errors="replace")
+
+
+# -- federation-internal frames ---------------------------------------------
+# OP_SEARCH_SHARD / OP_SEARCH_MERGE bypass the per-request guarded-open
+# path by design (the merge shard performs the single guarded open for
+# the whole scattered request), so they must never be acceptable from a
+# client: the router authenticates each internal leg with an HMAC over
+# opcode ‖ operands under a federation-internal key (derived from the
+# S-server's private identity key, repro.core.federation), and a shard
+# verifies the tag before any handler state — replay guards included —
+# is touched.  The tag covers the opcode and *every* operand field, so
+# an active attacker can neither re-frame a captured client envelope as
+# an internal leg nor rewrite an in-flight merge's spliced chunks.
+_FED_FRAME_CONTEXT = b"hcpp-federation-frame:"
+
+
+def seal_internal_frame(key: bytes, opcode: bytes, *fields: bytes) -> bytes:
+    """An internal federation frame: operands + trailing federation tag."""
+    tag = hmac_sha256(key, _FED_FRAME_CONTEXT + pack_fields(opcode, *fields))
+    return make_frame(opcode, *fields, tag)
+
+
+def open_internal_frame(key: bytes | None, opcode: bytes,
+                        fields: list[bytes]) -> list[bytes]:
+    """Verify and strip an internal frame's federation tag.
+
+    Returns the operand fields.  Raises
+    :class:`~repro.exceptions.AuthenticationError` when the serving
+    endpoint holds no federation key (a standalone S-server never
+    serves internal legs), when the tag is absent, or when it does not
+    verify — uniformly, so a probing peer learns nothing about which
+    check failed.
+    """
+    if key is None:
+        raise AuthenticationError(
+            "opcode %r is federation-internal and this endpoint holds "
+            "no federation key" % opcode)
+    if not fields:
+        raise AuthenticationError(
+            "internal frame %r carries no federation tag" % opcode)
+    operands, tag = fields[:-1], fields[-1]
+    expected = hmac_sha256(key,
+                           _FED_FRAME_CONTEXT + pack_fields(opcode, *operands))
+    if not constant_time_equal(expected, tag):
+        raise AuthenticationError(
+            "federation tag on %r does not verify" % opcode)
+    return operands
 
 
 # -- correlation ids (multiplexed transports) -------------------------------

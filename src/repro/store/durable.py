@@ -431,6 +431,7 @@ class DurableSServerEndpoint(DurableEndpoint):
     def __init__(self, store: DurableStore, factory, address: str) -> None:
         self._hibc_node = None
         self._root_public = None
+        self._federation_key = None
         super().__init__(store, factory, address)
 
     # bind_sserver assigns these on an already-bound endpoint when the
@@ -456,9 +457,24 @@ class DurableSServerEndpoint(DurableEndpoint):
         if self._inner is not None:
             self._inner.root_public = value
 
+    # The federation-internal frame key, like the HIBC credential, is
+    # bind-time configuration (re-derived from the identity key, never
+    # journaled) — kept on the wrapper so recovery re-arms the rebuilt
+    # endpoint's SHARD/MERGE authentication.
+    @property
+    def federation_key(self):
+        return self._federation_key
+
+    @federation_key.setter
+    def federation_key(self, value) -> None:
+        self._federation_key = value
+        if self._inner is not None:
+            self._inner.federation_key = value
+
     def _configure_inner(self, inner) -> None:
         inner.hibc_node = self._hibc_node
         inner.root_public = self._root_public
+        inner.federation_key = self._federation_key
 
 
 class DurableAServerEndpoint(DurableEndpoint):
@@ -632,7 +648,7 @@ def _reset_pdevice(device) -> None:
 # -- binding helpers ---------------------------------------------------------
 def bind_durable_sserver(transport, server, store: DurableStore, *,
                          hibc_node=None, root_public=None,
-                         fault_policy=None,
+                         fault_policy=None, federation_key=None,
                          **bind_kwargs) -> DurableSServerEndpoint:
     """Serve ``server`` durably at its address.
 
@@ -648,6 +664,8 @@ def bind_durable_sserver(transport, server, store: DurableStore, *,
     if hibc_node is not None:
         durable.hibc_node = hibc_node
         durable.root_public = root_public
+    if federation_key is not None:
+        durable.federation_key = federation_key
     transport.bind(server.address, durable, **bind_kwargs)
     if fault_policy is not None:
         durable.register_with(fault_policy)

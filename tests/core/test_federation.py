@@ -17,7 +17,8 @@ import pytest
 from repro.ehr.mhi import AnomalyKind
 from repro.ehr.records import Category
 from repro.core import dispatch, wire
-from repro.core.federation import bind_federated_sserver, shard_servers
+from repro.core.federation import (bind_federated_sserver,
+                                   federation_key_for, shard_servers)
 from repro.core.protocols.emergency import (family_based_retrieval,
                                             pdevice_emergency_retrieval)
 from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
@@ -29,7 +30,8 @@ from repro.core.protocols.storage import private_phi_storage
 from repro.core.protocols.messages import pack_fields, seal, unpack_fields
 from repro.core.router import RouterEndpoint
 from repro.core.system import build_system
-from repro.exceptions import (ParameterError, ReplayError, StorageError,
+from repro.exceptions import (AuthenticationError, ParameterError,
+                              RecoveryError, ReplayError, StorageError,
                               TransportError)
 from repro.net.transport import (AsyncTransport, LoopbackTransport,
                                  SocketTransport)
@@ -313,3 +315,139 @@ class TestRouterSurface:
         system = build_system(seed=b"federation-parity")
         for shard in shard_servers(system.sserver, 3):
             assert shard.identity_key is system.sserver.identity_key
+
+    def test_scatter_pool_is_bounded_and_reused(self):
+        router = RouterEndpoint("sserver://x", ["a://1", "b://2"])
+        pool = router._executor()
+        assert router._executor() is pool  # one pool per router, reused
+        assert pool._max_workers == 2
+
+
+class TestInternalLegAuthentication:
+    """SHARD/MERGE are router-only: unauthenticated frames are rejected
+    before any replay-guard or search state is touched."""
+
+    def _deployment(self):
+        fed_sys, fed_net, cids = _stored_deployment(2)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        shard_ep = fed_net.endpoint_at(router.shard_addresses[0])
+        return fed_sys, fed_net, cids, router, shard_ep
+
+    def test_captured_envelope_cannot_be_reframed_as_shard_leg(self):
+        # The REVIEW scenario: a peer who captured a legitimate
+        # phi-retrieve envelope re-frames it as OP_SEARCH_SHARD against
+        # attacker-chosen collection ids.  Without the federation tag
+        # the shard must refuse — and keep refusing on replay.
+        fed_sys, fed_net, cids, router, shard_ep = self._deployment()
+        frame = _multi_frame(fed_sys, cids, ["allergies"], fed_net.now)
+        _, fields = wire.parse_frame(frame)
+        pseud_b, cids_b, env_b = fields
+        forged = wire.make_frame(wire.OP_SEARCH_SHARD, pseud_b, cids_b,
+                                 env_b)
+        for _ in range(2):
+            with pytest.raises(AuthenticationError):
+                wire.parse_response(shard_ep.handle_frame(forged))
+        # The replay window was never consumed: the legitimate MULTI
+        # through the router still succeeds afterwards.
+        wire.parse_response(router.handle_frame(frame))
+
+    def test_forged_merge_chunks_rejected(self):
+        # Rewriting an in-flight MULTI into a MERGE carrying forged
+        # chunks must not yield a validly-sealed phi-results envelope.
+        fed_sys, fed_net, cids, router, shard_ep = self._deployment()
+        frame = _multi_frame(fed_sys, cids, ["allergies"], fed_net.now)
+        _, (pseud_b, cids_b, env_b) = wire.parse_frame(frame)
+        evil = pack_fields(*[pack_fields(cid, pack_fields(b"\x00" * 64))
+                             for cid in cids])
+        forged = wire.make_frame(wire.OP_SEARCH_MERGE, pseud_b, cids_b,
+                                 env_b, evil)
+        with pytest.raises(AuthenticationError):
+            wire.parse_response(shard_ep.handle_frame(forged))
+
+    def test_tampered_federation_tag_rejected(self):
+        fed_sys, fed_net, cids, router, shard_ep = self._deployment()
+        # Only the cids this shard owns: the tag check is what's under
+        # test, and a served frame must then actually resolve locally.
+        owned = [cid for cid in cids
+                 if router.ring.owner_str(cid) == router.shard_addresses[0]]
+        assert owned
+        frame = _multi_frame(fed_sys, owned, ["allergies"], fed_net.now)
+        _, (pseud_b, cids_b, env_b) = wire.parse_frame(frame)
+        key = federation_key_for(fed_sys.sserver.identity_key)
+        sealed = wire.seal_internal_frame(key, wire.OP_SEARCH_SHARD,
+                                          pseud_b, cids_b, env_b)
+        opcode, fields = wire.parse_frame(sealed)
+        bad_tag = bytes([fields[-1][0] ^ 0x01]) + fields[-1][1:]
+        tampered = wire.make_frame(opcode, *fields[:-1], bad_tag)
+        with pytest.raises(AuthenticationError):
+            wire.parse_response(shard_ep.handle_frame(tampered))
+        # The properly sealed frame is served (raw per-cid chunk lists).
+        chunks = unpack_fields(wire.parse_response(
+            shard_ep.handle_frame(sealed)))
+        assert len(chunks) == len(owned)
+
+    def test_router_does_not_route_internal_opcodes(self):
+        # The public logical address must not be a path to the internal
+        # legs either — even correctly-tagged frames bounce.
+        fed_sys, fed_net, cids, router, _ = self._deployment()
+        key = federation_key_for(fed_sys.sserver.identity_key)
+        frame = _multi_frame(fed_sys, cids, ["allergies"], fed_net.now)
+        _, (pseud_b, cids_b, env_b) = wire.parse_frame(frame)
+        for opcode in (wire.OP_SEARCH_SHARD, wire.OP_SEARCH_MERGE):
+            sealed = wire.seal_internal_frame(key, opcode, pseud_b,
+                                              cids_b, env_b)
+            with pytest.raises(TransportError):
+                wire.parse_response(router.handle_frame(sealed))
+
+    def test_standalone_server_rejects_internal_opcodes(self):
+        # An unfederated S-server holds no federation key: SHARD/MERGE
+        # are dead opcodes on it, tagged or not.
+        single_sys, single_net, cids = _stored_deployment(0)
+        endpoint = single_net.endpoint_at(single_sys.sserver.address)
+        frame = _multi_frame(single_sys, cids, ["allergies"],
+                             single_net.now)
+        _, (pseud_b, cids_b, env_b) = wire.parse_frame(frame)
+        key = federation_key_for(single_sys.sserver.identity_key)
+        sealed = wire.seal_internal_frame(key, wire.OP_SEARCH_SHARD,
+                                          pseud_b, cids_b, env_b)
+        with pytest.raises(AuthenticationError):
+            wire.parse_response(endpoint.handle_frame(sealed))
+
+    def test_router_without_key_refuses_cross_shard_scatter(self):
+        fed_sys, fed_net, cids, router, _ = self._deployment()
+        bare = RouterEndpoint("sserver://bare", router.shard_addresses)
+        bare.attach(router._transport)
+        owners = {router.ring.owner_str(cid) for cid in cids}
+        assert len(owners) > 1  # genuinely cross-shard
+        frame = _multi_frame(fed_sys, cids, ["allergies"], fed_net.now)
+        with pytest.raises(AuthenticationError):
+            wire.parse_response(bare.handle_frame(frame))
+
+
+class TestFederationManifest:
+    """Ring geometry is pinned in data_dir: a mismatched recovery fails
+    loudly instead of stranding journals and rerouting keys."""
+
+    def _bind(self, tmp_path, shards, vnodes=None):
+        system = build_system(seed=b"federation-manifest")
+        net = LoopbackTransport()
+        kwargs = {"data_dir": str(tmp_path)}
+        if vnodes is not None:
+            kwargs["vnodes"] = vnodes
+        return bind_federated_sserver(net, system.sserver, shards,
+                                      **kwargs)
+
+    def test_same_geometry_recovers(self, tmp_path):
+        self._bind(tmp_path, 2)
+        federation = self._bind(tmp_path, 2)  # fresh transport = recovery
+        assert len(federation.shards) == 2
+
+    def test_different_shard_count_fails_loudly(self, tmp_path):
+        self._bind(tmp_path, 2)
+        with pytest.raises(RecoveryError):
+            self._bind(tmp_path, 4)
+
+    def test_different_vnodes_fails_loudly(self, tmp_path):
+        self._bind(tmp_path, 2)
+        with pytest.raises(RecoveryError):
+            self._bind(tmp_path, 2, vnodes=7)

@@ -38,7 +38,8 @@ from repro.net.transport import (AsyncTransport, FaultPolicy,
                                  SocketTransport)
 from repro.store import (DurableStore, bind_durable_aserver,
                          bind_durable_pdevice, bind_durable_sserver)
-from repro.exceptions import ReplayError, TransientTransportError
+from repro.exceptions import (AuthenticationError, ReplayError,
+                              TransientTransportError)
 
 ALLERGY_TEXT = "Severe penicillin allergy; carries epinephrine."
 CARDIO_TEXT = "Prior MI (2024); ejection fraction 45%."
@@ -378,6 +379,53 @@ class TestFederatedShardRecovery:
             assert entries, "collection %r lost its files" % cid.hex()
             per_cid.append(len(entries))
         assert len(per_cid) == len(cids)
+
+    def test_cross_shard_multi_after_restart(self, tmp_path):
+        faults = FaultPolicy(seed=CHAOS_SEED)
+        system, net, federation = self._deployment(tmp_path, faults)
+        server = system.sserver
+        cids = [self._store(system, net, "record %d" % i) for i in range(4)]
+        assert ({federation.ring.owner_str(cid) for cid in cids}
+                == set(federation.shard_addresses))
+        victim = federation.shard_addresses[0]
+        faults.crash(victim)
+        faults.restart(victim)
+
+        # The recovered shard re-arms its federation key: the internal
+        # legs of a cross-shard OP_SEARCH_MULTI authenticate against it,
+        # so the scattered search comes back complete after a restart.
+        patient = system.patient
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(server.identity_key.public,
+                                      pseudonym)
+        request = seal(nu, "phi-retrieve",
+                       pack_fields(patient.trapdoor("allergies").to_bytes()),
+                       net.now)
+        frame = wire.make_frame(wire.OP_SEARCH_MULTI,
+                                pseudonym.public.to_bytes(),
+                                pack_fields(*cids), request.to_bytes())
+        reply = net.request("patient://probe", server.address, frame,
+                            "phi/search")
+        # Each store snapshots the patient's cumulative collection, so
+        # cid i matches i+1 files — completeness means every collection
+        # (including the restarted shard's) contributed its slice.
+        expected = sum(range(1, len(cids) + 1))
+        assert len(_result_entries(nu, reply, net.now)) == expected
+
+        # ...while an unauthenticated internal leg aimed straight at the
+        # recovered shard still bounces before touching any state.
+        forged_pseud = patient.fresh_pseudonym()
+        forged_req = seal(
+            patient.session_key_with(server.identity_key.public,
+                                     forged_pseud),
+            "phi-retrieve",
+            pack_fields(patient.trapdoor("allergies").to_bytes()), net.now)
+        forged = wire.make_frame(wire.OP_SEARCH_SHARD,
+                                 forged_pseud.public.to_bytes(),
+                                 pack_fields(*cids), forged_req.to_bytes())
+        with pytest.raises(AuthenticationError):
+            wire.parse_response(net.request("patient://probe", victim,
+                                            forged, "attack/shard-leg"))
 
     def test_replay_through_router_rejected_after_restart(self, tmp_path):
         faults = FaultPolicy(seed=CHAOS_SEED)
