@@ -12,7 +12,10 @@ file (default ``BENCH_scale.json`` at the repo root) with:
    searches routed scatter/gather through the router,
 4. single-shard recovery — wall time to replay one shard's journal
    into a fresh endpoint (shrinks as 1/N with shard count: each shard
-   journals only its slice of the population).
+   journals only its slice of the population),
+5. live rebalance — a journaled 4 → 5 shard migration with searches
+   probed at every phase boundary (migration throughput and search
+   availability during the epoch change).
 
 Usage::
 
@@ -147,6 +150,81 @@ def bench_shard_count(shards: int, data_root: Path, workload,
     }
 
 
+def bench_rebalance(data_root: Path, n_collections: int,
+                    n_queries: int) -> dict:
+    """Live 4 → 5 rebalance: migration throughput + search availability.
+
+    Stores real SSE collections on a 4-shard durable federation, then
+    grows it to 5 shards while probing a search at every phase boundary
+    (planned / copied / committed / released) — the dual-ownership copy
+    window means every probe must succeed.  Reports the journaled
+    migration's wall time, how many collections moved, and post-epoch
+    search latency.
+    """
+    system = build_system(seed=b"bench-scale")
+    net = LoopbackTransport()
+    server = system.sserver
+    data_dir = data_root / "rebalance"
+    data_dir.mkdir(parents=True)
+    federation = bind_federated_sserver(net, server, 4,
+                                        data_dir=str(data_dir))
+    router = net.endpoint_at(server.address)
+    cids = []
+    for i in range(n_collections):
+        system.patient.add_record(
+            Category.ALLERGIES, list(HEAD_KEYWORDS),
+            "population record %d" % i, server.address)
+        private_phi_storage(system.patient, server, net)
+        cids.append(system.patient.collection_ids[server.address])
+    unique = sorted(set(cids))
+    old_owner = {cid: federation.ring.owner_str(cid) for cid in unique}
+
+    def probe() -> None:
+        frame = _search_frame(system, cids[0], HEAD_KEYWORDS[0], net.now)
+        wire.parse_response(router.handle_frame(frame))
+
+    phase_s: dict[str, float] = {}
+    probes_ok = 0
+    t0 = time.perf_counter()
+
+    def on_step(step: str) -> None:
+        nonlocal probes_ok
+        phase_s[step] = time.perf_counter() - t0
+        probe()  # raises if the mid-rebalance search degrades
+        probes_ok += 1
+
+    federation.add_shard(on_step=on_step)
+    rebalance_s = time.perf_counter() - t0
+    moved = sum(1 for cid in unique
+                if federation.ring.owner_str(cid) != old_owner[cid])
+    copy_s = phase_s.get("copied", 0.0) - phase_s.get("planned", 0.0)
+
+    samples = []
+    for i in range(n_queries):
+        cid = cids[i % len(cids)]
+        frame = _search_frame(system, cid,
+                              HEAD_KEYWORDS[i % len(HEAD_KEYWORDS)],
+                              net.now)
+        t1 = time.perf_counter()
+        response = router.handle_frame(frame)
+        samples.append(time.perf_counter() - t1)
+        wire.parse_response(response)
+    return {
+        "from_shards": 4,
+        "to_shards": len(federation.shards),
+        "epoch": federation.epoch,
+        "collections": n_collections,
+        "collections_moved": moved,
+        "rebalance_s": rebalance_s,
+        "copy_phase_s": copy_s,
+        "moved_per_s": (moved / copy_s) if copy_s > 0 else None,
+        "phase_s": phase_s,
+        "searches_during_rebalance_ok": probes_ok,
+        "post_epoch_search_p50_ms": statistics.median(samples) * 1e3,
+        "post_epoch_search_p95_ms": _percentile(samples, 0.95) * 1e3,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--patients", type=int, default=100_000,
@@ -194,6 +272,17 @@ def main() -> None:
                      entry["shard0_recovery_ms"],
                      entry["shard0_recovered_collections"]))
 
+        print("== live 4 -> 5 rebalance ==")
+        rebalance = bench_rebalance(Path(tmp), args.collections,
+                                    args.queries)
+        print("   moved %d/%d collection(s) in %.2f s "
+              "(copy phase %.2f s)  %d mid-rebalance search(es) OK  "
+              "post-epoch search p50 %.2f ms"
+              % (rebalance["collections_moved"], rebalance["collections"],
+                 rebalance["rebalance_s"], rebalance["copy_phase_s"],
+                 rebalance["searches_during_rebalance_ok"],
+                 rebalance["post_epoch_search_p50_ms"]))
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "patients": args.patients,
@@ -201,7 +290,8 @@ def main() -> None:
         "queries": args.queries,
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "results": {"population": population, "shard_sweep": sweep},
+        "results": {"population": population, "shard_sweep": sweep,
+                    "rebalance": rebalance},
     }
     trajectory = {"runs": []}
     if args.out.exists():

@@ -110,9 +110,15 @@ CONTRACTS = (
              allowed=("repro.core.shard", "repro.exceptions"),
              why="the consistent-hash ring is pure placement math below "
                  "dispatch: no wire, no endpoints, no crypto"),
+    Contract(prefix="repro.core.health",
+             allowed=("repro.core.health", "repro.exceptions"),
+             why="circuit breakers and latency accounting are pure "
+                 "bookkeeping over an injected clock: no wire, no "
+                 "endpoints, no crypto"),
     Contract(prefix="repro.core.router",
              allowed=("repro.core.router", "repro.core.wire",
-                      "repro.core.shard", "repro.exceptions"),
+                      "repro.core.shard", "repro.core.health",
+                      "repro.exceptions"),
              why="the federation router forwards opaque frames by ring "
                  "position; it must never import entity or protocol "
                  "layers (it cannot open what it routes)"),

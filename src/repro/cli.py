@@ -75,7 +75,8 @@ def _bind_servers(args, system, net):
         from repro.core.federation import bind_federated_sserver
         bound["federation"] = bind_federated_sserver(
             net, system.sserver, shards, data_dir=data_dir,
-            snapshot_every=snapshot_every)
+            snapshot_every=snapshot_every,
+            allow_partial=getattr(args, "allow_partial", False))
     if not data_dir:
         return bound
     from repro.store import (DurableStore, bind_durable_aserver,
@@ -297,6 +298,55 @@ def cmd_recover(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_rebalance(args) -> int:
+    """Resize a durable federation via journaled key migration.
+
+    Binds the same seeded deployment over ``--data-dir`` (recovering
+    the current shard set from the federation manifest — an interrupted
+    earlier rebalance is rolled forward first), then migrates to
+    ``--to N`` shards through the copy → commit → release protocol and
+    reports what moved.
+    """
+    if not args.data_dir:
+        print("rebalance requires --data-dir (the manifest and shard "
+              "journals are what a rebalance migrates)")
+        return 1
+    if (getattr(args, "shards", 1) or 1) <= 1:
+        print("rebalance requires --shards > 1 (bind the federation "
+              "whose ring is being resized)")
+        return 1
+    from repro.core.federation import rebalance
+    system = build_system(seed=args.seed.encode())
+    net = _net(args, system)
+    try:
+        bound = _bind_servers(args, system, net)
+    except Exception as exc:
+        print("rebalance FAILED at bind: %s: %s"
+              % (type(exc).__name__, exc))
+        return 1
+    federation = (bound or {}).get("federation")
+    before = len(federation.shards)
+    held_before = {s.name: s.collection_count() for s in federation.shards}
+    phases = []
+    try:
+        rebalance(federation, args.to, on_step=phases.append)
+    except Exception as exc:
+        print("rebalance FAILED mid-migration: %s: %s (re-run to "
+              "roll the journaled migration forward)"
+              % (type(exc).__name__, exc))
+        return 1
+    print("Rebalanced %s: %d -> %d shard(s), epoch %d (%s)"
+          % (args.data_dir, before, len(federation.shards),
+             federation.epoch,
+             " -> ".join(phases) if phases else "no-op"))
+    for shard in federation.shards:
+        delta = shard.collection_count() - held_before.get(shard.name, 0)
+        print("  %s: %d collection(s), %d MHI window(s) [%+d]"
+              % (shard.name, shard.collection_count(),
+                 shard.mhi_count(), delta))
+    return 0
+
+
 def cmd_selfcheck(args) -> int:
     """Installation self-test: known-answer checks across the substrate."""
     from repro.crypto.aes import AES
@@ -368,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "router (default 1 = single server); "
                              "composes with --data-dir (one journal per "
                              "shard)")
+    common.add_argument("--allow-partial", action="store_true",
+                        default=False,
+                        help="with --shards: scattered searches degrade "
+                             "to explicit PARTIAL results when a shard "
+                             "is down (circuit-breaker routed) instead "
+                             "of failing outright")
     common.add_argument("--workers", type=int, default=0, metavar="N",
                         help="crypto worker processes for the batched "
                              "pairing paths (batch verify, multi-keyword "
@@ -395,6 +451,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rebuild durable state from --data-dir and "
                         "verify the audit evidence",
                    parents=[common]).set_defaults(func=cmd_recover)
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="resize a durable federation (--shards N --to M) via "
+             "journaled key migration",
+        parents=[common])
+    rebalance.add_argument("--to", type=int, required=True, metavar="M",
+                           help="target shard count after the migration")
+    rebalance.set_defaults(func=cmd_rebalance)
     sub.add_parser("selfcheck",
                    help="known-answer tests across the crypto substrate",
                    parents=[common]).set_defaults(func=cmd_selfcheck)

@@ -44,6 +44,14 @@ __all__ = ["Endpoint", "SServerEndpoint", "AServerEndpoint",
            "bind_aserver", "bind_entity"]
 
 
+def _parse_epoch(epoch_b: bytes) -> int:
+    """The 8-byte big-endian federation epoch a migrate frame targets."""
+    if len(epoch_b) != 8:
+        raise ParameterError("federation epoch must be 8 bytes, got %d"
+                             % len(epoch_b))
+    return int.from_bytes(epoch_b, "big")
+
+
 def _pack_guard(guard: ReplayGuard) -> bytes:
     return pack_fields(*[pack_fields(tag, repr(ts).encode())
                          for tag, ts in guard.export_state()])
@@ -136,8 +144,14 @@ class SServerEndpoint(Endpoint):
     # but session keys are deliberately ephemeral: a crashed server
     # forgets them and the patient re-handshakes, which is the correct
     # security posture for a session secret.
+    #
+    # OP_MIGRATE_ACK is the journaled half of a shard handoff: the
+    # `install` form must survive a destination crash (it is the
+    # durable ack the source's release waits on) and the `release`
+    # form must survive a source crash (or recovery would resurrect a
+    # collection the ring no longer routes here).
     MUTATING_OPS = frozenset({wire.OP_STORE, wire.OP_GROUP_UPDATE,
-                              wire.OP_MHI_STORE})
+                              wire.OP_MHI_STORE, wire.OP_MIGRATE_ACK})
 
     def __init__(self, server: StorageServer, hibc_node=None,
                  root_public: Point | None = None,
@@ -170,6 +184,8 @@ class SServerEndpoint(Endpoint):
             wire.OP_MHI_SEARCH: self._op_mhi_search,
             wire.OP_XD_HANDSHAKE: self._op_xd_handshake,
             wire.OP_XD_SEARCH: self._op_xd_search,
+            wire.OP_MIGRATE_PULL: self._op_migrate_pull,
+            wire.OP_MIGRATE_ACK: self._op_migrate_ack,
         }
 
     @property
@@ -278,6 +294,54 @@ class SServerEndpoint(Endpoint):
             list(unpack_fields(cids_b)), Envelope.from_bytes(env_b),
             foreign, self.now)
         return reply.to_bytes()
+
+    # -- shard lifecycle (federation rebalance) ------------------------------
+    def _op_migrate_pull(self, fields: list[bytes]) -> bytes:
+        """Rebalancer→shard leg: list held keys, or export a slice.
+
+        Federation-authenticated and read-only: the source keeps
+        serving everything it exports until the destination's durable
+        install is acked and the rebalancer sends the `release` ACK.
+        One operand (the epoch) asks for the held-key listing; three
+        operands (epoch, cids, roles) export the named slice.
+        """
+        fields = wire.open_internal_frame(self.federation_key,
+                                          wire.OP_MIGRATE_PULL, fields)
+        if len(fields) == 1:
+            _parse_epoch(fields[0])
+            cids, roles = self.server.held_keys()
+            return pack_fields(pack_fields(*cids), pack_fields(*roles))
+        epoch_b, cids_b, roles_b = self._expect(fields, 3)
+        _parse_epoch(epoch_b)
+        return self.server.export_partition(
+            list(unpack_fields(cids_b)), list(unpack_fields(roles_b)))
+
+    def _op_migrate_ack(self, fields: list[bytes]) -> bytes:
+        """Rebalancer→shard leg: the journaled half of a handoff.
+
+        ``install`` adopts an exported slice on the destination;
+        ``release`` drops it from the source.  Both forms are mutating
+        (the durable layer fsyncs the whole frame before the ack
+        leaves) and idempotent, so a resumed migration or a journal
+        replay re-applies them safely.  The epoch operand is sealed
+        into the federation tag and journaled for audit; the handler
+        does not order-check it — recovery replays frames from every
+        historical epoch, and staleness is excluded by the rebalancer
+        being the manifest's single writer.
+        """
+        fields = wire.open_internal_frame(self.federation_key,
+                                          wire.OP_MIGRATE_ACK, fields)
+        mode, epoch_b, payload = self._expect(fields, 3)
+        _parse_epoch(epoch_b)
+        if mode == b"install":
+            self.server.install_partition(payload)
+            return b""
+        if mode == b"release":
+            cids_b, roles_b = unpack_fields(payload, expected=2)
+            self.server.release_partition(
+                list(unpack_fields(cids_b)), list(unpack_fields(roles_b)))
+            return b""
+        raise ParameterError("unknown migrate-ack mode %r" % mode)
 
     # -- §IV.E.1 family-style emergency --------------------------------------
     def _op_get_broadcast(self, fields: list[bytes]) -> bytes:

@@ -62,14 +62,17 @@ layering contract) — never entities, protocols, or the net backends.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import (FIRST_COMPLETED, ThreadPoolExecutor,
+                                TimeoutError as _FutureTimeout, wait)
 
 import repro.core.wire as wire
+from repro.core.health import HealthTable
 from repro.core.shard import DEFAULT_VNODES, HashRing
 from repro.core.shard import collection_id_for_tag
 from repro.exceptions import (AuthenticationError, ParameterError,
-                              ReproError, TransientTransportError,
-                              TransportError)
+                              ReplayError, ReproError,
+                              TransientTransportError, TransportError)
 
 __all__ = ["RouterEndpoint"]
 
@@ -99,7 +102,10 @@ class RouterEndpoint:
 
     def __init__(self, address: str, shard_addresses: "list[str]",
                  vnodes: int = DEFAULT_VNODES,
-                 federation_key: "bytes | None" = None) -> None:
+                 federation_key: "bytes | None" = None,
+                 allow_partial: bool = True, health_seed: int = 0,
+                 failure_threshold: int = 3,
+                 reset_timeout_s: float = 1.0) -> None:
         if not shard_addresses:
             raise ParameterError("a router needs at least one shard")
         self.address = address
@@ -110,6 +116,20 @@ class RouterEndpoint:
         # from anyone who cannot produce the tag, so a router without
         # the key cannot scatter a cross-shard OP_SEARCH_MULTI.
         self._federation_key = federation_key
+        # Degraded-mode scatter-gather: when True a scattered read that
+        # loses a shard (open breaker, or retries exhausted) degrades
+        # to a PARTIAL reply over the shards that answered instead of
+        # failing outright.  Healthy replies are byte-identical either
+        # way.  Single-key ops and the write path never degrade: a dead
+        # owner keeps surfacing TransientTransportError.
+        self.allow_partial = allow_partial
+        # Per-shard breakers on the *transport* clock (deterministic
+        # under simulated time) plus the latency window the hedging
+        # budget derives from.
+        self.health = HealthTable(
+            self.shard_addresses, clock=lambda: self.now,
+            seed=health_seed, failure_threshold=failure_threshold,
+            reset_timeout_s=reset_timeout_s)
         self._transport = None
         self._hibc_node = None
         self._root_public = None
@@ -210,15 +230,28 @@ class RouterEndpoint:
         policy; a serialized transient refusal is re-raised so the
         *client's* retry fires too.
         """
-        endpoint = self._transport.endpoint_at(shard)
-        if endpoint is not None:
-            response = endpoint.handle_frame(frame)
-        else:
-            response = self._transport.request(self.address, shard, frame,
-                                               label)
-        message = wire.transient_error_in(response)
-        if message is not None:
-            raise TransientTransportError(message)
+        breaker = self.health.breaker(shard)
+        start = time.monotonic()
+        try:
+            endpoint = self._transport.endpoint_at(shard)
+            if endpoint is not None:
+                response = endpoint.handle_frame(frame)
+            else:
+                response = self._transport.request(self.address, shard,
+                                                   frame, label)
+            message = wire.transient_error_in(response)
+            if message is not None:
+                raise TransientTransportError(message)
+        except TransientTransportError:
+            # Consecutive transient failures trip the shard's breaker;
+            # a terminal error response is a healthy answer and does
+            # not count.  The error still propagates — single-key ops
+            # (writes included) always surface the refusal so the
+            # client's retry policy fires.
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        self.health.observe_latency(time.monotonic() - start)
         return response
 
     def _executor(self) -> ThreadPoolExecutor:
@@ -227,14 +260,40 @@ class RouterEndpoint:
             with self._scatter_pool_lock:
                 pool = self._scatter_pool
                 if pool is None:
+                    # Twice the shard count: hedged legs need workers
+                    # while their stalled primaries still occupy one.
                     pool = ThreadPoolExecutor(
-                        max_workers=min(len(self.shard_addresses), 16),
+                        max_workers=min(2 * len(self.shard_addresses), 16),
                         thread_name_prefix="hcpp-router")
                     self._scatter_pool = pool
         return pool
 
-    def _scatter(self, targets: "list[tuple[str, bytes]]",
-                 label: str) -> "list[bytes]":
+    def update_ring(self, shard_addresses: "list[str]") -> None:
+        """Atomically swap the shard set (a federation rebalance commit).
+
+        Safe against in-flight frames: the rebalance protocol keeps a
+        moving collection on *both* its old and new owner between the
+        copy and release phases, so a frame routed under either ring
+        during the swap still lands on a shard that serves it.
+        """
+        addresses = tuple(shard_addresses)
+        if not addresses:
+            raise ParameterError("a router needs at least one shard")
+        ring = HashRing(addresses, vnodes=self.ring.vnodes)
+        self.ring = ring
+        self.shard_addresses = addresses
+        for address in addresses:
+            self.health.breaker(address)  # pre-create: known from day one
+        with self._scatter_pool_lock:
+            pool, self._scatter_pool = self._scatter_pool, None
+        if pool is not None:
+            # In-flight scatters hold their own reference and drain
+            # normally; new scatters get a pool sized for the new ring.
+            pool.shutdown(wait=False)
+
+    def _scatter(self, targets: "list[tuple[str, bytes]]", label: str,
+                 hedge: bool = False,
+                 tolerant: bool = False) -> "list[bytes | None]":
         """Forward one frame per (shard, frame) pair; responses by index.
 
         Pipelined (the router's persistent scatter pool) when the
@@ -243,15 +302,62 @@ class RouterEndpoint:
         order otherwise.  Either way the gathered list is indexed like
         ``targets`` — deterministic merge order never depends on
         completion order.
+
+        ``tolerant`` turns a leg's transient failure into ``None`` at
+        its index (degraded-mode callers account the loss); otherwise
+        the failure propagates.  ``hedge`` (concurrent transports only)
+        re-sends a leg to the same shard once it has been pending
+        longer than the p99-derived budget and takes whichever copy
+        answers first — only ever requested for the idempotent,
+        guard-free OP_SEARCH_SHARD legs, where a duplicate delivery is
+        harmless by construction.
         """
         if len(targets) > 1 and getattr(self._transport,
                                         "CONCURRENT_REQUESTS", False):
-            futures = [self._executor().submit(self._forward, shard, frame,
-                                               label)
+            pool = self._executor()
+            futures = [pool.submit(self._forward, shard, frame, label)
                        for shard, frame in targets]
-            return [future.result() for future in futures]
-        return [self._forward(shard, frame, label)
-                for shard, frame in targets]
+            budget = self.health.hedge_budget_s() if hedge else None
+            responses: "list[bytes | None]" = []
+            for (shard, frame), future in zip(targets, futures):
+                try:
+                    if budget is None:
+                        responses.append(future.result())
+                        continue
+                    try:
+                        responses.append(future.result(timeout=budget))
+                    except _FutureTimeout:
+                        self.health.hedges_sent += 1
+                        backup = pool.submit(self._forward, shard, frame,
+                                             label)
+                        responses.append(self._first_result(future, backup))
+                except TransientTransportError:
+                    if not tolerant:
+                        raise
+                    responses.append(None)
+            return responses
+        responses = []
+        for shard, frame in targets:
+            try:
+                responses.append(self._forward(shard, frame, label))
+            except TransientTransportError:
+                if not tolerant:
+                    raise
+                responses.append(None)
+        return responses
+
+    def _first_result(self, primary, backup) -> bytes:
+        """The first *successful* of a hedged pair; prefer the primary's
+        error only once both have failed."""
+        pending = {primary, backup}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if future.exception() is None:
+                    if future is backup:
+                        self.health.hedges_won += 1
+                    return future.result()
+        return primary.result()  # both failed: re-raise the primary's error
 
     # -- per-opcode routing --------------------------------------------------
     def _route_store(self, fields: "list[bytes]", frame: bytes) -> bytes:
@@ -292,6 +398,13 @@ class RouterEndpoint:
         on whichever shard owns the collection.  All responses are
         byte-identical (empty OK) on success; the first failure's
         response is returned as-is for error parity.
+
+        This route stays *strict* even in degraded mode: a handshake
+        that skipped an open-breaker shard would strand every later
+        OP_XD_SEARCH whose collection that shard owns with an
+        unknown-session AuthenticationError — a silent correctness
+        failure, unlike a visibly PARTIAL search.  Better to fail the
+        handshake loudly and let the client retry once the shard heals.
         """
         self._expect(fields, 3)
         responses = self._scatter(
@@ -317,8 +430,21 @@ class RouterEndpoint:
             return self._forward(self.shard_addresses[0], frame,
                                  "router/scatter")
         by_shard: dict[str, list[int]] = {}
+        seen_tags: set[bytes] = set()
         for i, entry in enumerate(fields):
             entry_fields = wire.unpack_fields(entry, expected=3)
+            # Cross-shard replay defence: two entries carrying the same
+            # envelope tag would scatter to *different* shards and each
+            # pass its shard's local replay guard — reject the batch
+            # before any leg runs (a single server would reject the
+            # duplicate entry through its guard; the router has no
+            # guard, so it refuses the whole frame instead).
+            tag = _envelope_tag(entry_fields[2])
+            if tag in seen_tags:
+                raise ReplayError(
+                    "duplicate envelope tag within one batch (entry %d)"
+                    % i)
+            seen_tags.add(tag)
             shard = self.ring.owner_str(entry_fields[1])
             by_shard.setdefault(shard, []).append(i)
         # Deterministic scatter order: shards sorted by address.
@@ -328,9 +454,21 @@ class RouterEndpoint:
             targets.append((shard, wire.make_frame(
                 wire.OP_SEARCH_BATCH, *[fields[i] for i in indexes])))
             index_map.append(indexes)
-        responses = self._scatter(targets, "router/scatter")
+        if not self.allow_partial:
+            responses = self._scatter(targets, "router/scatter")
+            unavailable: list[str] = []
+        else:
+            responses, unavailable = self._scatter_degraded(
+                targets, "router/scatter")
         entries: list = [None] * len(fields)
-        for indexes, response in zip(index_map, responses):
+        for (shard, _), indexes, response in zip(targets, index_map,
+                                                 responses):
+            if response is None:
+                refusal = wire.error_response(TransientTransportError(
+                    "shard %s unavailable" % shard))
+                for i in indexes:
+                    entries[i] = refusal
+                continue
             sub_entries = wire.unpack_fields(wire.parse_response(response))
             if len(sub_entries) != len(indexes):
                 raise TransportError(
@@ -338,7 +476,37 @@ class RouterEndpoint:
                     % (len(sub_entries), len(indexes)))
             for i, entry in zip(indexes, sub_entries):
                 entries[i] = entry
-        return wire.ok_response(wire.pack_fields(*entries))
+        payload = wire.pack_fields(*entries)
+        if unavailable:
+            return wire.partial_response(
+                payload, [shard.encode() for shard in unavailable])
+        return wire.ok_response(payload)
+
+    def _scatter_degraded(self, targets: "list[tuple[str, bytes]]",
+                          label: str, hedge: bool = False):
+        """Health-gated tolerant scatter: (responses, unavailable shards).
+
+        Legs whose breaker is open are routed *around* (never attempted
+        — the open→half-open clock, not traffic, decides when the shard
+        is next probed); attempted legs that fail transiently come back
+        as ``None``.  Raises :class:`TransientTransportError` when every
+        leg is lost — an all-shards-down scatter is a failure, not an
+        empty partial result.
+        """
+        allowed = [self.health.breaker(shard).allow()
+                   for shard, _ in targets]
+        live = [target for target, ok in zip(targets, allowed) if ok]
+        live_responses = iter(self._scatter(live, label, hedge=hedge,
+                                            tolerant=True))
+        responses: "list[bytes | None]" = [
+            next(live_responses) if ok else None for ok in allowed]
+        unavailable = [shard for (shard, _), response in zip(targets,
+                                                             responses)
+                       if response is None]
+        if targets and len(unavailable) == len(targets):
+            raise TransientTransportError(
+                "all %d scattered shards unavailable" % len(targets))
+        return responses, unavailable
 
     def _route_search_multi(self, fields: "list[bytes]",
                             frame: bytes) -> bytes:
@@ -362,17 +530,42 @@ class RouterEndpoint:
             raise AuthenticationError(
                 "router holds no federation key; cannot scatter a "
                 "cross-shard search over authenticated internal legs")
+        # Health gate (degraded mode): collections owned by an
+        # open-breaker shard are dropped up front; their owners go on
+        # the PARTIAL list.  The merge shard becomes the first cid's
+        # *available* owner — any shard can do the guarded open, so a
+        # dead owners[0] does not take the whole request down.
+        allowed: dict[str, bool] = {}
+        for owner in owners:
+            if owner not in allowed:
+                allowed[owner] = (not self.allow_partial
+                                  or self.health.breaker(owner).allow())
+        if not any(allowed[owner] for owner in owners):
+            raise TransientTransportError(
+                "all %d owning shards unavailable" % len(set(owners)))
+        unavailable = sorted({owner for owner in owners
+                              if not allowed[owner]})
+        live = [(cid, owner) for cid, owner in zip(cids, owners)
+                if allowed[owner]]
+        merge_shard = live[0][1]
         foreign: dict[str, list[bytes]] = {}
-        for cid, owner in zip(cids, owners):
+        for cid, owner in live:
             if owner != merge_shard:
                 foreign.setdefault(owner, []).append(cid)
         targets = [(shard, wire.seal_internal_frame(
                         self._federation_key, wire.OP_SEARCH_SHARD, pseud_b,
                         wire.pack_fields(*shard_cids), env_b))
                    for shard, shard_cids in sorted(foreign.items())]
-        responses = self._scatter(targets, "router/scatter")
+        # Guard-free idempotent legs: safe to hedge on a concurrent
+        # transport once the latency window can price a p99 budget.
+        responses = self._scatter(targets, "router/scatter", hedge=True,
+                                  tolerant=self.allow_partial)
+        failed: set[str] = set()
         chunk_entries = []
         for (shard, _), response in zip(targets, responses):
+            if response is None:
+                failed.add(shard)
+                continue
             shard_cids = foreign[shard]
             chunks = wire.unpack_fields(wire.parse_response(response))
             if len(chunks) != len(shard_cids):
@@ -382,10 +575,27 @@ class RouterEndpoint:
             chunk_entries.extend(
                 wire.pack_fields(cid, chunk)
                 for cid, chunk in zip(shard_cids, chunks))
+        if failed:
+            unavailable = sorted(set(unavailable) | failed)
+            live = [(cid, owner) for cid, owner in live
+                    if owner not in failed]
+        if unavailable:
+            # The sealed merge reply covers exactly the surviving cid
+            # subset, in the caller's original order; the PARTIAL
+            # wrapper names what is missing.
+            cids_b = wire.pack_fields(*[cid for cid, _ in live])
         merge_frame = wire.seal_internal_frame(
             self._federation_key, wire.OP_SEARCH_MERGE, pseud_b, cids_b,
             env_b, wire.pack_fields(*chunk_entries))
-        return self._forward(merge_shard, merge_frame, "router/merge")
+        # The merge is the single guarded leg and always runs last; its
+        # transient failure propagates even in degraded mode (the replay
+        # window is still unconsumed, so the client's retry is clean).
+        response = self._forward(merge_shard, merge_frame, "router/merge")
+        if unavailable:
+            return wire.partial_response(
+                wire.parse_response(response),
+                [shard.encode() for shard in unavailable])
+        return response
 
     @staticmethod
     def _expect(fields: "list[bytes]", count: int) -> "list[bytes]":

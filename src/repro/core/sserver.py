@@ -568,20 +568,9 @@ class StorageServer:
         and DoS counters are diagnostics, not protocol state, and are
         deliberately excluded.
         """
-        collections = []
-        for cid in sorted(self._collections):
-            c = self._collections[cid]
-            blob = c.index_blob if c.index_blob is not None \
-                else c.index.to_bytes()
-            files = pack_fields(*[pack_fields(fid, c.files[fid])
-                                  for fid in sorted(c.files)])
-            collections.append(pack_fields(
-                c.collection_id, blob, files, c.group_secret_d,
-                _serialize_broadcast(c.broadcast_d),
-                b"blob" if c.index_blob is not None else b"live"))
-        mhi = [pack_fields(m.role_identity.encode(),
-                           m.ciphertext.to_bytes(), m.tag.to_bytes())
-               for m in self._mhi]
+        collections = [self._serialize_collection(self._collections[cid])
+                       for cid in sorted(self._collections)]
+        mhi = [_serialize_mhi(m) for m in self._mhi]
         guard = [pack_fields(tag, str(ts).encode())
                  for tag, ts in self._guard.export_state()]
         return pack_fields(pack_fields(*collections), pack_fields(*mhi),
@@ -593,33 +582,100 @@ class StorageServer:
         curve = self.params.curve
         self._collections = {}
         for entry in unpack_fields(collections_b):
-            cid, index_blob, files_b, d, bcast_b, mode = \
-                unpack_fields(entry, expected=6)
-            files = {}
-            for chunk in unpack_fields(files_b):
-                fid, ciphertext = unpack_fields(chunk, expected=2)
-                files[fid] = ciphertext
-            if mode == b"blob":
-                index, stored_blob = None, index_blob
-            else:
-                index, stored_blob = SecureIndex.from_bytes(index_blob), None
-            self._collections[cid] = StoredCollection(
-                collection_id=cid, index=index, files=files,
-                group_secret_d=d,
-                broadcast_d=_deserialize_broadcast(bcast_b),
-                index_blob=stored_blob)
-        self._mhi = []
-        for entry in unpack_fields(mhi_b):
-            role, ct_b, tag_b = unpack_fields(entry, expected=3)
-            self._mhi.append(StoredMhi(
-                role_identity=role.decode(),
-                ciphertext=IbeCiphertext.from_bytes(ct_b, curve),
-                tag=MultiKeywordTag.from_bytes(tag_b, curve)))
+            collection = _deserialize_collection(entry)
+            self._collections[collection.collection_id] = collection
+        self._mhi = [_deserialize_mhi(entry, curve)
+                     for entry in unpack_fields(mhi_b)]
         entries = []
         for entry in unpack_fields(guard_b):
             tag, ts = unpack_fields(entry, expected=2)
             entries.append((tag, float(ts.decode())))
         self._guard.load_state(entries)
+
+    @staticmethod
+    def _serialize_collection(c: StoredCollection) -> bytes:
+        blob = c.index_blob if c.index_blob is not None \
+            else c.index.to_bytes()
+        files = pack_fields(*[pack_fields(fid, c.files[fid])
+                              for fid in sorted(c.files)])
+        return pack_fields(
+            c.collection_id, blob, files, c.group_secret_d,
+            _serialize_broadcast(c.broadcast_d),
+            b"blob" if c.index_blob is not None else b"live")
+
+    # -- shard migration -----------------------------------------------------
+    # The federation's rebalance (repro.core.federation) moves whole
+    # collections / MHI role windows between shards through these
+    # primitives.  They speak the exact snapshot codec of export_state,
+    # so a migrated collection round-trips bit-for-bit.
+
+    def held_keys(self) -> "tuple[list[bytes], list[bytes]]":
+        """The stable routing keys this server currently serves:
+        (sorted collection ids, sorted unique role-identity bytes)."""
+        roles = sorted({m.role_identity.encode() for m in self._mhi})
+        return sorted(self._collections), roles
+
+    def export_partition(self, cids: "list[bytes]",
+                         roles: "list[bytes]") -> bytes:
+        """Serialize a slice of state for migration: the named
+        collections, every MHI window of the named roles, and the full
+        replay-guard window (the guard travels with every slice so a
+        request absorbed by the source cannot be replayed against the
+        destination after the handoff)."""
+        collections = []
+        for cid in cids:
+            collections.append(self._serialize_collection(
+                self._collection(cid)))
+        wanted = {role.decode() for role in roles}
+        mhi = [_serialize_mhi(m) for m in self._mhi
+               if m.role_identity in wanted]
+        guard = [pack_fields(tag, str(ts).encode())
+                 for tag, ts in self._guard.export_state()]
+        return pack_fields(pack_fields(*collections), pack_fields(*mhi),
+                           pack_fields(*guard))
+
+    def install_partition(self, blob: bytes) -> "tuple[int, int]":
+        """Adopt a migrated slice; returns (collections, MHI windows).
+
+        Idempotent — re-installing the same slice (a resumed migration,
+        or a journal replay after a crash) overwrites collections with
+        identical bytes, skips MHI windows already present, and seeds
+        guard entries through the guard's idempotent insert.
+        """
+        collections_b, mhi_b, guard_b = unpack_fields(blob, expected=3)
+        curve = self.params.curve
+        installed = 0
+        for entry in unpack_fields(collections_b):
+            collection = _deserialize_collection(entry)
+            self._collections[collection.collection_id] = collection
+            installed += 1
+        present = {(m.role_identity, m.ciphertext.to_bytes(),
+                    m.tag.to_bytes()) for m in self._mhi}
+        mhi_installed = 0
+        for entry in unpack_fields(mhi_b):
+            m = _deserialize_mhi(entry, curve)
+            key = (m.role_identity, m.ciphertext.to_bytes(),
+                   m.tag.to_bytes())
+            if key not in present:
+                present.add(key)
+                self._mhi.append(m)
+                mhi_installed += 1
+        for entry in unpack_fields(guard_b):
+            tag, ts = unpack_fields(entry, expected=2)
+            self._guard.insert(tag, float(ts.decode()))
+        return installed, mhi_installed
+
+    def release_partition(self, cids: "list[bytes]",
+                          roles: "list[bytes]") -> None:
+        """Drop a migrated-away slice (idempotent; the destination has
+        durably acked it).  Guard entries stay — the window self-prunes
+        and keeping it closes, not opens, the replay surface."""
+        for cid in cids:
+            self._collections.pop(cid, None)
+        dropped = {role.decode() for role in roles}
+        if dropped:
+            self._mhi = [m for m in self._mhi
+                         if m.role_identity not in dropped]
 
     # -- accounting -----------------------------------------------------------
     def total_storage_bytes(self) -> int:
@@ -633,6 +689,35 @@ class StorageServer:
 
     def mhi_count(self) -> int:
         return len(self._mhi)
+
+
+def _deserialize_collection(entry: bytes) -> StoredCollection:
+    cid, index_blob, files_b, d, bcast_b, mode = \
+        unpack_fields(entry, expected=6)
+    files = {}
+    for chunk in unpack_fields(files_b):
+        fid, ciphertext = unpack_fields(chunk, expected=2)
+        files[fid] = ciphertext
+    if mode == b"blob":
+        index, stored_blob = None, index_blob
+    else:
+        index, stored_blob = SecureIndex.from_bytes(index_blob), None
+    return StoredCollection(
+        collection_id=cid, index=index, files=files, group_secret_d=d,
+        broadcast_d=_deserialize_broadcast(bcast_b),
+        index_blob=stored_blob)
+
+
+def _serialize_mhi(m: StoredMhi) -> bytes:
+    return pack_fields(m.role_identity.encode(), m.ciphertext.to_bytes(),
+                       m.tag.to_bytes())
+
+
+def _deserialize_mhi(entry: bytes, curve) -> StoredMhi:
+    role, ct_b, tag_b = unpack_fields(entry, expected=3)
+    return StoredMhi(role_identity=role.decode(),
+                     ciphertext=IbeCiphertext.from_bytes(ct_b, curve),
+                     tag=MultiKeywordTag.from_bytes(tag_b, curve))
 
 
 def _serialize_broadcast(broadcast: BroadcastCiphertext) -> bytes:

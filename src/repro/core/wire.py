@@ -23,7 +23,8 @@ import repro.exceptions as _exceptions
 from repro.crypto.hmac_impl import constant_time_equal, hmac_sha256
 from repro.core.protocols.messages import pack_fields, unpack_fields
 from repro.exceptions import (AuthenticationError, ParameterError,
-                              ReproError, TransportError)
+                              PartialResultError, ReproError,
+                              TransportError)
 
 __all__ = [
     "OP_STORE", "OP_SEARCH", "OP_GET_BROADCAST", "OP_SEARCH_WRAPPED",
@@ -31,8 +32,9 @@ __all__ = [
     "OP_XD_SEARCH", "OP_REGISTER_PDEVICE", "OP_EMERGENCY_AUTH",
     "OP_ROLE_KEY", "OP_ASSIGN", "OP_PASSCODE",
     "OP_SEARCH_BATCH", "OP_SEARCH_MULTI", "OP_SEARCH_SHARD",
-    "OP_SEARCH_MERGE",
+    "OP_SEARCH_MERGE", "OP_MIGRATE_PULL", "OP_MIGRATE_ACK",
     "make_frame", "parse_frame", "ok_response", "error_response",
+    "partial_response", "parse_partial",
     "parse_response", "transient_error_in", "encode_files",
     "decode_files", "files_digest",
     "seal_internal_frame", "open_internal_frame",
@@ -72,8 +74,27 @@ OP_SEARCH_MULTI = b"phi-search-multi"    # one trapdoor set, many Λ
 OP_SEARCH_SHARD = b"phi-search-shard"    # internal: guard-free sub-search
 OP_SEARCH_MERGE = b"phi-search-merge"    # internal: guarded splice + seal
 
+# Shard-lifecycle legs (ring membership change).  Like SHARD/MERGE these
+# are federation-internal, never client opcodes: every frame carries a
+# trailing :func:`seal_internal_frame` tag.  PULL is read-only on the
+# source (list the held keys, or export a slice of collections/MHI
+# windows/guard entries); ACK is the journaled half of the handoff — the
+# ``install`` form makes the destination durably adopt a slice, the
+# ``release`` form makes the source durably drop it *after* the
+# destination's ack, so a kill -9 at any point leaves every collection
+# recoverable on at least one shard (see repro.core.federation).
+OP_MIGRATE_PULL = b"migrate-pull"        # internal: list / export a slice
+OP_MIGRATE_ACK = b"migrate-ack"          # internal: install / release (journaled)
+
 _STATUS_OK = 0x00
 _STATUS_ERROR = 0x01
+# A scattered request answered by some-but-not-all shards: the payload
+# is the spliced result over the shards that answered, plus an explicit
+# list of the shards that did not.  Healthy replies never use this
+# status, so an all-shards-up federation stays byte-identical to a
+# single server; degraded replies are *typed* (PartialResultError from
+# parse_response) so a client must opt in via parse_partial.
+_STATUS_PARTIAL = 0x02
 
 # Exceptions cross the wire by class name; anything outside the ReproError
 # hierarchy (or unknown to this build) degrades to TransportError.
@@ -105,6 +126,36 @@ def error_response(exc: BaseException) -> bytes:
         type(exc).__name__.encode(), str(exc).encode())
 
 
+def partial_response(payload: bytes, unavailable: "list[bytes]") -> bytes:
+    """A degraded scatter-gather reply: payload + unavailable shards.
+
+    ``payload`` is the spliced result over the shards that answered —
+    the same encoding an OK reply would carry; ``unavailable`` names
+    the shards (addresses, as bytes) whose legs were skipped (open
+    circuit breaker) or exhausted their retries.
+    """
+    if not unavailable:
+        raise ParameterError("a partial response must name at least one "
+                             "unavailable shard")
+    return bytes([_STATUS_PARTIAL]) + pack_fields(
+        payload, pack_fields(*unavailable))
+
+
+def parse_partial(response: bytes) -> "tuple[bytes, list[bytes]]":
+    """Degradation-tolerant response parse: (payload, unavailable shards).
+
+    An OK response yields ``(payload, [])``; a PARTIAL response yields
+    the available payload plus the unavailable shard list; an error
+    response re-raises as usual.  This is the opt-in counterpart of
+    :func:`parse_response`, which refuses partial results with a typed
+    :class:`~repro.exceptions.PartialResultError`.
+    """
+    if response[:1] == bytes([_STATUS_PARTIAL]):
+        payload, unavailable_b = unpack_fields(response[1:], expected=2)
+        return payload, list(unpack_fields(unavailable_b))
+    return parse_response(response), []
+
+
 def parse_response(response: bytes) -> bytes:
     """Return the result payload, or re-raise the server's exception."""
     if not response:
@@ -112,6 +163,13 @@ def parse_response(response: bytes) -> bytes:
     status, body = response[0], response[1:]
     if status == _STATUS_OK:
         return body
+    if status == _STATUS_PARTIAL:
+        payload, unavailable_b = unpack_fields(body, expected=2)
+        shards = b", ".join(unpack_fields(unavailable_b))
+        raise PartialResultError(
+            "scattered request degraded to a partial result set "
+            "(unavailable shards: %s); use parse_partial to consume it"
+            % shards.decode(errors="replace"))
     if status != _STATUS_ERROR:
         raise TransportError("unknown response status %d" % status)
     name, message = unpack_fields(body, expected=2)

@@ -97,6 +97,19 @@ class TransientTransportError(TransportError):
     :class:`~repro.net.transport.faults.RetryPolicy` retries."""
 
 
+class PartialResultError(TransportError):
+    """A scattered request succeeded on some shards but not all: the
+    response carries a *partial* result set (wire status ``PARTIAL``).
+
+    Raised client-side by :func:`repro.core.wire.parse_response` so a
+    caller that never opted into degraded results fails loudly instead
+    of silently missing matches; callers that can tolerate degradation
+    use :func:`repro.core.wire.parse_partial` to recover the available
+    payload plus the list of unavailable shards.  Never retried by a
+    :class:`~repro.net.transport.faults.RetryPolicy` — a partial answer
+    is an answer, not a lost frame."""
+
+
 class LinkDownError(NetworkError):
     """The link between two simulated nodes is unavailable."""
 

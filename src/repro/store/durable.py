@@ -428,10 +428,16 @@ class DurableEndpoint:
 class DurableSServerEndpoint(DurableEndpoint):
     """Durable S-server: collections, MHI blobs, broadcast headers."""
 
-    def __init__(self, store: DurableStore, factory, address: str) -> None:
-        self._hibc_node = None
-        self._root_public = None
-        self._federation_key = None
+    def __init__(self, store: DurableStore, factory, address: str, *,
+                 hibc_node=None, root_public=None,
+                 federation_key=None) -> None:
+        # Bind-time configuration must be armed *before* the base
+        # constructor runs recovery: a journal can hold federation-
+        # sealed frames (a rebalance's OP_MIGRATE_ACK installs), which
+        # only replay once the rebuilt endpoint holds the key.
+        self._hibc_node = hibc_node
+        self._root_public = root_public
+        self._federation_key = federation_key
         super().__init__(store, factory, address)
 
     # bind_sserver assigns these on an already-bound endpoint when the
@@ -660,12 +666,10 @@ def bind_durable_sserver(transport, server, store: DurableStore, *,
         _reset_sserver(server)
         return SServerEndpoint(server)
 
-    durable = DurableSServerEndpoint(store, factory, server.address)
-    if hibc_node is not None:
-        durable.hibc_node = hibc_node
-        durable.root_public = root_public
-    if federation_key is not None:
-        durable.federation_key = federation_key
+    durable = DurableSServerEndpoint(store, factory, server.address,
+                                     hibc_node=hibc_node,
+                                     root_public=root_public,
+                                     federation_key=federation_key)
     transport.bind(server.address, durable, **bind_kwargs)
     if fault_policy is not None:
         durable.register_with(fault_policy)

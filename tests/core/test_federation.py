@@ -17,7 +17,7 @@ import pytest
 from repro.ehr.mhi import AnomalyKind
 from repro.ehr.records import Category
 from repro.core import dispatch, wire
-from repro.core.federation import (bind_federated_sserver,
+from repro.core.federation import (Federation, bind_federated_sserver,
                                    federation_key_for, shard_servers)
 from repro.core.protocols.emergency import (family_based_retrieval,
                                             pdevice_emergency_retrieval)
@@ -27,7 +27,8 @@ from repro.core.protocols.privilege import (assign_privilege,
                                             revoke_privilege)
 from repro.core.protocols.retrieval import common_case_retrieval
 from repro.core.protocols.storage import private_phi_storage
-from repro.core.protocols.messages import pack_fields, seal, unpack_fields
+from repro.core.protocols.messages import (Envelope, open_envelope,
+                                           pack_fields, seal, unpack_fields)
 from repro.core.router import RouterEndpoint
 from repro.core.system import build_system
 from repro.exceptions import (AuthenticationError, ParameterError,
@@ -320,7 +321,11 @@ class TestRouterSurface:
         router = RouterEndpoint("sserver://x", ["a://1", "b://2"])
         pool = router._executor()
         assert router._executor() is pool  # one pool per router, reused
-        assert pool._max_workers == 2
+        # 2x shard count: headroom for hedged legs, capped at 16.
+        assert pool._max_workers == 4
+        many = RouterEndpoint(
+            "sserver://y", ["s://%d" % i for i in range(20)])
+        assert many._executor()._max_workers == 16
 
 
 class TestInternalLegAuthentication:
@@ -451,3 +456,174 @@ class TestFederationManifest:
         self._bind(tmp_path, 2)
         with pytest.raises(RecoveryError):
             self._bind(tmp_path, 2, vnodes=7)
+
+
+def _opened_search(system, net, router, cid, keywords):
+    """Search one collection through the router and open the sealed
+    reply; returns the decrypted result entries (stable bytes — they do
+    not depend on the per-request pseudonym)."""
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+    request = seal(nu, "phi-retrieve", pack_fields(*trapdoors), net.now)
+    frame = wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                            cid, request.to_bytes())
+    envelope = Envelope.from_bytes(
+        wire.parse_response(router.handle_frame(frame)))
+    payload = open_envelope(nu, envelope, net.now, None,
+                            expected_label="phi-results")
+    return list(unpack_fields(payload))
+
+
+class TestRebalance:
+    """Ring membership changes: journal-backed copy → commit → release.
+
+    The acceptance bar: a 4 → 5 rebalance leaves every search returning
+    the identical result set, every collection owned by exactly one
+    shard, and the manifest epoch advanced — then 5 → 4 undoes it just
+    as cleanly.
+    """
+
+    def _deployment(self, shards=4, data_dir=None):
+        system = build_system(seed=b"federation-frames")
+        net = LoopbackTransport()
+        server = system.sserver
+        federation = bind_federated_sserver(net, server, shards,
+                                            data_dir=data_dir)
+        cids = []
+        for i in range(6):
+            system.patient.add_record(Category.ALLERGIES, ["allergies"],
+                                      "record %d" % i, server.address)
+            private_phi_storage(system.patient, server, net)
+            cids.append(system.patient.collection_ids[server.address])
+        return system, net, federation, cids
+
+    def _assert_owned_exactly_once(self, federation, cids):
+        held = [cid for endpoint in federation.endpoints
+                for cid in endpoint.server._collections]
+        assert sorted(held) == sorted(set(held)), "a collection is double-owned"
+        assert sorted(set(held)) == sorted(set(cids)), "a collection was lost"
+        # ...and each sits on the shard the ring routes its searches to.
+        for endpoint in federation.endpoints:
+            for cid in endpoint.server._collections:
+                assert (federation.ring.owner_str(cid)
+                        == endpoint.server.address)
+
+    def test_add_shard_preserves_every_search(self, tmp_path):
+        system, net, federation, cids = self._deployment(
+            4, data_dir=str(tmp_path))
+        router = net.endpoint_at(system.sserver.address)
+        before = {cid: sorted(_opened_search(system, net, router, cid,
+                                             ["allergies"]))
+                  for cid in set(cids)}
+        steps = []
+        federation.add_shard(on_step=steps.append)
+        assert steps == ["planned", "copied", "committed", "released"]
+        assert len(federation.shards) == 5
+        assert federation.epoch == 1
+        self._assert_owned_exactly_once(federation, cids)
+        after = {cid: sorted(_opened_search(system, net, router, cid,
+                                            ["allergies"]))
+                 for cid in set(cids)}
+        assert after == before
+
+    def test_remove_shard_round_trip(self):
+        # In-memory federation: the migration protocol itself needs no
+        # data_dir (the manifest journal is only the crash-safety net).
+        system, net, federation, cids = self._deployment(4)
+        router = net.endpoint_at(system.sserver.address)
+        before = {cid: sorted(_opened_search(system, net, router, cid,
+                                             ["allergies"]))
+                  for cid in set(cids)}
+        federation.add_shard()
+        federation.remove_shard()
+        assert len(federation.shards) == 4
+        assert federation.epoch == 2
+        self._assert_owned_exactly_once(federation, cids)
+        # The 4-shard ring after the round trip is the original ring:
+        # identical shard set → identical placement.
+        after = {cid: sorted(_opened_search(system, net, router, cid,
+                                            ["allergies"]))
+                 for cid in set(cids)}
+        assert after == before
+
+    def test_rebalance_moves_mhi_windows(self):
+        system, net, federation, _ = self._deployment(4)
+        server = system.sserver
+        assign_privilege(system.patient, system.pdevice, server, net)
+        physician = system.any_physician()
+        system.state.sign_in(physician.hospital, physician.physician_id)
+        roles = []
+        for day in ("2026-07-01", "2026-07-02", "2026-07-03"):
+            window = system.pdevice.vitals.generate_day(
+                day, anomalies=[(36000.0, AnomalyKind.TACHYCARDIA)])
+            role = role_identity_for(day)
+            mhi_store(system.pdevice, server, system.state.public_key,
+                      net, window, role)
+            roles.append(role)
+        federation.add_shard()
+        # Every MHI window sits on the shard its role identity routes to.
+        for endpoint in federation.endpoints:
+            for window in endpoint.server._mhi:
+                owner = federation.ring.owner_str(
+                    window.role_identity.encode())
+                assert owner == endpoint.server.address
+        # ...and retrieval through the router still finds each day
+        # (role keys ride on an authenticated emergency session).
+        pdevice_emergency_retrieval(physician, system.pdevice, system.state,
+                                    server, net, ["allergies"])
+        for day, role in zip(("2026-07-01", "2026-07-02", "2026-07-03"),
+                             roles):
+            result = mhi_retrieve(physician, system.state, server, net,
+                                  role, "2026-07-05")
+            assert day in {w.day for w in result.windows}
+
+    def test_epoch_survives_restart(self, tmp_path):
+        system, net, federation, cids = self._deployment(
+            4, data_dir=str(tmp_path))
+        federation.add_shard()
+        assert federation.epoch == 1
+        # Fresh transport + same seed = process restart over the dir;
+        # the manifest's committed shard list wins over the bind arg.
+        system2 = build_system(seed=b"federation-frames")
+        net2 = LoopbackTransport()
+        recovered = bind_federated_sserver(net2, system2.sserver, 5,
+                                           data_dir=str(tmp_path))
+        assert recovered.epoch == 1
+        assert len(recovered.shards) == 5
+        self._assert_owned_exactly_once(recovered, cids)
+
+    def test_rebalance_needs_bind_context(self):
+        router = RouterEndpoint("sserver://x", ["a://1", "b://2"])
+        bare = Federation(router=router, ring=router.ring, shards=(),
+                          endpoints=())
+        with pytest.raises(ParameterError, match="bind context"):
+            bare.add_shard()
+
+    def test_remove_last_shard_rejected(self):
+        system, net, federation, _ = self._deployment(1)
+        with pytest.raises(ParameterError, match="last shard"):
+            federation.remove_shard()
+
+
+class TestBatchDuplicateTags:
+    """Cross-shard replay defence: one batch carrying the same envelope
+    twice is refused before any leg runs (two copies would otherwise
+    scatter to different shards and each pass a local replay guard)."""
+
+    def test_duplicate_envelope_tag_rejected(self):
+        fed_sys, fed_net, cids = _stored_deployment(4)
+        router = fed_net.endpoint_at(fed_sys.sserver.address)
+        frame = _batch_frame(fed_sys, [cids[0], cids[1]], ["allergies"],
+                             fed_net.now)
+        opcode, entries = wire.parse_frame(frame)
+        doubled = wire.make_frame(opcode, entries[0], entries[1],
+                                  entries[0])
+        with pytest.raises(ReplayError, match="duplicate envelope tag"):
+            wire.parse_response(router.handle_frame(doubled))
+        # The refusal consumed nothing: the original batch still runs.
+        for entry in unpack_fields(
+                wire.parse_response(router.handle_frame(frame))):
+            wire.parse_response(entry)

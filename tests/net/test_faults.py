@@ -20,7 +20,7 @@ from repro.core.federation import bind_federated_sserver
 from repro.core.protocols.base import with_policies
 from repro.core.protocols.emergency import (family_based_retrieval,
                                             pdevice_emergency_retrieval)
-from repro.core.protocols.messages import pack_fields
+from repro.core.protocols.messages import pack_fields, seal, unpack_fields
 from repro.core.protocols.mhi import (mhi_retrieve, mhi_store,
                                       role_identity_for)
 from repro.core.protocols.privilege import (assign_privilege,
@@ -31,7 +31,8 @@ from repro.core.system import build_system
 from repro.net.transport import (AsyncTransport, FaultPolicy,
                                  LoopbackTransport, RetryPolicy,
                                  SocketTransport, parse_fault_spec)
-from repro.exceptions import (ParameterError, ReplayError, ReproError,
+from repro.exceptions import (ParameterError, PartialResultError,
+                              ReplayError, ReproError,
                               TransientTransportError, TransportError)
 
 ALLERGY_TEXT = "Severe penicillin allergy; carries epinephrine."
@@ -139,6 +140,37 @@ class TestRetryPolicy:
     def test_backoff_index_is_one_based(self):
         with pytest.raises(ParameterError):
             RetryPolicy().backoff_s(0)
+
+    def test_jitter_default_off_keeps_pinned_schedule(self):
+        # jitter_seed=None must reproduce the exact undithered values
+        # every deployment to date has been tuned against.
+        plain = RetryPolicy(base_backoff_s=0.05, max_backoff_s=0.3)
+        assert plain.jitter_seed is None
+        assert plain.backoff_s(1) == pytest.approx(0.05)
+        assert plain.backoff_s(4) == pytest.approx(0.30)
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        a = RetryPolicy(base_backoff_s=0.05, max_backoff_s=0.3,
+                        jitter_seed=7)
+        b = RetryPolicy(base_backoff_s=0.05, max_backoff_s=0.3,
+                        jitter_seed=7)
+        c = RetryPolicy(base_backoff_s=0.05, max_backoff_s=0.3,
+                        jitter_seed=8)
+        schedule_a = [a.backoff_s(k) for k in range(1, 9)]
+        assert schedule_a == [b.backoff_s(k) for k in range(1, 9)]
+        # Different seeds decorrelate (no retry stampede in lockstep).
+        assert schedule_a != [c.backoff_s(k) for k in range(1, 9)]
+
+    def test_jitter_stays_within_the_nominal_envelope(self):
+        plain = RetryPolicy(base_backoff_s=0.05, max_backoff_s=0.3)
+        jittered = RetryPolicy(base_backoff_s=0.05, max_backoff_s=0.3,
+                               jitter_seed=3)
+        for k in range(1, 20):
+            wait = jittered.backoff_s(k)
+            # Full jitter: uniform in (0, nominal] — never zero (a 0s
+            # wait retries in the slot that just failed), never above
+            # the capped exponential.
+            assert 0.0 < wait <= plain.backoff_s(k)
 
 
 class TestFaultPolicy:
@@ -393,6 +425,195 @@ class TestDuplicateAbsorption:
         for reply in auth_replies:
             with pytest.raises(ReplayError):
                 wire.parse_response(reply)
+
+
+def _multi_frame(system, cids, keywords, now):
+    """A cross-shard OP_SEARCH_MULTI frame (test_federation idiom)."""
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+    request = seal(nu, "phi-retrieve", pack_fields(*trapdoors), now)
+    return wire.make_frame(wire.OP_SEARCH_MULTI,
+                           pseudonym.public.to_bytes(),
+                           pack_fields(*cids), request.to_bytes())
+
+
+def _batch_frame(system, cids, keywords, now):
+    patient = system.patient
+    entries = []
+    for cid in cids:
+        pseudonym = patient.fresh_pseudonym()
+        nu = patient.session_key_with(system.sserver.identity_key.public,
+                                      pseudonym)
+        trapdoors = [patient.trapdoor(kw).to_bytes() for kw in keywords]
+        request = seal(nu, "phi-retrieve", pack_fields(*trapdoors), now)
+        entries.append(pack_fields(pseudonym.public.to_bytes(), cid,
+                                   request.to_bytes()))
+    return wire.make_frame(wire.OP_SEARCH_BATCH, *entries)
+
+
+def _single_frame(system, cid, keyword, now):
+    patient = system.patient
+    pseudonym = patient.fresh_pseudonym()
+    nu = patient.session_key_with(system.sserver.identity_key.public,
+                                  pseudonym)
+    request = seal(nu, "phi-retrieve",
+                   pack_fields(patient.trapdoor(keyword).to_bytes()), now)
+    return wire.make_frame(wire.OP_SEARCH, pseudonym.public.to_bytes(),
+                           cid, request.to_bytes())
+
+
+class TestDegradedFederation:
+    """One shard permanently down, every backend: scattered searches
+    degrade to an *explicit* PARTIAL (never a hang, never a silent
+    subset presented as complete), the victim's breaker walks
+    closed → open, single-key traffic owned by the dead shard keeps
+    failing typed, and a restart heals the ring back to full answers.
+    """
+
+    def _deployment(self, backend, tmp_path):
+        system = build_system(seed=b"degraded-federation")
+        faults = FaultPolicy(seed=CHAOS_SEED)
+        net = with_policies(_make_transport(backend, system),
+                            retry=RetryPolicy(max_attempts=2,
+                                              attempt_timeout_s=0.2,
+                                              base_backoff_s=0.01),
+                            faults=faults)
+        federation = bind_federated_sserver(net, system.sserver, 4,
+                                            data_dir=str(tmp_path),
+                                            fault_policy=faults)
+        patient, server = system.patient, system.sserver
+        cids = []
+        for i in range(6):
+            patient.add_record(Category.ALLERGIES, ["allergies"],
+                               "record %d" % i, server.address)
+            private_phi_storage(patient, server, net)
+            cids.append(patient.collection_ids[server.address])
+        # The MHI write probe needs the ASSIGN package armed *before*
+        # the victim goes down.
+        assign_privilege(patient, system.pdevice, server, net)
+        return system, net, faults, federation, sorted(set(cids))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_one_shard_down_yields_partial_results(self, backend,
+                                                   tmp_path):
+        system, net, faults, federation, cids = self._deployment(
+            backend, tmp_path)
+        router = federation.router
+        server = system.sserver
+        try:
+            owners = {cid: federation.ring.owner_str(cid) for cid in cids}
+            assert len(set(owners.values())) >= 2, "seed must span shards"
+            victim = owners[cids[0]]
+            survivor_cid = next(c for c in cids if owners[c] != victim)
+            # Two orderings of the same set: the first collection id's
+            # owner takes the strict merge leg, so putting the victim
+            # first vs. not exercises different degradation paths.
+            victim_first = cids
+            survivor_first = ([survivor_cid]
+                              + [c for c in cids if c != survivor_cid])
+            faults.crash(victim)
+
+            # (a) Dead shard owns the *merge* leg, breaker still
+            # closed: the merge is strict (its replay window must stay
+            # unconsumed), so the refusal surfaces typed and the
+            # client-side retry fires — two failed deliveries recorded,
+            # not enough to trip the breaker.
+            frame = _multi_frame(system, victim_first, ["allergies"],
+                                 net.now)
+            with pytest.raises(TransientTransportError):
+                net.request(system.patient.address, server.address, frame,
+                            "phi/search-multi")
+            assert router.health.snapshot()[victim] == "closed"
+
+            # (b) Dead shard is a *foreign* leg: the tolerant scatter
+            # absorbs the failure in place and the response is an
+            # explicit PARTIAL naming the victim — and that third
+            # consecutive failure trips the breaker open.
+            frame = _multi_frame(system, survivor_first, ["allergies"],
+                                 net.now)
+            response = net.request(system.patient.address, server.address,
+                                   frame, "phi/search-multi")
+            payload, unavailable = wire.parse_partial(response)
+            assert unavailable == [victim.encode()]
+            assert payload  # the surviving shards' merged results
+            with pytest.raises(PartialResultError, match="unavailable"):
+                wire.parse_response(response)
+            assert router.health.snapshot()[victim] == "open"
+
+            # (c) Breaker open, dead shard owns the first cid: the
+            # router excludes it up front and re-picks the merge shard,
+            # so a dead owners[0] no longer takes the request down.
+            frame = _multi_frame(system, victim_first, ["allergies"],
+                                 net.now)
+            response = net.request(system.patient.address, server.address,
+                                   frame, "phi/search-multi")
+            payload, unavailable = wire.parse_partial(response)
+            assert unavailable == [victim.encode()]
+            assert payload
+
+            # Batch search: per-entry degradation — the dead owner's
+            # entry carries a typed transient error in its slot, the
+            # healthy entry still answers, the response is PARTIAL.
+            frame = _batch_frame(system, [survivor_cid, cids[0]],
+                                 ["allergies"], net.now)
+            response = net.request(system.patient.address, server.address,
+                                   frame, "phi/search-batch")
+            payload, unavailable = wire.parse_partial(response)
+            assert unavailable == [victim.encode()]
+            entries = unpack_fields(payload)
+            assert len(entries) == 2
+            wire.parse_response(entries[0])
+            with pytest.raises(TransientTransportError):
+                wire.parse_response(entries[1])
+
+            # Writes routed to the dead owner are never silently
+            # dropped nor rerouted: the breaker does not gate
+            # single-key mutations, so the client sees the refusal.
+            day = next(
+                d for d in ("2026-07-%02d" % i for i in range(1, 32))
+                if federation.ring.owner_str(
+                    role_identity_for(d).encode()) == victim)
+            window = system.pdevice.vitals.generate_day(day)
+            with pytest.raises(TransientTransportError):
+                mhi_store(system.pdevice, server, system.state.public_key,
+                          net, window, role_identity_for(day))
+
+            # Restart: one successful single-key forward through the
+            # recovered shard closes its breaker, and the same scatter
+            # that was PARTIAL above completes in full again.
+            faults.restart(victim)
+            frame = _single_frame(system, cids[0], "allergies", net.now)
+            wire.parse_response(net.request(system.patient.address,
+                                            server.address, frame,
+                                            "phi/search"))
+            assert router.health.snapshot()[victim] == "closed"
+            frame = _multi_frame(system, cids, ["allergies"], net.now)
+            response = net.request(system.patient.address, server.address,
+                                   frame, "phi/search-multi")
+            payload, unavailable = wire.parse_partial(response)
+            assert unavailable == []
+            assert payload
+        finally:
+            _close(net)
+
+    def test_strict_router_surfaces_transient_error_instead(self,
+                                                            tmp_path):
+        # allow_partial=False restores the pre-degradation contract:
+        # a dead shard fails the whole scatter typed (the client's
+        # retry policy owns recovery, not the merge).
+        system, net, faults, federation, cids = self._deployment(
+            "loopback", tmp_path)
+        federation.router.allow_partial = False
+        owners = {cid: federation.ring.owner_str(cid) for cid in cids}
+        victim = owners[cids[0]]
+        faults.crash(victim)
+        frame = _multi_frame(system, cids, ["allergies"], net.now)
+        with pytest.raises(TransientTransportError):
+            net.request(system.patient.address, system.sserver.address, frame,
+                        "phi/search-multi")
 
 
 class TestWireRegressions:

@@ -15,12 +15,15 @@ client-side retry policy rides out the outage, and afterwards:
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.ehr.mhi import AnomalyKind
 from repro.ehr.records import Category
 from repro.core import wire
-from repro.core.federation import bind_federated_sserver
+from repro.core.federation import MANIFEST_NAME, bind_federated_sserver
 from repro.core.protocols.base import with_policies
 from repro.core.protocols.messages import (Envelope, open_envelope,
                                            pack_fields, seal, unpack_fields)
@@ -447,3 +450,137 @@ class TestFederatedShardRecovery:
                                 "phi/search")
         with pytest.raises(ReplayError, match="replayed"):
             wire.parse_response(duplicate)
+
+
+class TestRebalanceCrashRecovery:
+    """kill -9 in the middle of a 4 → 5 shard rebalance: the journaled
+    migration (pending manifest + destination-side journaled installs)
+    rolls *forward* on the next bind — no collection lost, none
+    double-owned, the epoch lands exactly once."""
+
+    SEED = b"recovery-rebalance"
+
+    def _deployment(self, tmp_path, faults, shards=4):
+        system = build_system(seed=self.SEED)
+        net = with_policies(LoopbackTransport(),
+                            retry=RetryPolicy(attempt_timeout_s=0.2,
+                                              base_backoff_s=0.01),
+                            faults=faults)
+        federation = bind_federated_sserver(
+            net, system.sserver, shards, data_dir=str(tmp_path),
+            fault_policy=faults)
+        return system, net, federation
+
+    def _store(self, system, net, text):
+        server = system.sserver
+        system.patient.add_record(Category.ALLERGIES, ["allergies"],
+                                  text, server.address)
+        private_phi_storage(system.patient, server, net)
+        return system.patient.collection_ids[server.address]
+
+    def _assert_owned_exactly_once(self, federation, cids):
+        held = [cid for endpoint in federation.endpoints
+                for cid in endpoint.server._collections]
+        assert sorted(held) == sorted(set(held)), "double-owned collection"
+        assert sorted(set(held)) == sorted(set(cids)), "a collection was lost"
+        for endpoint in federation.endpoints:
+            for cid in endpoint.server._collections:
+                assert (federation.ring.owner_str(cid)
+                        == endpoint.server.address)
+
+    def test_kill9_mid_migration_rolls_forward(self, tmp_path):
+        faults = FaultPolicy(seed=CHAOS_SEED)
+        system, net, federation = self._deployment(tmp_path, faults)
+        cids = sorted({self._store(system, net, "record %d" % i)
+                       for i in range(8)})
+        base = federation.shard_addresses[0].rsplit("-shard-", 1)[0]
+        new_shard = "%s-shard-4" % base
+
+        # kill -9 at the worst instant: once the pending manifest is
+        # durable ("planned"), arm a torn journal append on the *new*
+        # shard — its first journaled OP_MIGRATE_ACK install dies
+        # mid-write, mid-copy-phase.
+        steps = []
+
+        def boom(step):
+            steps.append(step)
+            if step == "planned":
+                faults.crash(new_shard, during_write=True)
+
+        with pytest.raises(TransientTransportError):
+            federation.add_shard(on_step=boom)
+        assert steps == ["planned"]  # the copy phase never completed
+
+        # The intent survived the crash: the manifest still carries the
+        # committed 4-shard epoch plus the pending 5-shard target.
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["epoch"] == 0
+        assert manifest["pending"]["n_shards"] == 5
+
+        # Process restart: a fresh bind over the same data_dir replays
+        # every shard journal (repairing the torn tail) and rolls the
+        # journaled migration forward to the 5-shard epoch.
+        system2 = build_system(seed=self.SEED)
+        faults2 = FaultPolicy(seed=CHAOS_SEED)
+        net2 = with_policies(LoopbackTransport(),
+                             retry=RetryPolicy(attempt_timeout_s=0.2,
+                                               base_backoff_s=0.01),
+                             faults=faults2)
+        recovered = bind_federated_sserver(
+            net2, system2.sserver, 4, data_dir=str(tmp_path),
+            fault_policy=faults2)
+        assert recovered.epoch == 1
+        assert len(recovered.shards) == 5
+        self._assert_owned_exactly_once(recovered, cids)
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert "pending" not in manifest and "draining" not in manifest
+
+        # Nothing was lost in flight: every pre-crash collection still
+        # answers its search through the recovered 5-shard router.
+        for cid in cids:
+            frame, nu = _federated_search(system2, net2, cid, "allergies")
+            reply = net2.request("patient://probe",
+                                 system2.sserver.address, frame,
+                                 "phi/search")
+            assert _result_entries(nu, reply, net2.now), \
+                "collection %r lost by the resumed migration" % cid.hex()
+
+    def test_crash_after_commit_finishes_the_drain(self, tmp_path):
+        # Same scenario, later instant: the new epoch is committed but
+        # the sources crash before releasing their moved-away keys —
+        # the next bind must finish the drain (no double ownership).
+        faults = FaultPolicy(seed=CHAOS_SEED)
+        system, net, federation = self._deployment(tmp_path, faults)
+        cids = sorted({self._store(system, net, "record %d" % i)
+                       for i in range(8)})
+
+        class Abandon(Exception):
+            pass
+
+        def abandon(step):
+            if step == "committed":
+                raise Abandon  # kill -9 between commit and release
+
+        with pytest.raises(Abandon):
+            federation.add_shard(on_step=abandon)
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["epoch"] == 1
+        assert manifest["draining"]["from_shards"]
+
+        system2 = build_system(seed=self.SEED)
+        faults2 = FaultPolicy(seed=CHAOS_SEED)
+        net2 = with_policies(LoopbackTransport(),
+                             retry=RetryPolicy(attempt_timeout_s=0.2,
+                                               base_backoff_s=0.01),
+                             faults=faults2)
+        recovered = bind_federated_sserver(
+            net2, system2.sserver, 5, data_dir=str(tmp_path),
+            fault_policy=faults2)
+        assert recovered.epoch == 1
+        self._assert_owned_exactly_once(recovered, cids)
+        with open(os.path.join(str(tmp_path), MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert "draining" not in manifest
