@@ -1,18 +1,26 @@
 """hcpplint — static enforcement of HCPP's security/layering invariants.
 
-Importing this package registers the five passes:
+Importing this package registers the seven passes:
 
 * ``secret-flow`` — secrets never reach logs, exception text, repr, or
-  plaintext journal/snapshot writes.
+  plaintext journal/snapshot writes; v2 traces flows through returns,
+  arguments, and attribute stores on the project call graph.
 * ``crypto-hygiene`` — constant-time MAC comparison, no ``random``
   outside fault injection, no literal IVs/nonces.
-* ``wire-coverage`` — every mutating opcode is dispatched, replay-
-  guarded, and journaled.
+* ``wire-coverage`` — every mutating opcode is dispatched and replay-
+  guarded along its full call chain.
+* ``wire-schema`` — the opcode registry, dispatch arities, write-lock +
+  K_FRAME journaling discipline, federation sealing, and router
+  forwarding all agree, per opcode.
+* ``async-discipline`` — coroutines never block the event loop, never
+  await under a sync lock, and loop-affine state stays on the loop.
 * ``layering`` — declarative per-package import/call contracts.
 * ``concurrency`` — lock-protected attributes never mutate unlocked.
 
 Entry point: ``tools/hcpplint.py``.  Library surface:
-:class:`Analyzer`, :class:`Baseline`, :func:`all_rules`.
+:class:`Analyzer`, :class:`Baseline`, :func:`all_rules`, plus
+:mod:`repro.analysis.cache` (incremental re-runs) and
+:mod:`repro.analysis.sarif` (SARIF 2.1.0 emission).
 """
 
 from repro.analysis.framework import (AnalysisReport, Analyzer, Baseline,
@@ -21,11 +29,13 @@ from repro.analysis.framework import (AnalysisReport, Analyzer, Baseline,
                                       register, rule_ids)
 
 # Importing the rule modules is what populates the registry.
+from repro.analysis import async_discipline as _async_discipline  # noqa: F401
 from repro.analysis import concurrency as _concurrency        # noqa: F401
 from repro.analysis import crypto_hygiene as _crypto_hygiene  # noqa: F401
 from repro.analysis import layering as _layering              # noqa: F401
 from repro.analysis import secret_flow as _secret_flow        # noqa: F401
 from repro.analysis import wire_coverage as _wire_coverage    # noqa: F401
+from repro.analysis import wire_schema as _wire_schema        # noqa: F401
 
 __all__ = ["AnalysisReport", "Analyzer", "Baseline", "Finding", "Module",
            "Project", "Rule", "all_rules", "analyze_source", "get_rule",

@@ -1,0 +1,152 @@
+"""Incremental analysis cache: per-file sha256 → findings.
+
+A full hcpplint run parses ~140 files and walks each AST once per rule;
+the interprocedural passes added in v2 roughly double that work.  The
+cache keeps warm re-runs inside the <10s budget by skipping everything
+that provably cannot have changed:
+
+* **Per-file rules** (``Rule.cross_file`` is False — the rule's
+  findings depend only on the one file) cache under
+  ``(rule id, rule version, file sha256)``.  An edited file misses for
+  every rule; an untouched file replays its stored findings without
+  even being parsed, unless a cross-file rule forces the parse anyway.
+* **Cross-file rules** (wire-coverage, wire-schema, layering, the
+  interprocedural secret-flow layer) cache under a *project
+  fingerprint* — the sha256 over every (path, file sha) pair — because
+  any file can change their verdict.  One edit re-runs them all, which
+  is exactly the correctness contract.
+* Bumping ``Rule.version`` or :data:`CACHE_SCHEMA` (the framework
+  version) invalidates the matching entries wholesale; a corrupt or
+  alien cache file is silently discarded and rebuilt.
+
+Only *raw* findings are cached — the baseline is applied at report
+time, so editing the baseline never requires re-analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Rule
+
+__all__ = ["AnalysisCache", "CACHE_SCHEMA", "file_sha", "project_key"]
+
+#: Bump on any framework-level change that alters what findings mean
+#: (Finding fields, baseline semantics, cache layout).
+CACHE_SCHEMA = 1
+
+#: A cross-file rule keeps its last few project fingerprints so that
+#: alternating full and ``--since`` runs don't evict each other.
+PROJECT_KEYS_KEPT = 4
+
+
+def file_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def project_key(entries: Iterable[tuple[str, str]]) -> str:
+    """Fingerprint of the analyzed file set: sorted (path, sha) pairs."""
+    digest = hashlib.sha256()
+    for path, sha in sorted(entries):
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(sha.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _dump(findings: Iterable[Finding]) -> list[dict]:
+    return [vars(f) for f in findings]
+
+
+def _load_findings(raw: list[dict]) -> list[Finding]:
+    return [Finding(**entry) for entry in raw]
+
+
+class AnalysisCache:
+    """JSON-backed findings cache, one file per repo checkout."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._dirty = False
+        self._data = self._read()
+
+    def _read(self) -> dict:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return self._empty()
+        if (not isinstance(data, dict)
+                or data.get("schema") != CACHE_SCHEMA):
+            return self._empty()
+        if not isinstance(data.get("files"), dict) or not isinstance(
+                data.get("project"), dict):
+            return self._empty()
+        return data
+
+    @staticmethod
+    def _empty() -> dict:
+        return {"schema": CACHE_SCHEMA, "files": {}, "project": {}}
+
+    # -- per-file rules -----------------------------------------------------
+    def file_findings(self, rule: Rule, path: str,
+                      sha: str) -> list[Finding] | None:
+        entry = self._data["files"].get(path, {}).get(rule.id)
+        if (not entry or entry.get("sha") != sha
+                or entry.get("v") != rule.version):
+            return None
+        try:
+            return _load_findings(entry["findings"])
+        except (KeyError, TypeError):
+            return None
+
+    def store_file(self, rule: Rule, path: str, sha: str,
+                   findings: list[Finding]) -> None:
+        slot = self._data["files"].setdefault(path, {})
+        slot[rule.id] = {"sha": sha, "v": rule.version,
+                         "findings": _dump(findings)}
+        self._dirty = True
+
+    # -- cross-file rules ---------------------------------------------------
+    def project_findings(self, rule: Rule,
+                         key: str) -> list[Finding] | None:
+        entry = self._data["project"].get(rule.id)
+        if not entry or entry.get("v") != rule.version:
+            return None
+        raw = entry.get("keys", {}).get(key)
+        if raw is None:
+            return None
+        try:
+            return _load_findings(raw)
+        except TypeError:
+            return None
+
+    def store_project(self, rule: Rule, key: str,
+                      findings: list[Finding]) -> None:
+        entry = self._data["project"].get(rule.id)
+        if not entry or entry.get("v") != rule.version:
+            entry = {"v": rule.version, "keys": {}}
+            self._data["project"][rule.id] = entry
+        keys = entry["keys"]
+        keys.pop(key, None)          # re-insert to refresh recency
+        keys[key] = _dump(findings)
+        while len(keys) > PROJECT_KEYS_KEPT:
+            keys.pop(next(iter(keys)))
+        self._dirty = True
+
+    # -- persistence --------------------------------------------------------
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(self._data, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            return                    # a cache is never worth failing for
+        self._dirty = False

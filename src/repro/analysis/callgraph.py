@@ -1,0 +1,189 @@
+"""callgraph: project-wide name-based call resolution for cross-file rules.
+
+Several passes need the same question answered: *starting from this
+function, which project definitions can execution reach?*  PR 5's
+wire-coverage pass answered it with a private depth-3 walk; the
+interprocedural secret-flow upgrade and the wire-schema pass need the
+same graph, so it lives here once.
+
+Resolution is deliberately name-based: ``self.server.handle_store(...)``
+resolves to every ``def handle_store`` in the project, regardless of
+receiver type.  The analyzer has no type information (stdlib :mod:`ast`
+only), and over-approximating callees errs on the side of *finding* a
+guard/sink rather than missing one — the right bias for both consumers.
+Traversal is breadth-first and cycle-safe with no depth cap; the graph
+is memoized per :class:`Project` so every rule shares one build.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Module, Project
+
+__all__ = ["FuncNode", "CallGraph", "for_project", "terminal"]
+
+FunctionAST = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def terminal(node: ast.AST) -> str | None:
+    """The terminal identifier of a name or attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclass
+class FuncNode:
+    """One function/method definition in the project."""
+
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ast.ClassDef | None = None      # enclosing class, methods only
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def qualname(self) -> str:
+        if self.cls is not None:
+            return "%s:%s.%s" % (self.module.dotted, self.cls.name,
+                                 self.node.name)
+        return "%s:%s" % (self.module.dotted, self.node.name)
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    def positional_params(self) -> list[str]:
+        """Parameter names by position, ``self``/``cls`` included."""
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args]
+
+    def keyword_params(self) -> set[str]:
+        args = self.node.args
+        return {a.arg for a in args.posonlyargs + args.args
+                + args.kwonlyargs}
+
+
+class CallGraph:
+    """Name-indexed definitions plus callee extraction and reachability."""
+
+    def __init__(self, project: Project) -> None:
+        self.functions: list[FuncNode] = []
+        self.by_name: dict[str, list[FuncNode]] = {}
+        self._node_index: dict[int, FuncNode] = {}
+        self._callee_cache: dict[int, frozenset[str]] = {}
+        for module in project.modules:
+            self._collect(module, module.tree, None)
+
+    def _collect(self, module: Module, root: ast.AST,
+                 cls: ast.ClassDef | None) -> None:
+        for child in ast.iter_child_nodes(root):
+            if isinstance(child, ast.ClassDef):
+                self._collect(module, child, child)
+            elif isinstance(child, FunctionAST):
+                func = FuncNode(module=module, node=child, cls=cls)
+                self.functions.append(func)
+                self.by_name.setdefault(child.name, []).append(func)
+                self._node_index[id(child)] = func
+                # Nested defs are plain functions, not methods.
+                self._collect(module, child, None)
+
+    # -- lookups ------------------------------------------------------------
+    def resolve(self, name: str) -> list[FuncNode]:
+        """Every definition a call to ``name`` might reach."""
+        return self.by_name.get(name, [])
+
+    def node_for(self, func_ast: ast.AST) -> FuncNode | None:
+        return self._node_index.get(id(func_ast))
+
+    def callees(self, func_ast: ast.AST) -> frozenset[str]:
+        """Terminal names of every call inside a function body (nested
+        defs included — their calls still run in this function's
+        dynamic extent when invoked)."""
+        cached = self._callee_cache.get(id(func_ast))
+        if cached is not None:
+            return cached
+        names = set()
+        for node in ast.walk(func_ast):
+            if isinstance(node, ast.Call):
+                name = terminal(node.func)
+                if name:
+                    names.add(name)
+        result = frozenset(names)
+        self._callee_cache[id(func_ast)] = result
+        return result
+
+    def call_sites(self, func_ast: ast.AST) -> Iterator[tuple[str,
+                                                              ast.Call]]:
+        """(terminal callee name, Call node) for every call in the body."""
+        for node in ast.walk(func_ast):
+            if isinstance(node, ast.Call):
+                name = terminal(node.func)
+                if name:
+                    yield name, node
+
+    # -- reachability -------------------------------------------------------
+    def reachable(self, start: ast.AST) -> Iterator[ast.AST]:
+        """BFS over callee names from ``start`` (inclusive), cycle-safe,
+        no depth cap — yields every project definition execution might
+        reach."""
+        seen_ids: set[int] = set()
+        seen_names: set[str] = set()
+        frontier: list[ast.AST] = [start]
+        while frontier:
+            func = frontier.pop(0)
+            if id(func) in seen_ids:
+                continue
+            seen_ids.add(id(func))
+            yield func
+            for callee in sorted(self.callees(func)):
+                if callee in seen_names:
+                    continue
+                seen_names.add(callee)
+                for definition in self.resolve(callee):
+                    frontier.append(definition.node)
+
+    @staticmethod
+    def map_call_args(call: ast.Call,
+                      callee: FuncNode) -> list[tuple[str, ast.AST]]:
+        """Map a call site's arguments onto the callee's parameter names.
+
+        Starred/double-starred arguments are skipped (position unknown);
+        the implicit ``self``/``cls`` slot is skipped for method calls.
+        """
+        params = callee.positional_params()
+        if callee.is_method and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        pairs: list[tuple[str, ast.AST]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                pairs.append((params[index], arg))
+        keyword_names = callee.keyword_params()
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in keyword_names:
+                pairs.append((kw.arg, kw.value))
+        return pairs
+
+
+def for_project(project: Project) -> CallGraph:
+    """The project's call graph, built once and cached on the project."""
+    graph = getattr(project, "_callgraph", None)
+    if graph is None:
+        graph = CallGraph(project)
+        project._callgraph = graph
+    return graph
+
+
+def iter_functions(module: Module) -> Iterable[ast.AST]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, FunctionAST):
+            yield node

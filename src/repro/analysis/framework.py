@@ -65,6 +65,9 @@ class Module:
     path: str          # repo-relative, forward slashes
     source: str
     tree: ast.AST
+    #: memoized source lines for segment(); splitting the whole file on
+    #: every call dominated analyzer runtime before this cache.
+    _lines: list | None = field(default=None, repr=False)
 
     @property
     def dotted(self) -> str:
@@ -80,7 +83,23 @@ class Module:
 
     def segment(self, node: ast.AST) -> str:
         """Source text of a node (empty string when unavailable)."""
-        return ast.get_source_segment(self.source, node) or ""
+        lineno = getattr(node, "lineno", None)
+        end_lineno = getattr(node, "end_lineno", None)
+        col = getattr(node, "col_offset", None)
+        end_col = getattr(node, "end_col_offset", None)
+        if None in (lineno, end_lineno, col, end_col):
+            return ""
+        if self._lines is None:
+            self._lines = self.source.splitlines(keepends=True)
+        lines = self._lines
+        if end_lineno > len(lines):
+            return ""
+        if lineno == end_lineno:
+            return lines[lineno - 1][col:end_col]
+        picked = lines[lineno - 1:end_lineno]
+        picked[0] = picked[0][col:]
+        picked[-1] = picked[-1][:end_col]
+        return "".join(picked)
 
 
 @dataclass
@@ -90,6 +109,8 @@ class Project:
     modules: list[Module] = field(default_factory=list)
     #: lazy name -> [(module, def)] index; built on first lookup.
     _function_index: dict | None = field(default=None, repr=False)
+    #: memoized CallGraph (built by callgraph.for_project on demand).
+    _callgraph: object | None = field(default=None, repr=False)
 
     def by_dotted(self, dotted: str) -> Module | None:
         for module in self.modules:
@@ -119,6 +140,13 @@ class Rule:
     id: str = ""
     description: str = ""
     severity: str = "error"
+    #: bump when the rule's logic changes — cached findings keyed on the
+    #: old version are discarded (see :mod:`repro.analysis.cache`).
+    version: int = 1
+    #: True when findings depend on files beyond the one being checked
+    #: (the rule does real work in ``finish``).  Cross-file rules cache
+    #: per project fingerprint, per-file rules per file hash.
+    cross_file: bool = False
 
     def check_module(self, module: Module) -> "Iterable[Finding]":
         return ()
@@ -175,6 +203,14 @@ class Baseline:
     suppression is itself an error.  :meth:`unused` reports entries that
     matched nothing, so stale suppressions get cleaned out instead of
     silently masking future regressions at the same site.
+
+    Matching prefers the exact repo-relative path; when no entry matches
+    exactly, an entry whose basename and (rule, message) agree still
+    suppresses.  A file *rename* inside ``src/`` therefore doesn't turn
+    every suppression at once into a failure — moving code is routine,
+    and the (rule, message) pair already pins the finding's meaning.
+    Two same-named files with the same finding are indistinguishable to
+    the fallback; the exact-path entry wins whenever one exists.
     """
 
     def __init__(self, entries: list[dict] | None = None) -> None:
@@ -198,6 +234,13 @@ class Baseline:
         for index, entry in enumerate(self.entries):
             if (entry["rule"] == finding.rule
                     and entry["path"] == finding.path
+                    and entry["message"] == finding.message):
+                self._hits.add(index)
+                return True
+        basename = finding.path.rsplit("/", 1)[-1]
+        for index, entry in enumerate(self.entries):
+            if (entry["rule"] == finding.rule
+                    and entry["path"].rsplit("/", 1)[-1] == basename
                     and entry["message"] == finding.message):
                 self._hits.add(index)
                 return True
@@ -304,10 +347,83 @@ class Analyzer:
                                           tree=tree))
         return project
 
-    def run(self, targets: list[str]) -> AnalysisReport:
+    def run(self, targets: list[str],
+            cache: "object | None" = None) -> AnalysisReport:
+        """Analyze ``targets``; with a cache (duck-typed
+        :class:`repro.analysis.cache.AnalysisCache`) unchanged files and
+        unchanged project fingerprints replay stored findings."""
         started = time.monotonic()
-        project = self.load(targets)
-        return self.run_project(project, started=started)
+        if cache is None:
+            project = self.load(targets)
+            return self.run_project(project, started=started)
+        return self._run_cached(targets, cache, started)
+
+    def _run_cached(self, targets: list[str], cache,
+                    started: float) -> AnalysisReport:
+        import hashlib
+        sources: list[tuple[str, str, str]] = []   # (rel, source, sha)
+        for path in _iter_sources(self.root, targets):
+            rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            sources.append((rel, source, sha))
+        fingerprint_key = None
+        per_file = [r for r in self.rules if not r.cross_file]
+        cross = [r for r in self.rules if r.cross_file]
+        if cross:
+            digest = hashlib.sha256()
+            for rel, _source, sha in sorted(
+                    (r, s, h) for r, s, h in sources):
+                digest.update(("%s\x00%s\n" % (rel, sha)).encode("utf-8"))
+            fingerprint_key = digest.hexdigest()
+        cross_missing = [
+            r for r in cross
+            if cache.project_findings(r, fingerprint_key) is None]
+        file_missing: dict[str, list[Rule]] = {}
+        for rel, _source, sha in sources:
+            need = [r for r in per_file
+                    if cache.file_findings(r, rel, sha) is None]
+            if need:
+                file_missing[rel] = need
+        # Parse only what the misses require: everything when any
+        # cross-file rule must re-run, just the edited files otherwise.
+        modules: dict[str, Module] = {}
+        if cross_missing:
+            to_parse = [rel for rel, _s, _h in sources]
+        else:
+            to_parse = sorted(file_missing)
+        by_rel = {rel: (source, sha) for rel, source, sha in sources}
+        for rel in to_parse:
+            source, _sha = by_rel[rel]
+            modules[rel] = Module(path=rel, source=source,
+                                  tree=ast.parse(source, filename=rel))
+        collected: list[Finding] = []
+        for rel, _source, sha in sources:
+            for rule in per_file:
+                found = cache.file_findings(rule, rel, sha)
+                if found is None:
+                    found = list(rule.check_module(modules[rel]))
+                    cache.store_file(rule, rel, sha, found)
+                collected.extend(found)
+        if cross:
+            project = None
+            if cross_missing:
+                project = Project(modules=[modules[rel]
+                                           for rel, _s, _h in sources])
+            for rule in cross:
+                found = cache.project_findings(rule, fingerprint_key)
+                if found is None:
+                    found = []
+                    for module in project.modules:
+                        found.extend(rule.check_module(module))
+                    found.extend(rule.finish(project))
+                    cache.store_project(rule, fingerprint_key, found)
+                collected.extend(found)
+        cache.save()
+        return self._report(collected,
+                            paths={rel for rel, _s, _h in sources},
+                            files=len(sources), started=started)
 
     def run_project(self, project: Project,
                     started: float | None = None) -> AnalysisReport:
@@ -318,6 +434,13 @@ class Analyzer:
             for module in project.modules:
                 collected.extend(rule.check_module(module))
             collected.extend(rule.finish(project))
+        return self._report(
+            collected,
+            paths={module.path for module in project.modules},
+            files=len(project.modules), started=started)
+
+    def _report(self, collected: list[Finding], paths: set[str],
+                files: int, started: float) -> AnalysisReport:
         collected.sort(key=lambda f: (f.path, f.line, f.rule))
         kept, suppressed = [], []
         for finding in collected:
@@ -328,9 +451,8 @@ class Analyzer:
         return AnalysisReport(
             findings=kept, suppressed=suppressed,
             unused_baseline=self.baseline.unused(
-                paths={module.path for module in project.modules},
-                rules={rule.id for rule in self.rules}),
-            files=len(project.modules),
+                paths=paths, rules={rule.id for rule in self.rules}),
+            files=files,
             rules=[rule.id for rule in self.rules],
             elapsed_s=time.monotonic() - started)
 

@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 emission for hcpplint reports.
+
+SARIF is the interchange format code-scanning UIs ingest (GitHub code
+scanning, VS Code SARIF viewer), so CI can publish the lint run as an
+artifact instead of a text log.  The mapping is small and deliberate:
+
+* each registered rule becomes a ``tool.driver.rules`` entry;
+* each live finding becomes a ``result`` with ``ruleId``, ``level``,
+  message text, and a physical location (repo-relative URI + line);
+* baseline-suppressed findings are still emitted, carrying a
+  ``suppressions`` entry of kind ``external`` with the baseline's
+  justification — reviewers see *what* was accepted and *why*;
+* stale baseline entries land in ``runs[0].properties`` so the failure
+  mode is visible in the artifact too.
+
+Volatile report fields (elapsed time, file counts) stay out of the
+document so identical findings produce byte-identical SARIF — that's
+what makes the golden-file test meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import AnalysisReport, Baseline, Finding, Rule
+
+__all__ = ["to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_entry(rule: Rule) -> dict:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")},
+        "properties": {"version": rule.version,
+                       "crossFile": rule.cross_file},
+    }
+
+
+def _result(finding: Finding, justification: str | None = None) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": max(finding.line, 1)},
+            },
+        }],
+    }
+    if justification is not None:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": justification,
+        }]
+    return result
+
+
+def _justification(baseline: Baseline | None, finding: Finding) -> str:
+    if baseline is None:
+        return ""
+    basename = finding.path.rsplit("/", 1)[-1]
+    for entry in baseline.entries:
+        if (entry["rule"] == finding.rule
+                and entry["message"] == finding.message
+                and (entry["path"] == finding.path
+                     or entry["path"].rsplit("/", 1)[-1] == basename)):
+            return entry["reason"]
+    return ""
+
+
+def to_sarif(report: AnalysisReport, rules: list[Rule],
+             baseline: Baseline | None = None) -> dict:
+    results = [_result(f) for f in report.findings]
+    results.extend(
+        _result(f, justification=_justification(baseline, f))
+        for f in report.suppressed)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "hcpplint",
+                "informationUri":
+                    "https://github.com/hcpp-repro/hcpp#static-analysis",
+                "rules": [_rule_entry(rule) for rule in rules],
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "properties": {
+                "clean": report.clean,
+                "unusedBaseline": report.unused_baseline,
+            },
+        }],
+    }
+
+
+def render_sarif(report: AnalysisReport, rules: list[Rule],
+                 baseline: Baseline | None = None) -> str:
+    return json.dumps(to_sarif(report, rules, baseline),
+                      indent=2, sort_keys=True)

@@ -10,19 +10,21 @@ breaks visibly when
   never journaled — the typo'd constant just dangles), or
 * a *mutating* opcode's handler chain never consults a
   :class:`ReplayGuard` (a duplicated delivery from a faulty network —
-  PR 3 injects exactly these — applies the mutation twice), or
-* the journal commit path in ``store/durable.py`` stops keying on
-  ``MUTATING_OPS`` membership or stops appending ``K_FRAME`` records
-  (acknowledged mutations silently lose crash consistency).
+  PR 3 injects exactly these — applies the mutation twice).
 
-This pass checks all three statically.  Guard consultation is traced
-through a bounded call-graph walk: from the opcode's ``_op_*`` handler,
-callee names are resolved project-wide (``self.server.handle_store`` →
-any ``def handle_store``) up to a small depth — enough for the
-endpoint → server-handler indirection the dispatch layer uses.  A
-consultation is a call to ``open_envelope`` that passes a guard (4th
-positional argument or ``guard=``), or a ``.seen()`` /
-``.check_and_remember()`` call on a guard-named receiver.
+This pass checks both statically.  Guard consultation is traced through
+the shared project call graph (:mod:`repro.analysis.callgraph`): from
+the opcode's ``_op_*`` handler, callee names are resolved project-wide
+(``self.server.handle_store`` → any ``def handle_store``) with no depth
+cap — the PR-5 version stopped three calls deep, which the deeper
+router → federation → server chains outgrew.  A consultation is a call
+to ``open_envelope`` that passes a guard (4th positional argument or
+``guard=``), or a ``.seen()`` / ``.check_and_remember()`` call on a
+guard-named receiver.
+
+The companion durable-journal check (``store/durable.py`` appends
+``K_FRAME`` keyed on ``MUTATING_OPS``) moved to the wire-schema pass,
+which owns the registry-wide contracts.
 """
 
 from __future__ import annotations
@@ -30,20 +32,15 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
+from repro.analysis import callgraph
 from repro.analysis.framework import Finding, Module, Project, Rule, register
 
 DISPATCH_MODULES = ("repro.core.dispatch",)
-DURABLE_MODULE = "repro.store.durable"
 GUARD_METHODS = frozenset({"seen", "check_and_remember"})
-MAX_DEPTH = 3
 
 
 def _terminal(node: ast.AST) -> str | None:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    return None
+    return callgraph.terminal(node)
 
 
 def _opcode_label(node: ast.AST, module: Module) -> str:
@@ -129,41 +126,19 @@ def _guard_consulted(func: ast.AST) -> bool:
     return False
 
 
-def _callee_names(func: ast.AST) -> set[str]:
-    names = set()
-    for node in ast.walk(func):
-        if isinstance(node, ast.Call):
-            name = _terminal(node.func)
-            if name:
-                names.add(name)
-    return names
-
-
-def _chain_has_guard(project: Project, start: ast.FunctionDef,
-                     depth: int = MAX_DEPTH) -> bool:
-    seen: set[str] = set()
-    frontier: list[tuple[ast.AST, int]] = [(start, 0)]
-    while frontier:
-        func, level = frontier.pop()
-        if _guard_consulted(func):
-            return True
-        if level >= depth:
-            continue
-        for callee in sorted(_callee_names(func)):
-            if callee in seen:
-                continue
-            seen.add(callee)
-            for _module, definition in project.functions_named(callee):
-                frontier.append((definition, level + 1))
-    return False
+def _chain_has_guard(project: Project, start: ast.FunctionDef) -> bool:
+    graph = callgraph.for_project(project)
+    return any(_guard_consulted(func) for func in graph.reachable(start))
 
 
 @register
 class WireCoverageRule(Rule):
     id = "wire-coverage"
-    description = ("every MUTATING_OPS opcode is dispatched, its handler "
-                   "chain consults a ReplayGuard, and durable.py journals "
-                   "K_FRAME records keyed on MUTATING_OPS")
+    version = 2          # v2: shared call graph, no depth cap
+    cross_file = True
+    description = ("every MUTATING_OPS opcode is dispatched and its "
+                   "handler chain consults a ReplayGuard (traced through "
+                   "the project call graph)")
 
     def finish(self, project: Project) -> Iterable[Finding]:
         findings: list[Finding] = []
@@ -176,7 +151,6 @@ class WireCoverageRule(Rule):
                         endpoints.append(endpoint)
         for endpoint in endpoints:
             findings.extend(self._check_endpoint(project, endpoint))
-        findings.extend(self._check_durable(project))
         return findings
 
     def _check_endpoint(self, project: Project,
@@ -215,38 +189,3 @@ class WireCoverageRule(Rule):
             if isinstance(node, ast.FunctionDef) and node.name == name:
                 return node
         return None
-
-    def _check_durable(self, project: Project) -> list[Finding]:
-        module = project.by_dotted(DURABLE_MODULE)
-        if module is None:
-            return []  # partial run (fixtures / subset targets)
-        journals_frames = False
-        keyed_on_mutating = False
-        for node in ast.walk(module.tree):
-            if (isinstance(node, ast.Call)
-                    and _terminal(node.func) == "append"
-                    and node.args
-                    and _terminal(node.args[0]) == "K_FRAME"):
-                journals_frames = True
-            if isinstance(node, ast.Compare):
-                names = {_terminal(part)
-                         for part in ast.walk(node)
-                         if isinstance(part, (ast.Name, ast.Attribute))}
-                if "MUTATING_OPS" in names and any(
-                        isinstance(op, (ast.In, ast.NotIn))
-                        for op in node.ops):
-                    keyed_on_mutating = True
-        findings = []
-        if not journals_frames:
-            findings.append(self.finding(
-                module, 1,
-                "store/durable.py never appends a K_FRAME journal "
-                "record — acknowledged mutations are not crash-"
-                "consistent"))
-        if not keyed_on_mutating:
-            findings.append(self.finding(
-                module, 1,
-                "store/durable.py no longer keys its journal commit on "
-                "MUTATING_OPS membership — mutating frames may go "
-                "unjournaled"))
-        return findings

@@ -1,0 +1,183 @@
+"""async-discipline fixtures: blocking calls, awaits under sync locks,
+and off-loop mutation of loop-affine state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_source, get_rule
+
+
+@pytest.fixture()
+def rule():
+    return get_rule("async-discipline")
+
+
+# -- blocking calls in async def --------------------------------------------
+
+def test_time_sleep_in_async_def_flags(rule):
+    findings = analyze_source("""
+import time
+
+async def pump(self):
+    time.sleep(0.1)
+""", rule)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+    assert "stalls the whole event loop" in findings[0].message
+
+
+def test_bare_sleep_import_flags(rule):
+    assert analyze_source("""
+from time import sleep
+
+async def pump():
+    sleep(1)
+""", rule)
+
+
+def test_blocking_socket_read_flags(rule):
+    findings = analyze_source("""
+async def read(self):
+    return self._sock.recv(4096)
+""", rule)
+    assert findings and "_sock.recv" in findings[0].message
+
+
+def test_asyncio_sleep_is_fine(rule):
+    assert not analyze_source("""
+import asyncio
+
+async def pump():
+    await asyncio.sleep(0.1)
+""", rule)
+
+
+def test_sync_def_may_block(rule):
+    assert not analyze_source("""
+import time
+
+def warmup():
+    time.sleep(0.1)
+""", rule)
+
+
+def test_queue_get_lookalike_is_not_a_socket(rule):
+    assert not analyze_source("""
+async def drain(self):
+    return self._queue.recv()
+""", rule)
+
+
+def test_nested_sync_def_is_its_own_context(rule):
+    # The inner function runs wherever it is *called*, not in the
+    # coroutine that defines it.
+    assert not analyze_source("""
+import time
+
+async def pump(loop):
+    def blocking_probe():
+        time.sleep(0.1)
+    await loop.run_in_executor(None, blocking_probe)
+""", rule)
+
+
+# -- await under a sync lock ------------------------------------------------
+
+def test_await_holding_sync_lock_flags(rule):
+    findings = analyze_source("""
+async def update(self):
+    with self._lock:
+        await self._flush()
+""", rule)
+    assert len(findings) == 1
+    assert "await while holding synchronous lock" in findings[0].message
+    assert "_lock" in findings[0].message
+
+
+def test_async_with_asyncio_lock_is_fine(rule):
+    assert not analyze_source("""
+async def update(self):
+    async with self._lock:
+        await self._flush()
+""", rule)
+
+
+def test_await_after_the_with_block_is_fine(rule):
+    assert not analyze_source("""
+async def update(self):
+    with self._lock:
+        self._dirty = True
+    await self._flush()
+""", rule)
+
+
+# -- loop-affine state ------------------------------------------------------
+
+_AFFINE = """
+class Transport:
+    def __init__(self):
+        self._inflight = {}
+
+    def _dispatch(self, frame):
+        # Loop-affine: only the reader coroutine touches _inflight.
+        self._inflight[frame.tag] = frame
+
+    %s
+"""
+
+
+def test_sync_method_mutating_affine_state_flags(rule):
+    findings = analyze_source(_AFFINE % (
+        "def cancel(self, tag):\n"
+        "        self._inflight = {}\n"), rule)
+    assert len(findings) == 1
+    assert "_inflight" in findings[0].message
+    assert "loop-affine" in findings[0].message
+
+
+def test_async_method_mutating_affine_state_is_fine(rule):
+    assert not analyze_source(_AFFINE % (
+        "async def cancel(self, tag):\n"
+        "        self._inflight = {}\n"), rule)
+
+
+def test_marked_sibling_method_is_fine(rule):
+    assert not analyze_source(_AFFINE % (
+        "def cancel(self, tag):\n"
+        "        # Loop-affine: called from the reader only.\n"
+        "        self._inflight = {}\n"), rule)
+
+
+def test_init_is_exempt(rule):
+    assert not analyze_source("""
+class Transport:
+    def _dispatch(self, frame):
+        # Loop-affine: reader coroutine only.
+        self._inflight[frame.tag] = frame
+""", rule)
+
+
+def test_class_level_marker_exempts_the_whole_class(rule):
+    assert not analyze_source("""
+class Transport:
+    # Loop-affine: the loop thread owns every instance of this class.
+
+    def _dispatch(self, frame):
+        # Loop-affine: reader coroutine only.
+        self._inflight[frame.tag] = frame
+
+    def cancel(self, tag):
+        self._inflight = {}
+""", rule)
+
+
+def test_unmarked_class_is_out_of_scope(rule):
+    assert not analyze_source("""
+class Plain:
+    def a(self):
+        self._x = 1
+
+    def b(self):
+        self._x = 2
+""", rule)

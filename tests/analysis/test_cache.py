@@ -1,0 +1,149 @@
+"""Incremental cache: replay on unchanged inputs, invalidation on edit,
+rule-version bump, and schema drift; corrupt files self-heal."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+import pytest
+
+from repro.analysis.cache import (AnalysisCache, CACHE_SCHEMA,
+                                  PROJECT_KEYS_KEPT, file_sha, project_key)
+from repro.analysis.framework import (Analyzer, Finding, Module, Project,
+                                      Rule)
+
+
+class CountingRule(Rule):
+    """Flags every module named *flagme.py*; counts real executions."""
+
+    id = "counting"
+    description = "test rule"
+    version = 1
+    cross_file = False
+
+    def __init__(self) -> None:
+        self.module_runs = 0
+        self.finish_runs = 0
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        self.module_runs += 1
+        if module.path.endswith("flagme.py"):
+            yield self.finding(module, 1, "planted")
+
+    def finish(self, project: Project) -> Iterable[Finding]:
+        self.finish_runs += 1
+        return []
+
+
+class CountingCrossRule(CountingRule):
+    id = "counting-cross"
+    cross_file = True
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "clean.py").write_text("x = 1\n")
+    (src / "flagme.py").write_text("y = 2\n")
+    return tmp_path
+
+
+def _run(tree, rule, cache):
+    analyzer = Analyzer(str(tree), rules=[rule])
+    return analyzer.run(["src"], cache=cache)
+
+
+def test_warm_run_replays_without_reanalysis(tree):
+    cache_path = str(tree / "cache.json")
+    rule = CountingRule()
+    first = _run(tree, rule, AnalysisCache(cache_path))
+    assert [f.message for f in first.findings] == ["planted"]
+    assert rule.module_runs == 2
+
+    warm = CountingRule()
+    report = _run(tree, warm, AnalysisCache(cache_path))
+    assert [f.message for f in report.findings] == ["planted"]
+    assert warm.module_runs == 0          # everything replayed
+    assert report.files == 2              # but the report still counts
+
+
+def test_editing_a_file_reanalyzes_only_that_file(tree):
+    cache_path = str(tree / "cache.json")
+    rule = CountingRule()
+    _run(tree, rule, AnalysisCache(cache_path))
+
+    (tree / "src" / "clean.py").write_text("x = 3\n")
+    warm = CountingRule()
+    report = _run(tree, warm, AnalysisCache(cache_path))
+    assert warm.module_runs == 1          # just the edited file
+    assert [f.message for f in report.findings] == ["planted"]
+
+
+def test_rule_version_bump_invalidates(tree):
+    cache_path = str(tree / "cache.json")
+    _run(tree, CountingRule(), AnalysisCache(cache_path))
+
+    bumped = CountingRule()
+    bumped.version = 2
+    _run(tree, bumped, AnalysisCache(cache_path))
+    assert bumped.module_runs == 2        # cache keyed on rule version
+
+
+def test_cross_rule_reruns_on_any_edit_and_replays_otherwise(tree):
+    cache_path = str(tree / "cache.json")
+    rule = CountingCrossRule()
+    _run(tree, rule, AnalysisCache(cache_path))
+    assert rule.finish_runs == 1
+
+    warm = CountingCrossRule()
+    _run(tree, warm, AnalysisCache(cache_path))
+    assert warm.finish_runs == 0          # same fingerprint: replayed
+
+    (tree / "src" / "clean.py").write_text("x = 4\n")
+    cold = CountingCrossRule()
+    _run(tree, cold, AnalysisCache(cache_path))
+    assert cold.finish_runs == 1          # any edit reruns cross rules
+
+
+def test_corrupt_cache_is_discarded_and_rebuilt(tree):
+    cache_path = tree / "cache.json"
+    cache_path.write_text("{not json")
+    rule = CountingRule()
+    report = _run(tree, rule, AnalysisCache(str(cache_path)))
+    assert rule.module_runs == 2
+    assert [f.message for f in report.findings] == ["planted"]
+    assert json.loads(cache_path.read_text())["schema"] == CACHE_SCHEMA
+
+
+def test_alien_schema_is_discarded(tree):
+    cache_path = tree / "cache.json"
+    cache_path.write_text(json.dumps({"schema": CACHE_SCHEMA + 1,
+                                      "files": {}, "project": {}}))
+    rule = CountingRule()
+    _run(tree, rule, AnalysisCache(str(cache_path)))
+    assert rule.module_runs == 2
+
+
+def test_project_keys_are_bounded():
+    cache = AnalysisCache("/nonexistent/never-written.json")
+    rule = CountingCrossRule()
+    for index in range(PROJECT_KEYS_KEPT + 3):
+        cache.store_project(rule, "key-%d" % index, [])
+    keys = cache._data["project"][rule.id]["keys"]
+    assert len(keys) == PROJECT_KEYS_KEPT
+    assert "key-0" not in keys            # oldest evicted first
+
+
+def test_save_failure_is_silent():
+    cache = AnalysisCache("/nonexistent/dir/cache.json")
+    cache.store_file(CountingRule(), "a.py", "sha", [])
+    cache.save()                          # no OSError escapes
+
+
+def test_fingerprint_helpers_are_order_insensitive():
+    sha_a, sha_b = file_sha("a"), file_sha("b")
+    assert sha_a != sha_b
+    assert (project_key([("a.py", sha_a), ("b.py", sha_b)])
+            == project_key([("b.py", sha_b), ("a.py", sha_a)]))

@@ -1,0 +1,95 @@
+"""callgraph: resolution, reachability, argument mapping, memoization."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import callgraph
+from repro.analysis.framework import Module, Project
+
+
+def _project(sources: dict[str, str]) -> Project:
+    modules = [Module(path=path, source=source, tree=ast.parse(source))
+               for path, source in sources.items()]
+    return Project(modules=modules)
+
+
+def _func(graph: callgraph.CallGraph, name: str) -> ast.AST:
+    defs = graph.resolve(name)
+    assert defs, "no definition named %r" % name
+    return defs[0].node
+
+
+def test_resolve_finds_defs_across_files():
+    project = _project({
+        "src/repro/a.py": "def helper():\n    return 1\n",
+        "src/repro/b.py": "def caller():\n    return helper()\n",
+    })
+    graph = callgraph.for_project(project)
+    assert len(graph.resolve("helper")) == 1
+    assert graph.resolve("helper")[0].module.path == "src/repro/a.py"
+    assert graph.resolve("nothing") == []
+
+
+def test_methods_carry_their_class_and_qualname():
+    project = _project({
+        "src/repro/a.py": ("class Box:\n"
+                           "    def put(self, item):\n"
+                           "        pass\n"),
+    })
+    graph = callgraph.for_project(project)
+    node = graph.resolve("put")[0]
+    assert node.is_method
+    assert node.cls.name == "Box"
+    assert node.qualname == "repro.a:Box.put"
+    assert node.positional_params() == ["self", "item"]
+
+
+def test_callees_and_call_sites():
+    project = _project({
+        "src/repro/a.py": ("def f():\n"
+                           "    g()\n"
+                           "    obj.h(1)\n"),
+    })
+    graph = callgraph.for_project(project)
+    f = _func(graph, "f")
+    assert graph.callees(f) == frozenset({"g", "h"})
+    sites = dict(graph.call_sites(f))
+    assert set(sites) == {"g", "h"}
+    assert isinstance(sites["g"], ast.Call)
+
+
+def test_reachable_is_cycle_safe_and_uncapped():
+    # A chain deeper than the old depth-3 walk, ending in a cycle.
+    chain = "\n".join("def f%d():\n    f%d()" % (i, i + 1)
+                      for i in range(6))
+    source = chain + "\ndef f6():\n    f0()\n"
+    project = _project({"src/repro/a.py": source})
+    graph = callgraph.for_project(project)
+    reached = {node.name for node in graph.reachable(_func(graph, "f0"))}
+    assert reached == {"f%d" % i for i in range(7)}
+
+
+def test_map_call_args_skips_self_and_starred():
+    project = _project({
+        "src/repro/a.py": ("class C:\n"
+                           "    def m(self, a, b, c=None):\n"
+                           "        pass\n"
+                           "def caller(c):\n"
+                           "    c.m(1, 2, c=3)\n"
+                           "    c.m(*args)\n"),
+    })
+    graph = callgraph.for_project(project)
+    callee = graph.resolve("m")[0]
+    calls = [call for _name, call
+             in graph.call_sites(_func(graph, "caller"))]
+    mapped = callgraph.CallGraph.map_call_args(calls[0], callee)
+    assert [(name, type(arg).__name__) for name, arg in mapped] == [
+        ("a", "Constant"), ("b", "Constant"), ("c", "Constant")]
+    assert callgraph.CallGraph.map_call_args(calls[1], callee) == []
+
+
+def test_graph_is_memoized_per_project():
+    project = _project({"src/repro/a.py": "def f():\n    pass\n"})
+    assert (callgraph.for_project(project)
+            is callgraph.for_project(project))

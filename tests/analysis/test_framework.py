@@ -11,15 +11,16 @@ from repro.analysis import (Analyzer, Baseline, Finding, Module, all_rules,
                             get_rule, rule_ids)
 from repro.analysis.framework import AnalysisReport, Project
 
-EXPECTED_RULES = ["concurrency", "crypto-hygiene", "layering",
-                  "secret-flow", "wire-coverage"]
+EXPECTED_RULES = ["async-discipline", "concurrency", "crypto-hygiene",
+                  "layering", "secret-flow", "wire-coverage",
+                  "wire-schema"]
 
 
 def _module(path: str, source: str = "x = 1\n") -> Module:
     return Module(path=path, source=source, tree=ast.parse(source))
 
 
-def test_all_five_rules_registered():
+def test_all_seven_rules_registered():
     assert rule_ids() == EXPECTED_RULES
     for rule_id in EXPECTED_RULES:
         rule = get_rule(rule_id)
@@ -73,6 +74,41 @@ def test_baseline_suppression_and_unused_scoping():
     # ...but a partial run that never looked at b.py must not judge it.
     assert baseline.unused(paths={"src/repro/a.py"}) == []
     assert baseline.unused(rules={"secret-flow"}) == []
+
+
+def test_baseline_survives_a_file_rename():
+    baseline = Baseline([
+        {"rule": "secret-flow", "path": "src/repro/old/keys.py",
+         "message": "m", "reason": "r"},
+    ])
+    # Same basename + (rule, message): still suppressed after a move.
+    assert baseline.suppresses(
+        Finding(rule="secret-flow", path="src/repro/new/keys.py",
+                line=3, message="m"))
+    # A different file or message does not ride the fallback.
+    assert not baseline.suppresses(
+        Finding(rule="secret-flow", path="src/repro/new/other.py",
+                line=3, message="m"))
+    assert not baseline.suppresses(
+        Finding(rule="secret-flow", path="src/repro/new/keys.py",
+                line=3, message="different"))
+    # The fallback match counts as a hit — the entry is not stale.
+    assert baseline.unused() == []
+
+
+def test_baseline_prefers_the_exact_path_entry():
+    baseline = Baseline([
+        {"rule": "secret-flow", "path": "src/repro/a/keys.py",
+         "message": "m", "reason": "moved"},
+        {"rule": "secret-flow", "path": "src/repro/b/keys.py",
+         "message": "m", "reason": "exact"},
+    ])
+    assert baseline.suppresses(
+        Finding(rule="secret-flow", path="src/repro/b/keys.py",
+                line=1, message="m"))
+    # Only the exact entry was consumed; the other is reported stale.
+    stale = baseline.unused()
+    assert [entry["reason"] for entry in stale] == ["moved"]
 
 
 def test_report_clean_requires_no_findings_and_no_stale_baseline():

@@ -34,6 +34,11 @@ VIOLATIONS = {
                       "        self._ops = {wire.OP_Z: self._op_z}\n"
                       "    def _op_z(self, body):\n"
                       "        return mutate(body)\n"),
+    "wire-schema": ('OP_A = b"\\x01"\n'
+                    'OP_B = b"\\x01"\n'),
+    "async-discipline": ("import time\n"
+                         "async def pump():\n"
+                         "    time.sleep(1)\n"),
 }
 
 # layering judges modules by their dotted path, so the fixture must
@@ -71,7 +76,8 @@ def test_list_rules(cli, capsys):
     assert cli.main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("secret-flow", "crypto-hygiene", "wire-coverage",
-                    "layering", "concurrency"):
+                    "wire-schema", "async-discipline", "layering",
+                    "concurrency"):
         assert rule_id in out
 
 
@@ -121,3 +127,44 @@ def test_check_layering_shim_still_works():
         cwd=REPO_ROOT, capture_output=True, text=True, timeout=120)
     assert result.returncode == 0, result.stdout + result.stderr
     assert "check_layering: OK" in result.stdout
+
+
+def test_sarif_format(cli, capsys):
+    assert cli.main(["--format", "sarif"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["properties"]["clean"] is True
+    rule_ids = {entry["id"] for entry in run["tool"]["driver"]["rules"]}
+    assert {"wire-schema", "async-discipline"} <= rule_ids
+    # A clean repo run still emits the baseline-accepted findings, each
+    # with its written justification.
+    for result in run["results"]:
+        assert result["suppressions"][0]["justification"]
+
+
+def test_since_bad_revision_is_a_usage_error(cli, capsys):
+    assert cli.main(["--since", "not-a-revision"]) == 2
+
+
+def test_since_head_smoke(cli, capsys):
+    status = cli.main(["--since", "HEAD", "src/repro/store"])
+    out = capsys.readouterr().out
+    assert status == 0, out
+
+
+def test_cache_round_trip(cli, capsys, tmp_path):
+    cache = str(tmp_path / "cache.json")
+    assert cli.main(["--cache", cache, "--rules", "layering"]) == 0
+    capsys.readouterr()
+    assert os.path.exists(cache)
+    # Warm run replays from the cache and stays clean.
+    assert cli.main(["--cache", cache, "--rules", "layering"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_no_cache_skips_the_cache_file(cli, capsys, tmp_path):
+    cache = str(tmp_path / "cache.json")
+    assert cli.main(["--no-cache", "--cache", cache,
+                     "--rules", "layering"]) == 0
+    assert not os.path.exists(cache)

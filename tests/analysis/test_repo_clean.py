@@ -51,5 +51,6 @@ def test_full_run_is_fast(report):
 
 def test_run_covers_the_whole_tree(report):
     assert report.files > 80
-    assert report.rules == ["concurrency", "crypto-hygiene", "layering",
-                            "secret-flow", "wire-coverage"]
+    assert report.rules == ["async-discipline", "concurrency",
+                            "crypto-hygiene", "layering", "secret-flow",
+                            "wire-coverage", "wire-schema"]

@@ -1,0 +1,120 @@
+"""SARIF emission: structure, suppression justifications, and a golden
+byte-for-byte rendering (the artifact CI publishes must be stable)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Baseline, get_rule
+from repro.analysis.framework import AnalysisReport, Finding
+from repro.analysis.sarif import (SARIF_SCHEMA, SARIF_VERSION, render_sarif,
+                                  to_sarif)
+
+
+def _report() -> AnalysisReport:
+    live = Finding(rule="layering", path="src/repro/crypto/prf.py",
+                   line=7, message="crypto must not import wire")
+    accepted = Finding(rule="secret-flow", path="src/repro/cli.py",
+                       line=40, message="secret 'seed' reaches a print "
+                                        "sink — secrets must never be "
+                                        "logged or printed")
+    return AnalysisReport(findings=[live], suppressed=[accepted],
+                          unused_baseline=[], files=2,
+                          rules=["layering", "secret-flow"],
+                          elapsed_s=1.23)
+
+
+def _baseline() -> Baseline:
+    return Baseline([{
+        "rule": "secret-flow",
+        "path": "src/repro/cli.py",
+        "message": ("secret 'seed' reaches a print sink — secrets must "
+                    "never be logged or printed"),
+        "reason": "demo seed, printed intentionally",
+    }])
+
+
+def test_document_shape():
+    doc = to_sarif(_report(), [get_rule("layering"),
+                               get_rule("secret-flow")], _baseline())
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"] == SARIF_SCHEMA
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "hcpplint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == ["layering", "secret-flow"]
+    assert run["properties"]["clean"] is False
+
+
+def test_live_and_suppressed_results():
+    doc = to_sarif(_report(), [get_rule("layering"),
+                               get_rule("secret-flow")], _baseline())
+    live, accepted = doc["runs"][0]["results"]
+    assert live["ruleId"] == "layering"
+    assert "suppressions" not in live
+    location = live["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/crypto/prf.py"
+    assert location["region"]["startLine"] == 7
+    assert accepted["suppressions"] == [{
+        "kind": "external",
+        "justification": "demo seed, printed intentionally",
+    }]
+
+
+def test_no_volatile_fields():
+    # elapsed_s / file counts must stay out — the golden test depends
+    # on identical findings producing identical bytes.
+    rendered = render_sarif(_report(), [get_rule("layering")])
+    assert "1.23" not in rendered
+    assert "elapsed" not in rendered
+
+
+def test_rendering_is_deterministic():
+    rules = [get_rule("layering"), get_rule("secret-flow")]
+    assert (render_sarif(_report(), rules, _baseline())
+            == render_sarif(_report(), rules, _baseline()))
+
+
+def test_golden_single_finding():
+    report = AnalysisReport(findings=[Finding(
+        rule="layering", path="src/repro/crypto/prf.py", line=7,
+        message="crypto must not import wire")],
+        suppressed=[], unused_baseline=[], files=1,
+        rules=["layering"], elapsed_s=0.5)
+    rendered = render_sarif(report, [get_rule("layering")])
+    document = json.loads(rendered)
+    layering = get_rule("layering")
+    assert document == {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "hcpplint",
+                "informationUri": ("https://github.com/hcpp-repro/hcpp"
+                                   "#static-analysis"),
+                "rules": [{
+                    "id": "layering",
+                    "shortDescription": {"text": layering.description},
+                    "defaultConfiguration": {"level": "error"},
+                    "properties": {"version": layering.version,
+                                   "crossFile": layering.cross_file},
+                }],
+            }},
+            "results": [{
+                "ruleId": "layering",
+                "level": "error",
+                "message": {"text": "crypto must not import wire"},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": "src/repro/crypto/prf.py",
+                            "uriBaseId": "SRCROOT"},
+                        "region": {"startLine": 7},
+                    },
+                }],
+            }],
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "properties": {"clean": False, "unusedBaseline": []},
+        }],
+    }

@@ -120,3 +120,140 @@ def check(keyword):
     if not keyword:
         raise ValueError("keyword not in my dictionary")
 """)
+
+
+# -- interprocedural layer (v2) ---------------------------------------------
+
+def test_secret_returning_call_taints_the_caller(rule):
+    findings = _hits(rule, """
+def derive():
+    return master_secret
+
+def boot():
+    key = derive()
+    print(key)
+""")
+    assert len(findings) == 1
+    assert "print" in findings[0].message
+
+
+def test_secret_argument_into_a_sinking_parameter(rule):
+    findings = _hits(rule, """
+def emit(value):
+    print(value)
+
+def leak(session_key):
+    emit(session_key)
+""")
+    assert len(findings) == 1
+    assert "flows into emit()" in findings[0].message
+    assert "'value'" in findings[0].message
+    assert "print sink" in findings[0].message
+
+
+def test_transitive_sink_through_two_hops(rule):
+    findings = _hits(rule, """
+def log_it(log, payload):
+    log.info("got %r", payload)
+
+def relay(log, item):
+    log_it(log, item)
+
+def leak(log, group_secret):
+    relay(log, group_secret)
+""")
+    assert findings
+    assert any("flows into relay()" in f.message for f in findings)
+
+
+def test_attribute_store_taints_sibling_methods(rule):
+    findings = _hits(rule, """
+class Holder:
+    def set_key(self, master_secret):
+        self._k = master_secret
+
+    def show(self):
+        print(self._k)
+""")
+    assert len(findings) == 1
+    assert "print" in findings[0].message
+
+
+def test_aggregate_projection_is_not_a_secret(rule):
+    # derive() returns an aggregate *containing* secrets; its public
+    # metadata fields are fine to surface.
+    assert not _hits(rule, """
+def derive():
+    return master_secret
+
+def report(log):
+    envelope = derive()
+    log.info("label=%s", envelope.label)
+    raise ValueError("bad envelope %s" % envelope.timestamp)
+""")
+
+
+def test_aggregate_itself_still_sinks(rule):
+    assert _hits(rule, """
+def derive():
+    return master_secret
+
+def dump():
+    bundle = derive()
+    print(bundle)
+""")
+
+
+def test_all_defs_must_return_secrets(rule):
+    # Two defs share the name; one is benign, so calls stay untainted.
+    assert not _hits(rule, """
+def derive():
+    return master_secret
+
+class Other:
+    def derive(self):
+        return "public"
+
+def boot():
+    key = derive()
+    print(key)
+""")
+
+
+def test_generic_container_names_never_taint(rule):
+    # A lone project `def get` returning a secret must not turn every
+    # dict .get() into a source.
+    assert not _hits(rule, """
+class KeyStore:
+    def get(self, label):
+        return self._master_secret
+
+def lookup(table):
+    value = table.get("federation")
+    print(value)
+""")
+
+
+def test_sanitizer_stops_interprocedural_taint(rule):
+    assert not _hits(rule, """
+def derive():
+    return master_secret
+
+def report():
+    key = derive()
+    print(len(key))
+""")
+
+
+def test_sink_param_projection_does_not_condemn_the_parameter(rule):
+    # open_envelope-style helper: raises about public metadata of the
+    # aggregate it was handed — callers passing secret-bearing
+    # aggregates are fine.
+    assert not _hits(rule, """
+def open_box(envelope):
+    raise ValueError("bad label %r" % envelope.label)
+
+def fetch(session_key):
+    box = wrap(session_key)
+    open_box(box)
+""")
